@@ -1,0 +1,515 @@
+use crate::AccelError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six architectural parameters of the Simba-like accelerator template
+/// (Table II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchParam {
+    /// Number of processing elements (PEs).
+    PeCount,
+    /// Number of MAC units per PE.
+    MacsPerPe,
+    /// Accumulation buffer capacity per PE, in bytes.
+    AccumBufBytes,
+    /// Weight buffer capacity per PE, in bytes.
+    WeightBufBytes,
+    /// Input buffer capacity per PE, in bytes.
+    InputBufBytes,
+    /// Shared global buffer capacity, in bytes.
+    GlobalBufBytes,
+}
+
+impl ArchParam {
+    /// All six parameters in canonical feature order.
+    pub const ALL: [ArchParam; 6] = [
+        ArchParam::PeCount,
+        ArchParam::MacsPerPe,
+        ArchParam::AccumBufBytes,
+        ArchParam::WeightBufBytes,
+        ArchParam::InputBufBytes,
+        ArchParam::GlobalBufBytes,
+    ];
+
+    /// Short snake_case name used in CSV headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchParam::PeCount => "pe_count",
+            ArchParam::MacsPerPe => "macs_per_pe",
+            ArchParam::AccumBufBytes => "accum_buf_bytes",
+            ArchParam::WeightBufBytes => "weight_buf_bytes",
+            ArchParam::InputBufBytes => "input_buf_bytes",
+            ArchParam::GlobalBufBytes => "global_buf_bytes",
+        }
+    }
+}
+
+impl fmt::Display for ArchParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The discrete hardware design space of Table II.
+///
+/// | parameter          | max    | # values |
+/// |--------------------|--------|----------|
+/// | No. of PEs         | 64     | 5        |
+/// | No. of MAC units   | 4096   | 64       |
+/// | Accum. buffer size | 96 KB  | 128      |
+/// | Weight buffer size | 8 MB   | 32768    |
+/// | Input buffer size  | 256 KB | 2048     |
+/// | Global buffer size | 256 KB | 131072   |
+///
+/// The total space size is 5·64·128·32768·2048·131072 ≈ 3.6 × 10¹⁷,
+/// matching the paper. Values are evenly spaced multiples of each
+/// parameter's granularity (PEs are powers of two).
+///
+/// # Examples
+///
+/// ```
+/// use vaesa_accel::DesignSpace;
+///
+/// let space = DesignSpace::paper();
+/// assert_eq!(space.cardinality(), 360_287_970_189_639_680);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    values: [Vec<u64>; 6],
+}
+
+impl DesignSpace {
+    /// Builds the exact design space used in the paper (Table II).
+    pub fn paper() -> Self {
+        let pe: Vec<u64> = vec![4, 8, 16, 32, 64];
+        let macs: Vec<u64> = (1..=64).map(|i| i * 64).collect(); // 64..4096
+        let accum: Vec<u64> = (1..=128).map(|i| i * 768).collect(); // ..96 KiB
+        let weight: Vec<u64> = (1..=32768).map(|i| i * 256).collect(); // ..8 MiB
+        let input: Vec<u64> = (1..=2048).map(|i| i * 128).collect(); // ..256 KiB
+        let global: Vec<u64> = (1..=131072).map(|i| i * 2).collect(); // ..256 KiB
+        DesignSpace {
+            values: [pe, macs, accum, weight, input, global],
+        }
+    }
+
+    /// Builds a coarsened variant with at most `max_values` choices per
+    /// parameter (evenly subsampled, always keeping the largest value).
+    ///
+    /// Used by tests and fast experiments; the paper's space is [`DesignSpace::paper`].
+    pub fn coarse(max_values: usize) -> Self {
+        assert!(max_values >= 2, "need at least two values per parameter");
+        let full = Self::paper();
+        let values = full.values.map(|vals| {
+            if vals.len() <= max_values {
+                vals
+            } else {
+                let stride = vals.len() as f64 / max_values as f64;
+                let mut picked: Vec<u64> = (0..max_values)
+                    .map(|i| vals[((i as f64 + 1.0) * stride).ceil() as usize - 1])
+                    .collect();
+                picked.dedup();
+                if picked.last() != vals.last() {
+                    picked.push(*vals.last().expect("non-empty"));
+                }
+                picked
+            }
+        });
+        DesignSpace { values }
+    }
+
+    /// The ordered list of legal values for a parameter.
+    pub fn values(&self, param: ArchParam) -> &[u64] {
+        &self.values[Self::axis(param)]
+    }
+
+    /// Number of legal values for a parameter.
+    pub fn num_values(&self, param: ArchParam) -> usize {
+        self.values(param).len()
+    }
+
+    /// Total number of design points in the space.
+    pub fn cardinality(&self) -> u64 {
+        self.values.iter().map(|v| v.len() as u64).product()
+    }
+
+    fn axis(param: ArchParam) -> usize {
+        ArchParam::ALL
+            .iter()
+            .position(|&p| p == param)
+            .expect("param is one of ALL")
+    }
+
+    /// Draws a uniformly random design point.
+    pub fn random(&self, rng: &mut impl Rng) -> ArchConfig {
+        let indices = std::array::from_fn(|axis| rng.gen_range(0..self.values[axis].len()));
+        ArchConfig { indices }
+    }
+
+    /// Builds a configuration from per-parameter value indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::IndexOutOfRange`] if any index exceeds the
+    /// parameter's value count.
+    pub fn config_from_indices(&self, indices: [usize; 6]) -> Result<ArchConfig, AccelError> {
+        for (axis, &idx) in indices.iter().enumerate() {
+            if idx >= self.values[axis].len() {
+                return Err(AccelError::IndexOutOfRange {
+                    param: ArchParam::ALL[axis],
+                    index: idx,
+                    len: self.values[axis].len(),
+                });
+            }
+        }
+        Ok(ArchConfig { indices })
+    }
+
+    /// Builds a configuration from raw parameter values, snapping each to
+    /// the nearest legal value.
+    ///
+    /// This is how decoded VAE outputs are reconstructed into valid
+    /// hardware configurations (the "reconstructible" half of the paper's
+    /// title): the decoder emits six real numbers, and each is rounded to
+    /// the closest entry of the corresponding value list.
+    pub fn config_from_raw_nearest(&self, raw: &[f64; 6]) -> ArchConfig {
+        let indices = std::array::from_fn(|axis| {
+            Self::nearest_index(&self.values[axis], raw[axis], |v| v as f64)
+        });
+        ArchConfig { indices }
+    }
+
+    /// Binary-search nearest neighbor in a sorted value list under the
+    /// monotone key `key` (the lists are ascending, so any monotone
+    /// transform preserves order). O(log n) — the global-buffer axis has
+    /// 131 072 values, so this matters inside search loops.
+    fn nearest_index(vals: &[u64], target: f64, key: impl Fn(u64) -> f64) -> usize {
+        let split = vals.partition_point(|&v| key(v) < target);
+        match (split.checked_sub(1), vals.get(split)) {
+            (None, _) => 0,
+            (Some(lo), None) => lo,
+            (Some(lo), Some(&hi)) => {
+                if (key(vals[lo]) - target).abs() <= (key(hi) - target).abs() {
+                    lo
+                } else {
+                    split
+                }
+            }
+        }
+    }
+
+    /// Like [`DesignSpace::config_from_raw_nearest`] but snapping in
+    /// log-space, which matches the log/min-max normalization used for
+    /// training features (§IV-A4): the nearest legal value is the one whose
+    /// logarithm is closest.
+    pub fn config_from_log_nearest(&self, raw_log: &[f64; 6]) -> ArchConfig {
+        let indices = std::array::from_fn(|axis| {
+            Self::nearest_index(&self.values[axis], raw_log[axis], |v| (v as f64).ln())
+        });
+        ArchConfig { indices }
+    }
+
+    /// Raw value of `config` for `param`.
+    pub fn value_of(&self, config: &ArchConfig, param: ArchParam) -> u64 {
+        self.values[Self::axis(param)][config.indices[Self::axis(param)]]
+    }
+
+    /// The six raw parameter values of a configuration in canonical order.
+    pub fn raw_features(&self, config: &ArchConfig) -> [f64; 6] {
+        std::array::from_fn(|axis| self.values[axis][config.indices[axis]] as f64)
+    }
+
+    /// Natural logs of the six raw values (the representation fed to the
+    /// VAE after min-max scaling).
+    pub fn log_features(&self, config: &ArchConfig) -> [f64; 6] {
+        self.raw_features(config).map(f64::ln)
+    }
+
+    /// Expands a configuration into the concrete hardware description used
+    /// by the cost model.
+    pub fn describe(&self, config: &ArchConfig) -> ArchDescription {
+        ArchDescription {
+            pe_count: self.value_of(config, ArchParam::PeCount),
+            macs_per_pe: self.value_of(config, ArchParam::MacsPerPe),
+            accum_buf_bytes: self.value_of(config, ArchParam::AccumBufBytes),
+            weight_buf_bytes: self.value_of(config, ArchParam::WeightBufBytes),
+            input_buf_bytes: self.value_of(config, ArchParam::InputBufBytes),
+            global_buf_bytes: self.value_of(config, ArchParam::GlobalBufBytes),
+        }
+    }
+
+    /// Iterates over a coarse grid of the space with roughly
+    /// `per_axis` points per parameter (used for dataset seeding).
+    pub fn grid(&self, per_axis: usize) -> Vec<ArchConfig> {
+        assert!(per_axis >= 1, "grid needs at least one point per axis");
+        let picks: Vec<Vec<usize>> = self
+            .values
+            .iter()
+            .map(|vals| {
+                let n = vals.len();
+                if n <= per_axis {
+                    (0..n).collect()
+                } else {
+                    (0..per_axis)
+                        .map(|i| ((i as f64 + 0.5) * n as f64 / per_axis as f64) as usize)
+                        .collect()
+                }
+            })
+            .collect();
+        let mut out = Vec::new();
+        let mut stack = [0usize; 6];
+        loop {
+            let indices = std::array::from_fn(|a| picks[a][stack[a]]);
+            out.push(ArchConfig { indices });
+            // Odometer increment.
+            let mut axis = 0;
+            loop {
+                stack[axis] += 1;
+                if stack[axis] < picks[axis].len() {
+                    break;
+                }
+                stack[axis] = 0;
+                axis += 1;
+                if axis == 6 {
+                    return out;
+                }
+            }
+        }
+    }
+}
+
+/// A single design point: one index per parameter into a [`DesignSpace`].
+///
+/// `ArchConfig` is deliberately just indices — interpreting it requires the
+/// space that produced it, which prevents mixing configurations across
+/// differently coarsened spaces by accident (values would disagree loudly in
+/// tests rather than silently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArchConfig {
+    indices: [usize; 6],
+}
+
+impl ArchConfig {
+    /// The per-parameter value indices in canonical order.
+    pub fn indices(&self) -> [usize; 6] {
+        self.indices
+    }
+}
+
+/// Concrete hardware description: the raw values of all six parameters.
+///
+/// This is the form the scheduler and cost model consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArchDescription {
+    /// Number of processing elements.
+    pub pe_count: u64,
+    /// Number of MAC units per PE.
+    pub macs_per_pe: u64,
+    /// Accumulation buffer bytes (per PE).
+    pub accum_buf_bytes: u64,
+    /// Weight buffer bytes (per PE).
+    pub weight_buf_bytes: u64,
+    /// Input buffer bytes (per PE).
+    pub input_buf_bytes: u64,
+    /// Global buffer bytes (shared).
+    pub global_buf_bytes: u64,
+}
+
+impl ArchDescription {
+    /// Total MAC units across all PEs.
+    pub fn total_macs(&self) -> u64 {
+        self.pe_count * self.macs_per_pe
+    }
+
+    /// Total on-chip SRAM bytes.
+    pub fn total_buffer_bytes(&self) -> u64 {
+        self.pe_count * (self.accum_buf_bytes + self.weight_buf_bytes + self.input_buf_bytes)
+            + self.global_buf_bytes
+    }
+}
+
+impl fmt::Display for ArchDescription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pe={} macs/pe={} accum={}B weight={}B input={}B global={}B",
+            self.pe_count,
+            self.macs_per_pe,
+            self.accum_buf_bytes,
+            self.weight_buf_bytes,
+            self.input_buf_bytes,
+            self.global_buf_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn paper_space_matches_table_ii() {
+        let s = DesignSpace::paper();
+        assert_eq!(s.num_values(ArchParam::PeCount), 5);
+        assert_eq!(s.num_values(ArchParam::MacsPerPe), 64);
+        assert_eq!(s.num_values(ArchParam::AccumBufBytes), 128);
+        assert_eq!(s.num_values(ArchParam::WeightBufBytes), 32768);
+        assert_eq!(s.num_values(ArchParam::InputBufBytes), 2048);
+        assert_eq!(s.num_values(ArchParam::GlobalBufBytes), 131072);
+
+        assert_eq!(*s.values(ArchParam::PeCount).last().unwrap(), 64);
+        assert_eq!(*s.values(ArchParam::MacsPerPe).last().unwrap(), 4096);
+        assert_eq!(*s.values(ArchParam::AccumBufBytes).last().unwrap(), 96 * 1024);
+        assert_eq!(
+            *s.values(ArchParam::WeightBufBytes).last().unwrap(),
+            8 * 1024 * 1024
+        );
+        assert_eq!(
+            *s.values(ArchParam::InputBufBytes).last().unwrap(),
+            256 * 1024
+        );
+        assert_eq!(
+            *s.values(ArchParam::GlobalBufBytes).last().unwrap(),
+            256 * 1024
+        );
+    }
+
+    #[test]
+    fn cardinality_is_3_6e17() {
+        let c = DesignSpace::paper().cardinality() as f64;
+        assert!((c / 3.6e17 - 1.0).abs() < 0.01, "cardinality {c:e}");
+    }
+
+    #[test]
+    fn random_configs_are_valid_and_deterministic() {
+        let s = DesignSpace::paper();
+        let mut a = ChaCha8Rng::seed_from_u64(11);
+        let mut b = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..100 {
+            let ca = s.random(&mut a);
+            let cb = s.random(&mut b);
+            assert_eq!(ca, cb);
+            assert!(s.config_from_indices(ca.indices()).is_ok());
+        }
+    }
+
+    #[test]
+    fn config_from_indices_validates() {
+        let s = DesignSpace::paper();
+        assert!(s.config_from_indices([0; 6]).is_ok());
+        let err = s.config_from_indices([5, 0, 0, 0, 0, 0]).unwrap_err();
+        assert!(err.to_string().contains("pe_count"));
+    }
+
+    #[test]
+    fn nearest_snapping_recovers_exact_values() {
+        let s = DesignSpace::paper();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..50 {
+            let c = s.random(&mut rng);
+            let raw = s.raw_features(&c);
+            assert_eq!(s.config_from_raw_nearest(&raw), c);
+            let logf = s.log_features(&c);
+            assert_eq!(s.config_from_log_nearest(&logf), c);
+        }
+    }
+
+    #[test]
+    fn nearest_snapping_clamps_out_of_range() {
+        let s = DesignSpace::paper();
+        let low = s.config_from_raw_nearest(&[0.0; 6]);
+        assert_eq!(low.indices(), [0; 6]);
+        let high = s.config_from_raw_nearest(&[1e12; 6]);
+        let d = s.describe(&high);
+        assert_eq!(d.pe_count, 64);
+        assert_eq!(d.weight_buf_bytes, 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn describe_round_trips_values() {
+        let s = DesignSpace::paper();
+        let c = s.config_from_indices([4, 63, 127, 32767, 2047, 131071]).unwrap();
+        let d = s.describe(&c);
+        assert_eq!(d.pe_count, 64);
+        assert_eq!(d.macs_per_pe, 4096);
+        assert_eq!(d.total_macs(), 64 * 4096);
+        assert!(d.total_buffer_bytes() > 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn coarse_space_is_smaller_but_keeps_maxima() {
+        let s = DesignSpace::coarse(8);
+        for p in ArchParam::ALL {
+            assert!(s.num_values(p) <= 9, "{p} has {} values", s.num_values(p));
+            assert_eq!(
+                s.values(p).last(),
+                DesignSpace::paper().values(p).last(),
+                "{p} lost its maximum"
+            );
+        }
+        assert!(s.cardinality() < DesignSpace::paper().cardinality());
+    }
+
+    #[test]
+    fn grid_covers_requested_density() {
+        let s = DesignSpace::coarse(4);
+        let g = s.grid(2);
+        assert_eq!(g.len(), 64); // 2^6
+        // All grid points valid.
+        for c in &g {
+            assert!(s.config_from_indices(c.indices()).is_ok());
+        }
+    }
+
+    #[test]
+    fn binary_nearest_matches_linear_scan() {
+        let s = DesignSpace::paper();
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for _ in 0..200 {
+            // Random targets across and beyond each axis's range.
+            let raw: [f64; 6] = std::array::from_fn(|axis| {
+                let vals = s.values(ArchParam::ALL[axis]);
+                let max = *vals.last().unwrap() as f64;
+                rand::Rng::gen_range(&mut rng, -0.5 * max..1.5 * max)
+            });
+            let got = s.config_from_raw_nearest(&raw);
+            // Linear reference.
+            let want: [usize; 6] = std::array::from_fn(|axis| {
+                let vals = s.values(ArchParam::ALL[axis]);
+                let mut best = 0;
+                let mut dist = f64::INFINITY;
+                for (i, &v) in vals.iter().enumerate() {
+                    let d = (v as f64 - raw[axis]).abs();
+                    if d < dist {
+                        dist = d;
+                        best = i;
+                    }
+                }
+                best
+            });
+            // Ties may resolve to either neighbor; accept equal distance.
+            for axis in 0..6 {
+                let vals = s.values(ArchParam::ALL[axis]);
+                let dg = (vals[got.indices()[axis]] as f64 - raw[axis]).abs();
+                let dw = (vals[want[axis]] as f64 - raw[axis]).abs();
+                assert!(
+                    (dg - dw).abs() < 1e-9,
+                    "axis {axis}: got idx {} (d={dg}), want idx {} (d={dw})",
+                    got.indices()[axis],
+                    want[axis]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn values_are_sorted_ascending() {
+        let s = DesignSpace::paper();
+        for p in ArchParam::ALL {
+            let v = s.values(p);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "{p} not sorted");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+use crate::ArchParam;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing design points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AccelError {
+    /// A value index exceeded the number of legal values for a parameter.
+    IndexOutOfRange {
+        /// The offending parameter.
+        param: ArchParam,
+        /// The requested index.
+        index: usize,
+        /// Number of legal values.
+        len: usize,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::IndexOutOfRange { param, index, len } => write!(
+                f,
+                "index {index} out of range for {param} (has {len} values)"
+            ),
+        }
+    }
+}
+
+impl Error for AccelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_param() {
+        let e = AccelError::IndexOutOfRange {
+            param: ArchParam::PeCount,
+            index: 9,
+            len: 5,
+        };
+        assert!(e.to_string().contains("pe_count"));
+        assert!(e.to_string().contains('9'));
+    }
+}

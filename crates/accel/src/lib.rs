@@ -1,0 +1,37 @@
+#![deny(missing_docs)]
+//! The Simba-like accelerator design space and DNN workload definitions
+//! for the VAESA reproduction (Tables II–IV of the paper).
+//!
+//! - [`DesignSpace`] / [`ArchConfig`] / [`ArchDescription`]: the six-parameter
+//!   discrete hardware design space (≈ 3.6 × 10¹⁷ points), with conversions
+//!   between index, raw-value, and log-value representations and nearest-value
+//!   snapping for reconstructing decoder outputs.
+//! - [`LayerShape`]: convolutional / fully connected layer descriptors in
+//!   Table IV's 8-column format.
+//! - [`workloads`]: AlexNet, ResNet-50, ResNeXt-50, and DeepBench layer
+//!   tables (Table III), plus the 12 unseen gradient-descent test layers
+//!   (Table IV).
+//!
+//! # Examples
+//!
+//! ```
+//! use vaesa_accel::{DesignSpace, workloads};
+//! use rand::SeedableRng;
+//!
+//! let space = DesignSpace::paper();
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let config = space.random(&mut rng);
+//! let arch = space.describe(&config);
+//! assert!(arch.total_macs() >= 4 * 64);
+//! assert_eq!(workloads::gd_test_layers().len(), 12);
+//! ```
+
+mod design_space;
+mod error;
+mod layer;
+pub mod workloads;
+
+pub use design_space::{ArchConfig, ArchDescription, ArchParam, DesignSpace};
+pub use error::AccelError;
+pub use layer::LayerShape;
+pub use workloads::Network;

@@ -1,0 +1,393 @@
+//! The DNN workloads of Tables III and IV.
+//!
+//! Table III lists the four networks whose unique layers train the VAE and
+//! drive the Bayesian-optimization study: AlexNet (8 unique layers),
+//! ResNet-50 (24), ResNeXt-50-32x4d (25), and DeepBench OCR/Face (9).
+//! Table IV lists the 12 unseen layers used in the gradient-descent study.
+//!
+//! Layer dimensions follow the standard torchvision definitions (unique
+//! shapes only, as the paper counts them); DeepBench layers follow the Baidu
+//! DeepBench convolution suite. Grouped convolutions in ResNeXt are modeled
+//! as dense convolutions of the same outer shape, which preserves tensor
+//! sizes (the cost model has no grouping concept; this is the same
+//! abstraction Timeloop's default workload format applies).
+
+use crate::LayerShape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier for the four training/BO workloads of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Network {
+    /// AlexNet (8 unique layers).
+    AlexNet,
+    /// ResNet-50 (24 unique layers).
+    ResNet50,
+    /// ResNeXt-50 32x4d (25 unique layers).
+    ResNext50,
+    /// DeepBench OCR + face-recognition kernels (9 layers).
+    DeepBench,
+}
+
+impl Network {
+    /// All four networks in paper order.
+    pub const ALL: [Network; 4] = [
+        Network::AlexNet,
+        Network::ResNet50,
+        Network::ResNext50,
+        Network::DeepBench,
+    ];
+
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Network::AlexNet => "AlexNet",
+            Network::ResNet50 => "ResNet-50",
+            Network::ResNext50 => "ResNeXt-50",
+            Network::DeepBench => "DeepBench",
+        }
+    }
+
+    /// The network's unique layers.
+    pub fn layers(self) -> Vec<LayerShape> {
+        match self {
+            Network::AlexNet => alexnet(),
+            Network::ResNet50 => resnet50(),
+            Network::ResNext50 => resnext50(),
+            Network::DeepBench => deepbench(),
+        }
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// AlexNet's 8 unique layers (5 conv + 3 FC).
+pub fn alexnet() -> Vec<LayerShape> {
+    vec![
+        LayerShape::new("conv1", 11, 11, 55, 55, 3, 64, 4, 4),
+        LayerShape::new("conv2", 5, 5, 27, 27, 64, 192, 1, 1),
+        LayerShape::new("conv3", 3, 3, 13, 13, 192, 384, 1, 1),
+        LayerShape::new("conv4", 3, 3, 13, 13, 384, 256, 1, 1),
+        LayerShape::new("conv5", 3, 3, 13, 13, 256, 256, 1, 1),
+        LayerShape::fully_connected("fc6", 9216, 4096),
+        LayerShape::fully_connected("fc7", 4096, 4096),
+        LayerShape::fully_connected("fc8", 4096, 1000),
+    ]
+}
+
+/// ResNet-50's 24 unique layer shapes.
+///
+/// Shape-identical layers are listed once (e.g. the stage-1 downsample
+/// projection 1×1 64→256 coincides with the block's expansion conv), which
+/// is how the paper arrives at 24.
+pub fn resnet50() -> Vec<LayerShape> {
+    vec![
+        LayerShape::new("conv1", 7, 7, 112, 112, 3, 64, 2, 2),
+        // Stage 1 (56x56): bottleneck width 64, expansion 256.
+        LayerShape::new("s1_reduce", 1, 1, 56, 56, 64, 64, 1, 1),
+        LayerShape::new("s1_conv3", 3, 3, 56, 56, 64, 64, 1, 1),
+        LayerShape::new("s1_expand", 1, 1, 56, 56, 64, 256, 1, 1),
+        LayerShape::new("s1_reduce_b", 1, 1, 56, 56, 256, 64, 1, 1),
+        // Stage 2 (28x28): width 128, expansion 512.
+        LayerShape::new("s2_reduce", 1, 1, 56, 56, 256, 128, 1, 1),
+        LayerShape::new("s2_conv3_s2", 3, 3, 28, 28, 128, 128, 2, 2),
+        LayerShape::new("s2_expand", 1, 1, 28, 28, 128, 512, 1, 1),
+        LayerShape::new("s2_down", 1, 1, 28, 28, 256, 512, 2, 2),
+        LayerShape::new("s2_reduce_b", 1, 1, 28, 28, 512, 128, 1, 1),
+        LayerShape::new("s2_conv3", 3, 3, 28, 28, 128, 128, 1, 1),
+        // Stage 3 (14x14): width 256, expansion 1024.
+        LayerShape::new("s3_reduce", 1, 1, 28, 28, 512, 256, 1, 1),
+        LayerShape::new("s3_conv3_s2", 3, 3, 14, 14, 256, 256, 2, 2),
+        LayerShape::new("s3_expand", 1, 1, 14, 14, 256, 1024, 1, 1),
+        LayerShape::new("s3_down", 1, 1, 14, 14, 512, 1024, 2, 2),
+        LayerShape::new("s3_reduce_b", 1, 1, 14, 14, 1024, 256, 1, 1),
+        LayerShape::new("s3_conv3", 3, 3, 14, 14, 256, 256, 1, 1),
+        // Stage 4 (7x7): width 512, expansion 2048.
+        LayerShape::new("s4_reduce", 1, 1, 14, 14, 1024, 512, 1, 1),
+        LayerShape::new("s4_conv3_s2", 3, 3, 7, 7, 512, 512, 2, 2),
+        LayerShape::new("s4_expand", 1, 1, 7, 7, 512, 2048, 1, 1),
+        LayerShape::new("s4_down", 1, 1, 7, 7, 1024, 2048, 2, 2),
+        LayerShape::new("s4_reduce_b", 1, 1, 7, 7, 2048, 512, 1, 1),
+        LayerShape::new("s4_conv3", 3, 3, 7, 7, 512, 512, 1, 1),
+        LayerShape::fully_connected("fc", 2048, 1000),
+    ]
+}
+
+/// ResNeXt-50 32x4d's 25 unique layer shapes (grouped 3×3 convolutions
+/// modeled as dense convolutions of the same outer shape).
+pub fn resnext50() -> Vec<LayerShape> {
+    vec![
+        LayerShape::new("conv1", 7, 7, 112, 112, 3, 64, 2, 2),
+        // Stage 1 (56x56): internal width 128, expansion 256.
+        LayerShape::new("s1_reduce", 1, 1, 56, 56, 64, 128, 1, 1),
+        LayerShape::new("s1_conv3", 3, 3, 56, 56, 128, 128, 1, 1),
+        LayerShape::new("s1_expand", 1, 1, 56, 56, 128, 256, 1, 1),
+        LayerShape::new("s1_down", 1, 1, 56, 56, 64, 256, 1, 1),
+        LayerShape::new("s1_reduce_b", 1, 1, 56, 56, 256, 128, 1, 1),
+        // Stage 2 (28x28): width 256, expansion 512.
+        LayerShape::new("s2_reduce", 1, 1, 56, 56, 256, 256, 1, 1),
+        LayerShape::new("s2_conv3_s2", 3, 3, 28, 28, 256, 256, 2, 2),
+        LayerShape::new("s2_expand", 1, 1, 28, 28, 256, 512, 1, 1),
+        LayerShape::new("s2_down", 1, 1, 28, 28, 256, 512, 2, 2),
+        LayerShape::new("s2_reduce_b", 1, 1, 28, 28, 512, 256, 1, 1),
+        LayerShape::new("s2_conv3", 3, 3, 28, 28, 256, 256, 1, 1),
+        // Stage 3 (14x14): width 512, expansion 1024.
+        LayerShape::new("s3_reduce", 1, 1, 28, 28, 512, 512, 1, 1),
+        LayerShape::new("s3_conv3_s2", 3, 3, 14, 14, 512, 512, 2, 2),
+        LayerShape::new("s3_expand", 1, 1, 14, 14, 512, 1024, 1, 1),
+        LayerShape::new("s3_down", 1, 1, 14, 14, 512, 1024, 2, 2),
+        LayerShape::new("s3_reduce_b", 1, 1, 14, 14, 1024, 512, 1, 1),
+        LayerShape::new("s3_conv3", 3, 3, 14, 14, 512, 512, 1, 1),
+        // Stage 4 (7x7): width 1024, expansion 2048.
+        LayerShape::new("s4_reduce", 1, 1, 14, 14, 1024, 1024, 1, 1),
+        LayerShape::new("s4_conv3_s2", 3, 3, 7, 7, 1024, 1024, 2, 2),
+        LayerShape::new("s4_expand", 1, 1, 7, 7, 1024, 2048, 1, 1),
+        LayerShape::new("s4_down", 1, 1, 7, 7, 1024, 2048, 2, 2),
+        LayerShape::new("s4_reduce_b", 1, 1, 7, 7, 2048, 1024, 1, 1),
+        LayerShape::new("s4_conv3", 3, 3, 7, 7, 1024, 1024, 1, 1),
+        LayerShape::fully_connected("fc", 2048, 1000),
+    ]
+}
+
+/// DeepBench's 9 OCR and face-recognition convolution kernels
+/// (server-inference subset of the Baidu DeepBench suite).
+pub fn deepbench() -> Vec<LayerShape> {
+    vec![
+        LayerShape::new("ocr1", 5, 5, 341, 79, 1, 32, 2, 2),
+        LayerShape::new("ocr2", 5, 5, 166, 38, 32, 32, 2, 2),
+        LayerShape::new("speech1", 3, 3, 480, 48, 1, 16, 1, 1),
+        LayerShape::new("speech2", 3, 3, 240, 24, 16, 32, 1, 1),
+        LayerShape::new("speech3", 3, 3, 120, 12, 32, 64, 1, 1),
+        LayerShape::new("speech4", 3, 3, 60, 6, 64, 128, 1, 1),
+        LayerShape::new("face1", 3, 3, 54, 54, 3, 64, 2, 2),
+        LayerShape::new("face2", 3, 3, 27, 27, 64, 128, 1, 1),
+        LayerShape::new("face3", 3, 3, 14, 14, 128, 128, 1, 1),
+    ]
+}
+
+/// VGG-16's 12 unique layer shapes (extension beyond the paper's Table III
+/// workloads; the classic heavyweight CNN is a common DSE stress test).
+pub fn vgg16() -> Vec<LayerShape> {
+    vec![
+        LayerShape::new("conv1_1", 3, 3, 224, 224, 3, 64, 1, 1),
+        LayerShape::new("conv1_2", 3, 3, 224, 224, 64, 64, 1, 1),
+        LayerShape::new("conv2_1", 3, 3, 112, 112, 64, 128, 1, 1),
+        LayerShape::new("conv2_2", 3, 3, 112, 112, 128, 128, 1, 1),
+        LayerShape::new("conv3_1", 3, 3, 56, 56, 128, 256, 1, 1),
+        LayerShape::new("conv3_x", 3, 3, 56, 56, 256, 256, 1, 1),
+        LayerShape::new("conv4_1", 3, 3, 28, 28, 256, 512, 1, 1),
+        LayerShape::new("conv4_x", 3, 3, 28, 28, 512, 512, 1, 1),
+        LayerShape::new("conv5_x", 3, 3, 14, 14, 512, 512, 1, 1),
+        LayerShape::fully_connected("fc6", 25088, 4096),
+        LayerShape::fully_connected("fc7", 4096, 4096),
+        LayerShape::fully_connected("fc8", 4096, 1000),
+    ]
+}
+
+/// MobileNetV1's unique layer shapes (extension).
+///
+/// Depthwise 3×3 convolutions are modeled as `(R=3, S=3, C=1, K=channels)`
+/// — one filter per output channel — which preserves the exact MAC count
+/// and tensor sizes of a depthwise layer under a cost model that has no
+/// grouping concept.
+pub fn mobilenet_v1() -> Vec<LayerShape> {
+    vec![
+        LayerShape::new("conv1", 3, 3, 112, 112, 3, 32, 2, 2),
+        LayerShape::new("dw2", 3, 3, 112, 112, 1, 32, 1, 1),
+        LayerShape::new("pw2", 1, 1, 112, 112, 32, 64, 1, 1),
+        LayerShape::new("dw3", 3, 3, 56, 56, 1, 64, 2, 2),
+        LayerShape::new("pw3", 1, 1, 56, 56, 64, 128, 1, 1),
+        LayerShape::new("dw4", 3, 3, 56, 56, 1, 128, 1, 1),
+        LayerShape::new("pw4", 1, 1, 56, 56, 128, 128, 1, 1),
+        LayerShape::new("dw5", 3, 3, 28, 28, 1, 128, 2, 2),
+        LayerShape::new("pw5", 1, 1, 28, 28, 128, 256, 1, 1),
+        LayerShape::new("dw6", 3, 3, 28, 28, 1, 256, 1, 1),
+        LayerShape::new("pw6", 1, 1, 28, 28, 256, 256, 1, 1),
+        LayerShape::new("dw7", 3, 3, 14, 14, 1, 256, 2, 2),
+        LayerShape::new("pw7", 1, 1, 14, 14, 256, 512, 1, 1),
+        LayerShape::new("dw8", 3, 3, 14, 14, 1, 512, 1, 1),
+        LayerShape::new("pw8", 1, 1, 14, 14, 512, 512, 1, 1),
+        LayerShape::new("dw13", 3, 3, 7, 7, 1, 512, 2, 2),
+        LayerShape::new("pw13", 1, 1, 7, 7, 512, 1024, 1, 1),
+        LayerShape::new("dw14", 3, 3, 7, 7, 1, 1024, 1, 1),
+        LayerShape::new("pw14", 1, 1, 7, 7, 1024, 1024, 1, 1),
+        LayerShape::fully_connected("fc", 1024, 1000),
+    ]
+}
+
+/// BERT-base's unique encoder GEMMs at sequence length 128 (extension).
+///
+/// Token-parallel matrix multiplies are expressed as 1×1 convolutions with
+/// the sequence on the output-width axis (`P = 128`), which makes them
+/// exact GEMM workloads for the cost model.
+pub fn bert_base_gemms() -> Vec<LayerShape> {
+    vec![
+        LayerShape::new("qkv_proj", 1, 1, 128, 1, 768, 2304, 1, 1),
+        LayerShape::new("attn_out", 1, 1, 128, 1, 768, 768, 1, 1),
+        LayerShape::new("ffn_up", 1, 1, 128, 1, 768, 3072, 1, 1),
+        LayerShape::new("ffn_down", 1, 1, 128, 1, 3072, 768, 1, 1),
+    ]
+}
+
+/// The 12 unseen test layers of Table IV, used in the gradient-descent
+/// study (§IV-D). Dimensions are reproduced verbatim from the paper.
+pub fn gd_test_layers() -> Vec<LayerShape> {
+    vec![
+        LayerShape::new("t01", 1, 1, 1, 1, 2208, 1000, 1, 1),
+        LayerShape::new("t02", 1, 1, 1, 1, 512, 256, 1, 1),
+        LayerShape::new("t03", 1, 1, 28, 28, 512, 512, 1, 1),
+        LayerShape::new("t04", 3, 3, 14, 14, 192, 48, 1, 1),
+        LayerShape::new("t05", 3, 3, 14, 14, 512, 512, 1, 1),
+        LayerShape::new("t06", 3, 3, 28, 28, 192, 48, 1, 1),
+        LayerShape::new("t07", 3, 3, 28, 28, 512, 512, 1, 1),
+        LayerShape::new("t08", 3, 3, 350, 80, 64, 64, 1, 1),
+        LayerShape::new("t09", 3, 3, 56, 56, 192, 48, 1, 1),
+        LayerShape::new("t10", 3, 3, 56, 56, 256, 256, 1, 1),
+        LayerShape::new("t11", 3, 3, 7, 7, 192, 48, 1, 1),
+        LayerShape::new("t12", 5, 5, 700, 161, 1, 64, 2, 2),
+    ]
+}
+
+/// All unique layers across the four Table III networks — the VAE training
+/// workload set (§III-B3).
+pub fn training_layers() -> Vec<LayerShape> {
+    let mut out = Vec::new();
+    for net in Network::ALL {
+        for layer in net.layers() {
+            let mut l = layer.clone();
+            // Prefix the network so names stay unique across the pool.
+            l = LayerShape::new(
+                format!("{}/{}", net.name(), l.name()),
+                l.r,
+                l.s,
+                l.p,
+                l.q,
+                l.c,
+                l.k,
+                l.stride_w,
+                l.stride_h,
+            );
+            out.push(l);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn layer_counts_match_table_iii() {
+        assert_eq!(alexnet().len(), 8);
+        assert_eq!(resnet50().len(), 24);
+        assert_eq!(resnext50().len(), 25);
+        assert_eq!(deepbench().len(), 9);
+    }
+
+    #[test]
+    fn gd_layer_count_and_values_match_table_iv() {
+        let layers = gd_test_layers();
+        assert_eq!(layers.len(), 12);
+        // Spot-check rows 1, 8, and 12 against the paper's table.
+        assert_eq!(layers[0].features(), [1.0, 1.0, 1.0, 1.0, 2208.0, 1000.0, 1.0, 1.0]);
+        assert_eq!(layers[7].features(), [3.0, 3.0, 350.0, 80.0, 64.0, 64.0, 1.0, 1.0]);
+        assert_eq!(layers[11].features(), [5.0, 5.0, 700.0, 161.0, 1.0, 64.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn layers_within_networks_are_unique_shapes() {
+        for net in Network::ALL {
+            let layers = net.layers();
+            let shapes: HashSet<[u64; 8]> = layers
+                .iter()
+                .map(|l| [l.r, l.s, l.p, l.q, l.c, l.k, l.stride_w, l.stride_h])
+                .collect();
+            assert_eq!(
+                shapes.len(),
+                layers.len(),
+                "{net} has duplicate layer shapes"
+            );
+        }
+    }
+
+    #[test]
+    fn layer_names_unique_within_network() {
+        for net in Network::ALL {
+            let names: HashSet<String> =
+                net.layers().iter().map(|l| l.name().to_string()).collect();
+            assert_eq!(names.len(), net.layers().len(), "{net} has duplicate names");
+        }
+    }
+
+    #[test]
+    fn training_pool_spans_all_networks() {
+        let pool = training_layers();
+        assert_eq!(pool.len(), 8 + 24 + 25 + 9);
+        let names: HashSet<&str> = pool.iter().map(LayerShape::name).collect();
+        assert_eq!(names.len(), pool.len());
+        assert!(names.iter().any(|n| n.starts_with("AlexNet/")));
+        assert!(names.iter().any(|n| n.starts_with("DeepBench/")));
+    }
+
+    #[test]
+    fn gd_test_layers_are_mostly_unseen() {
+        // Table IV layers come from networks outside Table III; a couple of
+        // shapes still coincide with training layers by accident (1x1 convs
+        // over common widths), as unavoidable in any 8-dim shape universe.
+        let train: HashSet<[u64; 8]> = training_layers()
+            .iter()
+            .map(|l| [l.r, l.s, l.p, l.q, l.c, l.k, l.stride_w, l.stride_h])
+            .collect();
+        let unseen = gd_test_layers()
+            .iter()
+            .filter(|l| !train.contains(&[l.r, l.s, l.p, l.q, l.c, l.k, l.stride_w, l.stride_h]))
+            .count();
+        assert!(unseen >= 10, "only {unseen}/12 GD test layers are unseen");
+    }
+
+    #[test]
+    fn extended_workloads_have_expected_shapes() {
+        assert_eq!(vgg16().len(), 12);
+        assert_eq!(mobilenet_v1().len(), 20);
+        assert_eq!(bert_base_gemms().len(), 4);
+        // VGG-16's unique-layer MACs dwarf AlexNet's.
+        let vgg: u64 = vgg16().iter().map(LayerShape::macs).sum();
+        let alex: u64 = alexnet().iter().map(LayerShape::macs).sum();
+        assert!(vgg > 5 * alex);
+        // Depthwise modeling: MAC count of dw8 matches 3*3*14*14*512.
+        let dw8 = &mobilenet_v1()[13];
+        assert_eq!(dw8.macs(), 3 * 3 * 14 * 14 * 512);
+        // BERT GEMMs: qkv is a 128x768 by 768x2304 matmul.
+        let qkv = &bert_base_gemms()[0];
+        assert_eq!(qkv.macs(), 128 * 768 * 2304);
+    }
+
+    #[test]
+    fn extended_workloads_have_unique_names_and_shapes() {
+        for layers in [vgg16(), mobilenet_v1(), bert_base_gemms()] {
+            let names: HashSet<&str> = layers.iter().map(LayerShape::name).collect();
+            assert_eq!(names.len(), layers.len());
+            let shapes: HashSet<[u64; 8]> = layers
+                .iter()
+                .map(|l| [l.r, l.s, l.p, l.q, l.c, l.k, l.stride_w, l.stride_h])
+                .collect();
+            assert_eq!(shapes.len(), layers.len());
+        }
+    }
+
+    #[test]
+    fn resnet_macs_are_plausible() {
+        // ResNet-50's single-pass unique-layer MACs are within the right
+        // order of magnitude (full network ~4 GMACs; unique layers are a
+        // subset counted once).
+        let total: u64 = resnet50().iter().map(LayerShape::macs).sum();
+        assert!(total > 500_000_000, "total {total}");
+        assert!(total < 4_000_000_000, "total {total}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Microbenchmarks for the analytical cost model: the innermost kernel of
+//! every DSE sample.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vaesa_accel::{workloads, ArchDescription, LayerShape};
+use vaesa_timeloop::{CostModel, Mapping};
+
+fn arch() -> ArchDescription {
+    ArchDescription {
+        pe_count: 16,
+        macs_per_pe: 1024,
+        accum_buf_bytes: 32 * 1024,
+        weight_buf_bytes: 512 * 1024,
+        input_buf_bytes: 64 * 1024,
+        global_buf_bytes: 128 * 1024,
+    }
+}
+
+fn mapping() -> Mapping {
+    Mapping {
+        spatial_k: 16,
+        spatial_c: 64,
+        p0: 7,
+        q0: 7,
+        c0: 2,
+        k0: 8,
+        p1: 2,
+        q1: 2,
+        ..Mapping::unit()
+    }
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let model = CostModel::default();
+    let a = arch();
+    let conv = LayerShape::new("conv", 3, 3, 28, 28, 128, 128, 1, 1);
+    let fc = LayerShape::fully_connected("fc", 4096, 1000);
+    let m = mapping();
+
+    c.bench_function("cost_model/evaluate_conv", |b| {
+        b.iter(|| model.evaluate(black_box(&a), black_box(&conv), black_box(&m)))
+    });
+    c.bench_function("cost_model/evaluate_fc", |b| {
+        b.iter(|| model.evaluate(black_box(&a), black_box(&fc), black_box(&m)))
+    });
+}
+
+fn bench_resnet_sweep(c: &mut Criterion) {
+    // Evaluating every unique ResNet-50 layer with a fixed mapping: the
+    // lower bound on one workload cost query.
+    let model = CostModel::default();
+    let a = arch();
+    let layers = workloads::resnet50();
+    let m = Mapping::unit();
+    c.bench_function("cost_model/resnet50_unit_mappings", |b| {
+        b.iter_batched(
+            || layers.clone(),
+            |ls| {
+                for l in &ls {
+                    let _ = black_box(model.evaluate(&a, l, &m));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_evaluate, bench_resnet_sweep);
+criterion_main!(benches);

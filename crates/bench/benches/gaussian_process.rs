@@ -1,0 +1,59 @@
+//! Microbenchmarks for the Gaussian process behind Bayesian optimization:
+//! full refits, incremental updates, and posterior predictions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use vaesa_dse::GpRegressor;
+
+fn data(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x: &Vec<f64>| x.iter().map(|v| v * v).sum::<f64>() + (x[0] * 3.0).sin())
+        .collect();
+    (xs, ys)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    for n in [50usize, 200, 400] {
+        let (xs, ys) = data(n, 4);
+        c.bench_function(&format!("gp/fit_n{n}"), |b| {
+            b.iter(|| black_box(GpRegressor::fit(black_box(&xs), black_box(&ys))))
+        });
+    }
+}
+
+fn bench_incremental_add(c: &mut Criterion) {
+    let (xs, ys) = data(400, 4);
+    let base = GpRegressor::fit(&xs[..399], &ys[..399]).expect("fit");
+    c.bench_function("gp/add_1_to_400", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut gp| {
+                gp.add(xs[399].clone(), ys[399]).expect("posdef");
+                black_box(gp.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    for n in [50usize, 400] {
+        let (xs, ys) = data(n, 4);
+        let gp = GpRegressor::fit(&xs, &ys).expect("fit");
+        let probe = [0.3, -0.7, 1.1, 0.0];
+        c.bench_function(&format!("gp/predict_n{n}"), |b| {
+            b.iter(|| black_box(gp.predict(black_box(&probe))))
+        });
+    }
+}
+
+criterion_group!(benches, bench_fit, bench_incremental_add, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Microbenchmarks for the neural-network substrate: VAE forward/backward
+//! steps and deterministic encode/decode/predict inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use vaesa::{VaesaConfig, VaesaModel};
+use vaesa_nn::{randn, Graph, Tensor};
+
+fn model() -> VaesaModel {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    VaesaModel::new(VaesaConfig::paper(), &mut rng)
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let m = model();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for batch in [16usize, 64, 256] {
+        let hw = Tensor::fill(batch, 6, 0.4);
+        let layer = Tensor::fill(batch, 8, 0.6);
+        let lat = Tensor::fill(batch, 1, 0.5);
+        let en = Tensor::fill(batch, 1, 0.5);
+        let eps = randn(batch, m.latent_dim(), &mut rng);
+        c.bench_function(&format!("nn/train_step_fwd_bwd_b{batch}"), |b| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let step = m.train_step(
+                    &mut g,
+                    hw.clone(),
+                    layer.clone(),
+                    eps.clone(),
+                    lat.clone(),
+                    en.clone(),
+                );
+                g.backward(step.total);
+                black_box(g.value(step.total).get(0, 0))
+            })
+        });
+    }
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let m = model();
+    let hw = Tensor::fill(256, 6, 0.4);
+    let z = Tensor::fill(256, m.latent_dim(), 0.1);
+    let layer = Tensor::fill(256, 8, 0.6);
+
+    c.bench_function("nn/encode_mean_b256", |b| {
+        b.iter(|| black_box(m.encode_mean(black_box(&hw))))
+    });
+    c.bench_function("nn/decode_b256", |b| {
+        b.iter(|| black_box(m.decode(black_box(&z))))
+    });
+    c.bench_function("nn/predict_b256", |b| {
+        b.iter(|| black_box(m.predict(black_box(&z), black_box(&layer))))
+    });
+    c.bench_function("nn/predicted_edp_grad", |b| {
+        b.iter(|| {
+            black_box(m.predicted_edp_grad(
+                black_box(&[0.1, -0.2, 0.3, 0.0]),
+                black_box(&[0.5; 8]),
+                1.0,
+                1.0,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_train_step, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Microbenchmarks for the one-shot scheduler: mapping quality costs one
+//! greedy descent per `(architecture, layer)` pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vaesa_accel::{workloads, ArchDescription, LayerShape};
+use vaesa_cosa::{CachedScheduler, Scheduler};
+
+fn arch() -> ArchDescription {
+    ArchDescription {
+        pe_count: 16,
+        macs_per_pe: 1024,
+        accum_buf_bytes: 32 * 1024,
+        weight_buf_bytes: 512 * 1024,
+        input_buf_bytes: 64 * 1024,
+        global_buf_bytes: 128 * 1024,
+    }
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let scheduler = Scheduler::default();
+    let a = arch();
+    let conv = LayerShape::new("conv", 3, 3, 28, 28, 128, 128, 1, 1);
+    let fc = LayerShape::fully_connected("fc", 4096, 1000);
+
+    c.bench_function("scheduler/schedule_conv", |b| {
+        b.iter(|| scheduler.schedule(black_box(&a), black_box(&conv)))
+    });
+    c.bench_function("scheduler/schedule_fc", |b| {
+        b.iter(|| scheduler.schedule(black_box(&a), black_box(&fc)))
+    });
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let scheduler = Scheduler::default();
+    let a = arch();
+    for (name, layers) in [
+        ("alexnet", workloads::alexnet()),
+        ("resnet50", workloads::resnet50()),
+    ] {
+        c.bench_function(&format!("scheduler/workload_{name}"), |b| {
+            b.iter(|| scheduler.schedule_workload(black_box(&a), black_box(&layers)))
+        });
+    }
+}
+
+fn bench_cached(c: &mut Criterion) {
+    // A cache hit is the common case inside BO loops that revisit designs.
+    let cached = CachedScheduler::default();
+    let a = arch();
+    let layers = workloads::resnet50();
+    let _ = cached.schedule_workload(&a, &layers);
+    c.bench_function("scheduler/workload_resnet50_cached", |b| {
+        b.iter(|| cached.schedule_workload(black_box(&a), black_box(&layers)))
+    });
+}
+
+criterion_group!(benches, bench_schedule, bench_workloads, bench_cached);
+criterion_main!(benches);

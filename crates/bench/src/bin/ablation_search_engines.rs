@@ -1,0 +1,90 @@
+//! Ablation: which black-box engine profits most from the latent space?
+//!
+//! The paper demonstrates the latent space with BO and GD; Table I also
+//! lists evolutionary search (NAAS) as a mainstream hardware-DSE engine.
+//! This ablation runs random / BO / evolutionary, each on both the
+//! original input space and the VAESA latent space, on ResNet-50.
+
+use vaesa::flows::{
+    run_annealing, run_bo, run_coordinate_descent, run_evo, run_random, run_vae_annealing,
+    run_vae_bo, run_vae_evo, HardwareEvaluator,
+};
+use vaesa_accel::workloads;
+use vaesa_bench::{write_labeled_csv, Args, Setup};
+use vaesa_linalg::stats;
+
+fn main() {
+    let args = Args::parse();
+    let setup = Setup::new();
+    let pool = workloads::training_layers();
+    let resnet = workloads::resnet50();
+
+    let budget = args.budget.unwrap_or(args.pick(60, 300, 1000));
+    let seeds = args.pick(2, 3, 5);
+    let n_configs = args.pick(60, 400, 1200);
+    let epochs = args.pick(10, 40, 80);
+
+    println!("building dataset and training 4-D VAESA...");
+    let dataset = setup.dataset(&pool, n_configs, &args);
+    let (model, _) = setup.train(&dataset, 4, 1e-4, epochs, &args);
+    let evaluator = HardwareEvaluator::new(&setup.space, &setup.scheduler, &resnet);
+
+    println!("{budget} samples x {seeds} seeds per engine on ResNet-50:\n");
+    let mut rows = Vec::new();
+    type Runner<'a> = Box<dyn Fn(u64) -> vaesa_dse::Trace + 'a>;
+    let engines: Vec<(&str, Runner)> = vec![
+        (
+            "random",
+            Box::new(|s| run_random(&evaluator, &dataset.hw_norm, budget, &mut args.rng(s))),
+        ),
+        (
+            "bo",
+            Box::new(|s| run_bo(&evaluator, &dataset.hw_norm, budget, &mut args.rng(s))),
+        ),
+        (
+            "evo",
+            Box::new(|s| run_evo(&evaluator, &dataset.hw_norm, budget, &mut args.rng(s))),
+        ),
+        (
+            "sa",
+            Box::new(|s| run_annealing(&evaluator, &dataset.hw_norm, budget, &mut args.rng(s))),
+        ),
+        (
+            "cd",
+            Box::new(|s| run_coordinate_descent(&evaluator, budget, &mut args.rng(s))),
+        ),
+        (
+            "vae_bo",
+            Box::new(|s| run_vae_bo(&evaluator, &model, &dataset, budget, &mut args.rng(s))),
+        ),
+        (
+            "vae_evo",
+            Box::new(|s| run_vae_evo(&evaluator, &model, &dataset, budget, &mut args.rng(s))),
+        ),
+        (
+            "vae_sa",
+            Box::new(|s| run_vae_annealing(&evaluator, &model, &dataset, budget, &mut args.rng(s))),
+        ),
+    ];
+
+    for (name, run) in &engines {
+        let mut bests = Vec::new();
+        for seed in 0..seeds {
+            let trace = run(60_000 + seed as u64 * 13);
+            bests.push(trace.best_value().unwrap_or(f64::NAN));
+        }
+        let mean = stats::mean(&bests).unwrap_or(f64::NAN);
+        let std = stats::std_dev(&bests).unwrap_or(f64::NAN);
+        println!("  {name:>8}: best EDP {mean:.4e} ± {std:.2e}");
+        rows.push((name.to_string(), vec![mean, std]));
+    }
+
+    let path = write_labeled_csv(
+        &args.out_dir,
+        "ablation_search_engines.csv",
+        "engine,best_edp_mean,best_edp_std",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+    println!("expected: each engine improves when moved to the latent space.");
+}

@@ -1,0 +1,164 @@
+//! Figure 11 + Table V: Bayesian optimization with and without the VAESA
+//! latent space.
+//!
+//! For each of the four DNN workloads (AlexNet, ResNet-50, ResNeXt-50,
+//! DeepBench), runs `random`, `bo` (input space), and `vae_bo` (latent
+//! space) for a fixed sample budget and multiple seeds, then reports:
+//!
+//! - Figure 11: mean ± std best-EDP-so-far curves per method;
+//! - Table V: search performance (best EDP relative to the average random
+//!   result; higher is better) and sample efficiency (rate of reaching
+//!   within 3% of the best-known EDP, relative to random).
+
+use vaesa::flows::{run_bo, run_random, run_vae_bo, HardwareEvaluator};
+use vaesa::report::{Comparison, MethodRuns};
+use vaesa_accel::{workloads, Network};
+use vaesa_bench::{write_csv, write_svg, Args, Setup};
+use vaesa_dse::Trace;
+use vaesa_linalg::stats;
+use vaesa_plot::{LineChart, Series};
+
+fn curve_filled(trace: &Trace, len: usize) -> Vec<f64> {
+    // Replace leading invalid samples with the first valid best value so
+    // seeds can be averaged; the tail is padded with the final best.
+    let first_valid = trace
+        .samples()
+        .iter()
+        .find_map(|s| s.best_so_far)
+        .unwrap_or(f64::NAN);
+    trace
+        .best_curve(len, first_valid)
+        .iter()
+        .map(|v| if v.is_nan() { first_valid } else { *v })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let setup = Setup::new();
+    let pool = workloads::training_layers();
+
+    let budget = args.budget.unwrap_or(args.pick(60, 400, 2000));
+    let seeds = args.pick(2, 3, 3);
+    let n_configs = args.pick(60, 400, 1200);
+    let epochs = args.pick(10, 40, 80);
+
+    println!("building dataset ({n_configs} configs) and training 4-D VAESA...");
+    let dataset = setup.dataset(&pool, n_configs, &args);
+    let (model, _) = setup.train(&dataset, 4, 1e-4, epochs, &args);
+
+    println!("budget: {budget} samples, {seeds} seeds per method\n");
+
+    let methods = ["random", "bo", "vae_bo"];
+    // (workload, [SP, SE] per method in `methods` order).
+    type TableRow = (String, [f64; 2], [f64; 2], [f64; 2]);
+    let mut table: Vec<TableRow> = Vec::new();
+
+    for (w, network) in Network::ALL.into_iter().enumerate() {
+        let layers = network.layers();
+        let evaluator = HardwareEvaluator::new(&setup.space, &setup.scheduler, &layers);
+        println!("=== {network} ({} layers) ===", layers.len());
+
+        let mut curves: Vec<Vec<Vec<f64>>> = vec![Vec::new(); 3];
+        let mut traces: Vec<Vec<Trace>> = vec![Vec::new(), Vec::new(), Vec::new()];
+        for seed in 0..seeds {
+            let stream = |m: u64| 10_000 + (w as u64) * 100 + (seed as u64) * 10 + m;
+            let runs = [
+                run_random(&evaluator, &dataset.hw_norm, budget, &mut args.rng(stream(0))),
+                run_bo(&evaluator, &dataset.hw_norm, budget, &mut args.rng(stream(1))),
+                run_vae_bo(&evaluator, &model, &dataset, budget, &mut args.rng(stream(2))),
+            ];
+            for (m, trace) in runs.into_iter().enumerate() {
+                curves[m].push(curve_filled(&trace, budget));
+                traces[m].push(trace);
+            }
+        }
+
+        // Figure 11 CSV: per-sample mean and std for each method.
+        let aggregated: Vec<Vec<(f64, f64)>> = curves
+            .iter()
+            .map(|c| stats::mean_std_curves(c).expect("aligned curves"))
+            .collect();
+        let rows: Vec<Vec<f64>> = (0..budget)
+            .map(|i| {
+                vec![
+                    (i + 1) as f64,
+                    aggregated[0][i].0,
+                    aggregated[0][i].1,
+                    aggregated[1][i].0,
+                    aggregated[1][i].1,
+                    aggregated[2][i].0,
+                    aggregated[2][i].1,
+                ]
+            })
+            .collect();
+        let fname = format!(
+            "fig11_{}.csv",
+            network.name().to_lowercase().replace('-', "")
+        );
+        let path = write_csv(
+            &args.out_dir,
+            &fname,
+            "sample,random_mean,random_std,bo_mean,bo_std,vae_bo_mean,vae_bo_std",
+            &rows,
+        );
+        println!("wrote {}", path.display());
+
+        let mut chart = LineChart::new(
+            format!("{network}: best EDP vs samples (Fig. 11)"),
+            "samples",
+            "best EDP (cycles*pJ)",
+        );
+        chart.log_y();
+        for (m, label) in methods.iter().enumerate() {
+            chart.series(
+                Series::new(
+                    label.to_string(),
+                    aggregated[m]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(mean, _))| ((i + 1) as f64, mean))
+                        .collect(),
+                )
+                .with_band(aggregated[m].iter().map(|&(_, std)| std).collect()),
+            );
+        }
+        let svg_name = fname.replace(".csv", ".svg");
+        let p = write_svg(&args.out_dir, &svg_name, &chart.render());
+        println!("wrote {}", p.display());
+
+        // Table V metrics via the library's report module.
+        let mut it = traces.into_iter();
+        let random_runs = MethodRuns::new("random", it.next().expect("random"));
+        let bo_runs = MethodRuns::new("bo", it.next().expect("bo"));
+        let vae_runs = MethodRuns::new("vae_bo", it.next().expect("vae_bo"));
+        let cmp = Comparison::against_random(&random_runs, &[bo_runs, vae_runs], budget);
+        for m in &cmp.methods {
+            println!(
+                "  {:>8}: SP = {:.2}, SE = {:.2} (mean best EDP {:.3e}, samples-to-3% {:.0})",
+                m.label, m.search_performance, m.sample_efficiency, m.mean_best,
+                m.mean_samples_to_3pct
+            );
+        }
+        println!();
+        table.push((
+            network.name().to_string(),
+            [cmp.methods[0].search_performance, cmp.methods[0].sample_efficiency],
+            [cmp.methods[1].search_performance, cmp.methods[1].sample_efficiency],
+            [cmp.methods[2].search_performance, cmp.methods[2].sample_efficiency],
+        ));
+    }
+
+    println!("=== Table V (SP = search performance, SE = sample efficiency; random = 1.00) ===");
+    println!(
+        "{:<12} {:>7} {:>7}   {:>7} {:>7}   {:>7} {:>7}",
+        "workload", "rnd SP", "rnd SE", "bo SP", "bo SE", "vae SP", "vae SE"
+    );
+    for (name, r, b, v) in &table {
+        println!(
+            "{name:<12} {:>7.2} {:>7.2}   {:>7.2} {:>7.2}   {:>7.2} {:>7.2}",
+            r[0], r[1], b[0], b[1], v[0], v[1]
+        );
+    }
+    println!("\npaper (2000 samples): vae_bo SP 1.00-1.01, SE 1.27-4.46; bo SP 0.96-1.00, SE 0.31-1.00");
+}

@@ -1,0 +1,292 @@
+#![deny(missing_docs)]
+//! Shared harness for the experiment binaries that regenerate every figure
+//! and table of the VAESA paper.
+//!
+//! Each binary in `src/bin/` reproduces one artifact (see the experiment
+//! index in `DESIGN.md`): it builds the dataset, trains the models, runs the
+//! searches, prints a paper-shaped summary to stdout, and writes CSV series
+//! into `results/` for plotting.
+//!
+//! The harness keeps every run deterministic (seeded `ChaCha8Rng`
+//! everywhere) and scales sample counts with the `--fast`/`--full` flags so
+//! the whole suite finishes on a laptop while preserving the paper's
+//! qualitative shapes.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use vaesa::{Dataset, DatasetBuilder, History, TrainConfig, Trainer, VaesaConfig, VaesaModel};
+use vaesa_accel::{DesignSpace, LayerShape};
+use vaesa_cosa::CachedScheduler;
+
+/// Command-line arguments shared by all experiment binaries.
+///
+/// Recognized flags: `--seed <u64>`, `--budget <n>`, `--fast`, `--full`,
+/// `--out <dir>`. Unknown flags abort with a usage message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Base RNG seed (default 0; multi-seed experiments offset from it).
+    pub seed: u64,
+    /// Search budget override (per-experiment default when `None`).
+    pub budget: Option<usize>,
+    /// Scale factor: 0 = fast (CI-sized), 1 = default, 2 = full.
+    pub scale: u8,
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seed: 0,
+            budget: None,
+            scale: 1,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args`, aborting the process on malformed input.
+    pub fn parse() -> Self {
+        let mut args = Args::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"))
+                }
+                "--budget" => {
+                    args.budget = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--budget needs an integer")),
+                    )
+                }
+                "--fast" => args.scale = 0,
+                "--full" => args.scale = 2,
+                "--out" => {
+                    args.out_dir = it
+                        .next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| usage("--out needs a path"))
+                }
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        args
+    }
+
+    /// Picks a size by scale: `(fast, default, full)`.
+    pub fn pick(&self, fast: usize, default: usize, full: usize) -> usize {
+        match self.scale {
+            0 => fast,
+            1 => default,
+            _ => full,
+        }
+    }
+
+    /// A seeded RNG offset by `stream` so sub-experiments are independent
+    /// but reproducible.
+    pub fn rng(&self, stream: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream))
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <bin> [--seed N] [--budget N] [--fast|--full] [--out DIR]");
+    std::process::exit(2);
+}
+
+/// Writes a CSV file into the output directory, creating it if needed.
+///
+/// # Panics
+///
+/// Panics on I/O failure — experiment binaries should fail loudly.
+pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[Vec<f64>]) -> PathBuf {
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for row in rows {
+        let line = row
+            .iter()
+            .map(|v| format!("{v:.6e}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(f, "{line}").expect("write row");
+    }
+    path
+}
+
+/// Writes an SVG figure into the output directory.
+///
+/// # Panics
+///
+/// Panics on I/O failure.
+pub fn write_svg(dir: &Path, name: &str, svg: &str) -> PathBuf {
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    fs::write(&path, svg).expect("write svg");
+    path
+}
+
+/// Writes a CSV with a leading string column (e.g. method names).
+///
+/// # Panics
+///
+/// Panics on I/O failure.
+pub fn write_labeled_csv(
+    dir: &Path,
+    name: &str,
+    header: &str,
+    rows: &[(String, Vec<f64>)],
+) -> PathBuf {
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for (label, row) in rows {
+        let nums = row
+            .iter()
+            .map(|v| format!("{v:.6e}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(f, "{label},{nums}").expect("write row");
+    }
+    path
+}
+
+/// The standard experiment setup: paper design space, cached scheduler, and
+/// the Table III training-layer pool.
+#[derive(Debug)]
+pub struct Setup {
+    /// The full Table II design space.
+    pub space: DesignSpace,
+    /// Shared (memoizing) scheduler.
+    pub scheduler: CachedScheduler,
+}
+
+impl Setup {
+    /// Creates the standard setup.
+    pub fn new() -> Self {
+        Setup {
+            space: DesignSpace::paper(),
+            scheduler: CachedScheduler::default(),
+        }
+    }
+
+    /// Builds the training dataset over the given layers with `n_configs`
+    /// random design points (plus a 2-per-axis seeding grid).
+    pub fn dataset(&self, layers: &[LayerShape], n_configs: usize, args: &Args) -> Dataset {
+        let mut rng = args.rng(1_000);
+        DatasetBuilder::new(&self.space, layers.to_vec())
+            .random_configs(n_configs)
+            .grid_per_axis(2)
+            .build(&self.scheduler, &mut rng)
+    }
+
+    /// Trains a VAESA model with the given latent dimension and α.
+    pub fn train(
+        &self,
+        dataset: &Dataset,
+        latent_dim: usize,
+        alpha: f64,
+        epochs: usize,
+        args: &Args,
+    ) -> (VaesaModel, History) {
+        let mut rng = args.rng(2_000 + latent_dim as u64);
+        let config = VaesaConfig::paper()
+            .with_latent_dim(latent_dim)
+            .with_alpha(alpha);
+        let mut model = VaesaModel::new(config, &mut rng);
+        let train_cfg = TrainConfig {
+            epochs,
+            batch_size: 64,
+            learning_rate: 1e-3,
+        };
+        let history = Trainer::new(train_cfg).train_vae(&mut model, dataset, &mut rng);
+        (model, history)
+    }
+}
+
+impl Default for Setup {
+    fn default() -> Self {
+        Setup::new()
+    }
+}
+
+/// Formats a mean ± std pair the way the paper's tables read.
+pub fn fmt_mean_std(mean: f64, std: f64) -> String {
+    format!("{mean:.3e} ± {std:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaesa_accel::workloads;
+
+    #[test]
+    fn args_pick_scales() {
+        for (scale, want) in [(0u8, 1usize), (1, 2), (2, 3)] {
+            let a = Args {
+                scale,
+                ..Args::default()
+            };
+            assert_eq!(a.pick(1, 2, 3), want);
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_independent_and_reproducible() {
+        let a = Args::default();
+        use rand::RngCore;
+        let mut r1 = a.rng(1);
+        let mut r2 = a.rng(1);
+        let mut r3 = a.rng(2);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+        let mut r1b = a.rng(1);
+        assert_ne!(r1b.next_u64(), r3.next_u64());
+    }
+
+    #[test]
+    fn csv_writers_produce_files() {
+        let dir = std::env::temp_dir().join("vaesa_bench_test_csv");
+        let p = write_csv(&dir, "t.csv", "a,b", &[vec![1.0, 2.0]]);
+        let content = std::fs::read_to_string(p).unwrap();
+        assert!(content.starts_with("a,b\n"));
+        assert!(content.contains("1.0"));
+        let p = write_labeled_csv(
+            &dir,
+            "l.csv",
+            "m,a",
+            &[("bo".to_string(), vec![3.0])],
+        );
+        let content = std::fs::read_to_string(p).unwrap();
+        assert!(content.contains("bo,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn svg_writer_produces_files() {
+        let dir = std::env::temp_dir().join("vaesa_bench_test_svg");
+        let p = write_svg(&dir, "t.svg", "<svg></svg>");
+        assert_eq!(std::fs::read_to_string(p).unwrap(), "<svg></svg>");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn setup_builds_small_dataset() {
+        let setup = Setup::new();
+        let args = Args::default();
+        let layers = vec![workloads::alexnet()[2].clone()];
+        let ds = setup.dataset(&layers, 10, &args);
+        assert!(ds.len() >= 10);
+    }
+}

@@ -1,0 +1,550 @@
+#![deny(missing_docs)]
+//! One-shot scheduler producing high-quality mappings for spatial
+//! accelerators, in the spirit of CoSA (Huang et al., ISCA 2021).
+//!
+//! CoSA's contract in the VAESA pipeline is: given a problem and an
+//! architecture, return a high-performance mapping *in one shot* — no
+//! iterative mapping search. The original solves a mixed-integer program
+//! with Gurobi; this reproduction solves the same objective (maximize PE and
+//! MAC utilization, minimize data transfer, respect buffer capacities) with
+//! a deterministic greedy descent over the tiling factors, scored by the
+//! analytical cost model itself. The substitution is documented in
+//! `DESIGN.md`; the contract — deterministic, constraint-respecting,
+//! quality-optimizing, one mapping per `(arch, layer)` — is identical.
+//!
+//! # Examples
+//!
+//! ```
+//! use vaesa_cosa::Scheduler;
+//! use vaesa_accel::{ArchDescription, LayerShape};
+//!
+//! let scheduler = Scheduler::default();
+//! let arch = ArchDescription {
+//!     pe_count: 16, macs_per_pe: 64,
+//!     accum_buf_bytes: 8192, weight_buf_bytes: 65536,
+//!     input_buf_bytes: 32768, global_buf_bytes: 262144,
+//! };
+//! let layer = LayerShape::new("conv", 3, 3, 28, 28, 64, 64, 1, 1);
+//! let scheduled = scheduler.schedule(&arch, &layer)?;
+//! assert!(scheduled.evaluation.edp() > 0.0);
+//! # Ok::<(), vaesa_cosa::ScheduleError>(())
+//! ```
+
+mod mapper;
+
+pub use mapper::{random_mapping, IterativeMapper, MapperConfig};
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+use vaesa_accel::{ArchDescription, LayerShape};
+use vaesa_timeloop::{CostModel, Evaluation, Mapping};
+
+/// A mapping chosen by the scheduler together with its evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scheduled {
+    /// The chosen loop-nest mapping.
+    pub mapping: Mapping,
+    /// The cost model's evaluation of that mapping.
+    pub evaluation: Evaluation,
+}
+
+/// Whole-workload cost: per-layer evaluations plus workload totals.
+///
+/// The paper evaluates a DNN by summing per-layer latency and energy and
+/// optimizing the product (EDP) of the sums.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEval {
+    /// Per-layer scheduling results, in input order.
+    pub layers: Vec<Scheduled>,
+    /// Sum of per-layer latencies, in cycles.
+    pub total_latency_cycles: f64,
+    /// Sum of per-layer energies, in pJ.
+    pub total_energy_pj: f64,
+}
+
+impl WorkloadEval {
+    /// Workload energy-delay product: total latency × total energy.
+    pub fn edp(&self) -> f64 {
+        self.total_latency_cycles * self.total_energy_pj
+    }
+}
+
+/// Errors returned by the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// No mapping satisfies the buffer constraints for this `(arch, layer)`
+    /// pair — the design point is invalid for the workload (the paper's
+    /// dataset construction drops such points).
+    NoValidMapping {
+        /// The layer that could not be scheduled.
+        layer: String,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NoValidMapping { layer } => {
+                write!(f, "no valid mapping exists for layer {layer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// The one-shot scheduler.
+///
+/// Deterministic: the same `(arch, layer)` always yields the same mapping.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    model: CostModel,
+}
+
+/// The tiling factors the greedy descent may grow, in a fixed order that
+/// makes the search deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Factor {
+    SpatialK,
+    SpatialC,
+    P0,
+    Q0,
+    C0,
+    K0,
+    P1,
+    Q1,
+    C1,
+    K1,
+}
+
+const FACTORS: [Factor; 10] = [
+    Factor::SpatialK,
+    Factor::SpatialC,
+    Factor::P0,
+    Factor::Q0,
+    Factor::C0,
+    Factor::K0,
+    Factor::P1,
+    Factor::Q1,
+    Factor::C1,
+    Factor::K1,
+];
+
+impl Scheduler {
+    /// Creates a scheduler over the given cost model.
+    pub fn new(model: CostModel) -> Self {
+        Scheduler { model }
+    }
+
+    /// The cost model used for scoring.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Produces the mapping for one layer on one architecture.
+    ///
+    /// Starting from the always-feasible unit mapping, the scheduler
+    /// repeatedly doubles whichever tiling or spatial factor most improves
+    /// EDP, stopping when no single doubling helps. Factors are capped at
+    /// their layer dimensions and every candidate is checked against the
+    /// buffer capacities by the cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NoValidMapping`] when even the unit mapping
+    /// violates a buffer constraint (e.g. a global buffer too small to hold
+    /// one filter footprint).
+    pub fn schedule(
+        &self,
+        arch: &ArchDescription,
+        layer: &LayerShape,
+    ) -> Result<Scheduled, ScheduleError> {
+        self.schedule_from(arch, layer, Mapping::unit())
+    }
+
+    /// Like [`Scheduler::schedule`], but additionally searches over the
+    /// register-level [`vaesa_timeloop::Dataflow`] choices: one greedy
+    /// descent per dataflow, keeping the best result. Costs ~3x the
+    /// evaluations of [`Scheduler::schedule`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NoValidMapping`] when even the unit mapping
+    /// violates a buffer constraint.
+    pub fn schedule_with_dataflows(
+        &self,
+        arch: &ArchDescription,
+        layer: &LayerShape,
+    ) -> Result<Scheduled, ScheduleError> {
+        let mut best: Option<Scheduled> = None;
+        for dataflow in vaesa_timeloop::Dataflow::ALL {
+            let start = Mapping {
+                dataflow,
+                ..Mapping::unit()
+            };
+            if let Ok(s) = self.schedule_from(arch, layer, start) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| s.evaluation.edp() < b.evaluation.edp())
+                {
+                    best = Some(s);
+                }
+            }
+        }
+        best.ok_or_else(|| ScheduleError::NoValidMapping {
+            layer: layer.name().to_string(),
+        })
+    }
+
+    fn schedule_from(
+        &self,
+        arch: &ArchDescription,
+        layer: &LayerShape,
+        start: Mapping,
+    ) -> Result<Scheduled, ScheduleError> {
+        let mut current = start;
+        let mut best = match self.model.evaluate(arch, layer, &current) {
+            Ok(e) => e,
+            Err(_) => {
+                return Err(ScheduleError::NoValidMapping {
+                    layer: layer.name().to_string(),
+                })
+            }
+        };
+
+        loop {
+            let mut best_candidate: Option<(Mapping, Evaluation)> = None;
+            for factor in FACTORS {
+                let Some(candidate) = Self::grow(&current, factor, arch, layer) else {
+                    continue;
+                };
+                if let Ok(eval) = self.model.evaluate(arch, layer, &candidate) {
+                    let bar = best_candidate
+                        .as_ref()
+                        .map_or(best.edp(), |(_, e)| e.edp());
+                    if eval.edp() < bar {
+                        best_candidate = Some((candidate, eval));
+                    }
+                }
+            }
+            match best_candidate {
+                Some((m, e)) if e.edp() < best.edp() => {
+                    current = m;
+                    best = e;
+                }
+                _ => break,
+            }
+        }
+
+        Ok(Scheduled {
+            mapping: current,
+            evaluation: best,
+        })
+    }
+
+    /// Schedules every layer of a workload and sums latency and energy.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any layer has no valid mapping; the paper treats such design
+    /// points as invalid for the whole workload.
+    pub fn schedule_workload(
+        &self,
+        arch: &ArchDescription,
+        layers: &[LayerShape],
+    ) -> Result<WorkloadEval, ScheduleError> {
+        let mut out = Vec::with_capacity(layers.len());
+        let mut total_latency = 0.0;
+        let mut total_energy = 0.0;
+        for layer in layers {
+            let s = self.schedule(arch, layer)?;
+            total_latency += s.evaluation.latency_cycles;
+            total_energy += s.evaluation.energy_pj;
+            out.push(s);
+        }
+        Ok(WorkloadEval {
+            layers: out,
+            total_latency_cycles: total_latency,
+            total_energy_pj: total_energy,
+        })
+    }
+
+    /// Returns `mapping` with `factor` doubled (capped at its dimension), or
+    /// `None` if the factor is saturated or the grown tile would grossly
+    /// exceed a layer dimension.
+    fn grow(
+        mapping: &Mapping,
+        factor: Factor,
+        arch: &ArchDescription,
+        layer: &LayerShape,
+    ) -> Option<Mapping> {
+        let mut m = *mapping;
+        let (value, cap): (&mut u64, u64) = match factor {
+            Factor::SpatialK => (&mut m.spatial_k, arch.pe_count.min(layer.k)),
+            Factor::SpatialC => (&mut m.spatial_c, arch.macs_per_pe.min(layer.c)),
+            Factor::P0 => (&mut m.p0, layer.p),
+            Factor::Q0 => (&mut m.q0, layer.q),
+            Factor::C0 => (&mut m.c0, layer.c),
+            Factor::K0 => (&mut m.k0, layer.k),
+            Factor::P1 => (&mut m.p1, layer.p),
+            Factor::Q1 => (&mut m.q1, layer.q),
+            Factor::C1 => (&mut m.c1, layer.c),
+            Factor::K1 => (&mut m.k1, layer.k),
+        };
+        if *value >= cap {
+            return None;
+        }
+        *value = (*value * 2).min(cap);
+        // Composite tiles may overshoot their dimension slightly (ceil
+        // semantics) but not grossly.
+        let ok = m.p_gb() <= 2 * layer.p
+            && m.q_gb() <= 2 * layer.q
+            && m.c_gb() <= 2 * layer.c
+            && m.k_gb() <= 2 * layer.k;
+        ok.then_some(m)
+    }
+}
+
+/// A scheduler with a memoization cache keyed by `(arch, layer)`.
+///
+/// Design-space exploration evaluates the same layer on thousands of
+/// architectures and frequently revisits architectures (e.g. when BO
+/// re-samples a rounded design point); the cache makes repeats free.
+/// Thread-safe via an internal mutex.
+#[derive(Debug, Default)]
+pub struct CachedScheduler {
+    inner: Scheduler,
+    cache: Mutex<HashMap<(ArchDescription, LayerShape), Result<Scheduled, ScheduleError>>>,
+}
+
+impl CachedScheduler {
+    /// Wraps a scheduler with an empty cache.
+    pub fn new(inner: Scheduler) -> Self {
+        CachedScheduler {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Cached version of [`Scheduler::schedule`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheduler::schedule`] (errors are cached too).
+    pub fn schedule(
+        &self,
+        arch: &ArchDescription,
+        layer: &LayerShape,
+    ) -> Result<Scheduled, ScheduleError> {
+        let key = (*arch, layer.clone());
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            return hit.clone();
+        }
+        let result = self.inner.schedule(arch, layer);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, result.clone());
+        result
+    }
+
+    /// Cached version of [`Scheduler::schedule_workload`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if any layer has no valid mapping.
+    pub fn schedule_workload(
+        &self,
+        arch: &ArchDescription,
+        layers: &[LayerShape],
+    ) -> Result<WorkloadEval, ScheduleError> {
+        let mut out = Vec::with_capacity(layers.len());
+        let mut total_latency = 0.0;
+        let mut total_energy = 0.0;
+        for layer in layers {
+            let s = self.schedule(arch, layer)?;
+            total_latency += s.evaluation.latency_cycles;
+            total_energy += s.evaluation.energy_pj;
+            out.push(s);
+        }
+        Ok(WorkloadEval {
+            layers: out,
+            total_latency_cycles: total_latency,
+            total_energy_pj: total_energy,
+        })
+    }
+
+    /// Number of distinct `(arch, layer)` pairs cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaesa_accel::{workloads, DesignSpace};
+
+    fn arch() -> ArchDescription {
+        ArchDescription {
+            pe_count: 16,
+            macs_per_pe: 64,
+            accum_buf_bytes: 16 * 1024,
+            weight_buf_bytes: 256 * 1024,
+            input_buf_bytes: 64 * 1024,
+            global_buf_bytes: 256 * 1024,
+        }
+    }
+
+    fn conv() -> LayerShape {
+        LayerShape::new("conv", 3, 3, 28, 28, 64, 64, 1, 1)
+    }
+
+    #[test]
+    fn schedule_beats_unit_mapping_substantially() {
+        let s = Scheduler::default();
+        let unit = s.model().evaluate(&arch(), &conv(), &Mapping::unit()).unwrap();
+        let sched = s.schedule(&arch(), &conv()).unwrap();
+        assert!(
+            sched.evaluation.edp() < unit.edp() / 100.0,
+            "scheduler only improved EDP from {:.3e} to {:.3e}",
+            unit.edp(),
+            sched.evaluation.edp()
+        );
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let s = Scheduler::default();
+        let a = s.schedule(&arch(), &conv()).unwrap();
+        let b = s.schedule(&arch(), &conv()).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.evaluation.edp(), b.evaluation.edp());
+    }
+
+    #[test]
+    fn schedule_exploits_parallel_hardware() {
+        let s = Scheduler::default();
+        let sched = s.schedule(&arch(), &conv()).unwrap();
+        // With 64 output channels and 16 PEs, the scheduler should use
+        // substantial spatial parallelism.
+        assert!(sched.mapping.spatial_k >= 8, "mapping: {}", sched.mapping);
+        assert!(sched.mapping.spatial_c >= 8, "mapping: {}", sched.mapping);
+    }
+
+    #[test]
+    fn bigger_machine_never_schedules_much_worse() {
+        let s = Scheduler::default();
+        let small = arch();
+        let mut big = arch();
+        big.pe_count = 64;
+        big.macs_per_pe = 256;
+        let es = s.schedule(&small, &conv()).unwrap().evaluation;
+        let eb = s.schedule(&big, &conv()).unwrap().evaluation;
+        assert!(eb.latency_cycles <= es.latency_cycles * 1.01);
+    }
+
+    #[test]
+    fn all_training_layers_schedule_on_a_midrange_arch() {
+        let s = Scheduler::default();
+        for layer in workloads::training_layers() {
+            let r = s.schedule(&arch(), &layer);
+            assert!(r.is_ok(), "layer {} failed: {:?}", layer.name(), r.err());
+        }
+    }
+
+    #[test]
+    fn tiny_global_buffer_is_invalid_for_big_kernels() {
+        let s = Scheduler::default();
+        let mut a = arch();
+        a.global_buf_bytes = 16; // cannot hold an 11x11 filter footprint
+        let alex1 = LayerShape::new("conv1", 11, 11, 55, 55, 3, 64, 4, 4);
+        let err = s.schedule(&a, &alex1).unwrap_err();
+        assert!(matches!(err, ScheduleError::NoValidMapping { .. }));
+        assert!(err.to_string().contains("conv1"));
+    }
+
+    #[test]
+    fn workload_eval_sums_layers() {
+        let s = Scheduler::default();
+        let layers = vec![conv(), LayerShape::fully_connected("fc", 512, 256)];
+        let w = s.schedule_workload(&arch(), &layers).unwrap();
+        assert_eq!(w.layers.len(), 2);
+        let lat: f64 = w.layers.iter().map(|l| l.evaluation.latency_cycles).sum();
+        let en: f64 = w.layers.iter().map(|l| l.evaluation.energy_pj).sum();
+        assert!((w.total_latency_cycles - lat).abs() < 1e-9);
+        assert!((w.total_energy_pj - en).abs() < 1e-9);
+        assert!((w.edp() - lat * en).abs() < 1e-3 * w.edp());
+    }
+
+    #[test]
+    fn cached_scheduler_matches_uncached_and_caches() {
+        let plain = Scheduler::default();
+        let cached = CachedScheduler::default();
+        let want = plain.schedule(&arch(), &conv()).unwrap();
+        let got1 = cached.schedule(&arch(), &conv()).unwrap();
+        let got2 = cached.schedule(&arch(), &conv()).unwrap();
+        assert_eq!(want.mapping, got1.mapping);
+        assert_eq!(got1.mapping, got2.mapping);
+        assert_eq!(cached.cache_len(), 1);
+    }
+
+    #[test]
+    fn dataflow_search_never_loses_to_weight_stationary() {
+        let s = Scheduler::default();
+        for layer in [
+            conv(),
+            LayerShape::fully_connected("fc", 512, 256),
+            LayerShape::new("dw", 3, 3, 28, 28, 1, 128, 1, 1),
+        ] {
+            let ws = s.schedule(&arch(), &layer).unwrap();
+            let any = s.schedule_with_dataflows(&arch(), &layer).unwrap();
+            assert!(
+                any.evaluation.edp() <= ws.evaluation.edp() * (1.0 + 1e-12),
+                "dataflow search regressed on {}",
+                layer.name()
+            );
+        }
+    }
+
+    #[test]
+    fn random_paper_space_points_mostly_schedule() {
+        use rand::SeedableRng;
+        let space = DesignSpace::paper();
+        let s = Scheduler::default();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let layer = conv();
+        let mut ok = 0;
+        for _ in 0..50 {
+            let c = space.random(&mut rng);
+            if s.schedule(&space.describe(&c), &layer).is_ok() {
+                ok += 1;
+            }
+        }
+        // The vast majority of the paper's space is valid for a midsize conv.
+        assert!(ok >= 40, "only {ok}/50 random points were schedulable");
+    }
+
+    #[test]
+    fn workload_edp_varies_across_design_points() {
+        use rand::SeedableRng;
+        // The search problem is only meaningful if EDP differs across archs.
+        let space = DesignSpace::paper();
+        let s = Scheduler::default();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let layers = workloads::alexnet();
+        let mut edps = Vec::new();
+        for _ in 0..20 {
+            let c = space.random(&mut rng);
+            if let Ok(w) = s.schedule_workload(&space.describe(&c), &layers) {
+                edps.push(w.edp());
+            }
+        }
+        assert!(edps.len() >= 10);
+        let min = edps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = edps.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 2.0, "EDP range too flat: {min:.3e}..{max:.3e}");
+    }
+}

@@ -1,0 +1,261 @@
+use crate::random::perturb;
+use crate::{BoxSpace, Objective, Trace};
+use rand::Rng;
+use rand::RngCore;
+
+/// Configuration for [`SimulatedAnnealing`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealingConfig {
+    /// Initial acceptance temperature, as a fraction of the first observed
+    /// objective value (scale-free start).
+    pub initial_temperature: f64,
+    /// Multiplicative cooling factor applied every step.
+    pub cooling: f64,
+    /// Gaussian proposal standard deviation as a fraction of each
+    /// dimension's width.
+    pub step_sigma: f64,
+    /// Restart from a fresh random point after this many consecutive
+    /// rejections (0 disables restarts).
+    pub restart_after: usize,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        AnnealingConfig {
+            initial_temperature: 0.1,
+            cooling: 0.97,
+            step_sigma: 0.08,
+            restart_after: 40,
+        }
+    }
+}
+
+/// Classic simulated annealing over a box: Gaussian proposals, Metropolis
+/// acceptance with geometric cooling, optional stagnation restarts.
+///
+/// A third black-box engine alongside Bayesian optimization and the
+/// evolutionary search — annealing is the traditional workhorse of
+/// hardware design-space exploration (placement, binding, scheduling) and
+/// makes a natural extra baseline on both the original and the VAESA
+/// latent space.
+///
+/// # Examples
+///
+/// ```
+/// use vaesa_dse::{BoxSpace, FnObjective, SimulatedAnnealing};
+/// use rand::SeedableRng;
+///
+/// let space = BoxSpace::symmetric(2, 2.0);
+/// let mut objective = FnObjective::new(2, |x: &[f64]| {
+///     Some((x[0] - 1.0).powi(2) + (x[1] + 0.5).powi(2))
+/// });
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let trace = SimulatedAnnealing::new(space).run(&mut objective, 300, &mut rng);
+/// assert!(trace.best_value().unwrap() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    space: BoxSpace,
+    config: AnnealingConfig,
+}
+
+impl SimulatedAnnealing {
+    /// Creates an annealer with default configuration.
+    pub fn new(space: BoxSpace) -> Self {
+        SimulatedAnnealing {
+            space,
+            config: AnnealingConfig::default(),
+        }
+    }
+
+    /// Creates an annealer with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the temperature or step size is not positive, or cooling
+    /// is outside `(0, 1]`.
+    pub fn with_config(space: BoxSpace, config: AnnealingConfig) -> Self {
+        assert!(config.initial_temperature > 0.0, "temperature must be positive");
+        assert!(
+            config.cooling > 0.0 && config.cooling <= 1.0,
+            "cooling must be in (0, 1]"
+        );
+        assert!(config.step_sigma > 0.0, "step sigma must be positive");
+        SimulatedAnnealing { space, config }
+    }
+
+    /// Runs annealing for `budget` objective evaluations. Invalid points
+    /// consume budget and are always rejected.
+    pub fn run(
+        &self,
+        objective: &mut dyn Objective,
+        budget: usize,
+        mut rng: &mut dyn RngCore,
+    ) -> Trace {
+        assert_eq!(objective.dim(), self.space.dim(), "dimension mismatch");
+        let mut trace = Trace::new("annealing");
+        if budget == 0 {
+            return trace;
+        }
+
+        // Seed state: keep drawing until a valid point or budget runs out.
+        let mut current: Option<(Vec<f64>, f64)> = None;
+        let mut evaluated = 0usize;
+        while evaluated < budget {
+            let x = self.space.sample(&mut rng);
+            let v = objective.evaluate(&x);
+            trace.record(x.clone(), v);
+            evaluated += 1;
+            if let Some(v) = v {
+                current = Some((x, v));
+                break;
+            }
+        }
+        let Some((mut x_cur, mut v_cur)) = current else {
+            return trace;
+        };
+
+        let mut temperature = self.config.initial_temperature * v_cur.abs().max(1e-300);
+        let mut rejections = 0usize;
+        while evaluated < budget {
+            let proposal = if self.config.restart_after > 0
+                && rejections >= self.config.restart_after
+            {
+                rejections = 0;
+                self.space.sample(&mut rng)
+            } else {
+                perturb(&self.space, &x_cur, self.config.step_sigma, &mut rng)
+            };
+            let value = objective.evaluate(&proposal);
+            trace.record(proposal.clone(), value);
+            evaluated += 1;
+
+            match value {
+                Some(v) => {
+                    let accept = v <= v_cur || {
+                        let p = ((v_cur - v) / temperature.max(1e-300)).exp();
+                        rng.gen_bool(p.clamp(0.0, 1.0))
+                    };
+                    if accept {
+                        x_cur = proposal;
+                        v_cur = v;
+                        rejections = 0;
+                    } else {
+                        rejections += 1;
+                    }
+                }
+                None => rejections += 1,
+            }
+            temperature *= self.config.cooling;
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnObjective, RandomSearch};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn bumpy() -> FnObjective<impl FnMut(&[f64]) -> Option<f64>> {
+        FnObjective::new(2, |x: &[f64]| {
+            Some(
+                x.iter()
+                    .map(|v| (v - 0.8) * (v - 0.8) + 0.3 * (5.0 * v).cos())
+                    .sum::<f64>()
+                    + 0.6,
+            )
+        })
+    }
+
+    #[test]
+    fn converges_on_bumpy_function() {
+        let space = BoxSpace::symmetric(2, 3.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let trace = SimulatedAnnealing::new(space).run(&mut bumpy(), 400, &mut rng);
+        assert_eq!(trace.len(), 400);
+        // Global minimum is slightly below 0.6 - 0.6 + small; just demand a
+        // good region.
+        assert!(trace.best_value().unwrap() < 0.3, "best {:?}", trace.best_value());
+    }
+
+    #[test]
+    fn beats_random_on_most_seeds() {
+        let space = BoxSpace::symmetric(3, 3.0);
+        let objective = |x: &[f64]| Some(x.iter().map(|v| (v - 1.0).powi(2)).sum::<f64>());
+        let mut wins = 0;
+        for seed in 0..5 {
+            let mut obj = FnObjective::new(3, objective);
+            let sa = SimulatedAnnealing::new(space.clone()).run(
+                &mut obj,
+                200,
+                &mut ChaCha8Rng::seed_from_u64(seed),
+            );
+            let mut obj = FnObjective::new(3, objective);
+            let rs = RandomSearch::new(space.clone()).run(
+                &mut obj,
+                200,
+                &mut ChaCha8Rng::seed_from_u64(seed),
+            );
+            if sa.best_value().unwrap() <= rs.best_value().unwrap() {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "annealing won only {wins}/5 seeds");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = BoxSpace::unit(2);
+        let run = |seed| {
+            let mut obj = bumpy();
+            SimulatedAnnealing::new(space.clone()).run(
+                &mut obj,
+                80,
+                &mut ChaCha8Rng::seed_from_u64(seed),
+            )
+        };
+        assert_eq!(run(3).samples(), run(3).samples());
+    }
+
+    #[test]
+    fn survives_all_invalid_prefix() {
+        let space = BoxSpace::unit(1);
+        let mut first = true;
+        let mut obj = FnObjective::new(1, move |x: &[f64]| {
+            if first {
+                first = false;
+                None // poison the seed draw
+            } else {
+                Some(x[0])
+            }
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let trace = SimulatedAnnealing::new(space).run(&mut obj, 50, &mut rng);
+        assert_eq!(trace.len(), 50);
+        assert!(trace.best_value().is_some());
+    }
+
+    #[test]
+    fn zero_budget_gives_empty_trace() {
+        let space = BoxSpace::unit(1);
+        let mut obj = FnObjective::new(1, |x: &[f64]| Some(x[0]));
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let trace = SimulatedAnnealing::new(space).run(&mut obj, 0, &mut rng);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling")]
+    fn bad_cooling_rejected() {
+        let _ = SimulatedAnnealing::with_config(
+            BoxSpace::unit(1),
+            AnnealingConfig {
+                cooling: 1.5,
+                ..AnnealingConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,261 @@
+use crate::random::perturb;
+use crate::{BoxSpace, Objective, Trace};
+use rand::Rng;
+use rand::RngCore;
+
+/// Configuration for [`EvolutionarySearch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvolutionConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Individuals kept unchanged into the next generation.
+    pub elites: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-dimension probability of taking the gene from the second parent.
+    pub crossover_rate: f64,
+    /// Gaussian mutation standard deviation, as a fraction of each
+    /// dimension's width.
+    pub mutation_sigma: f64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig {
+            population: 20,
+            elites: 2,
+            tournament: 3,
+            crossover_rate: 0.4,
+            mutation_sigma: 0.08,
+        }
+    }
+}
+
+/// A (μ+λ)-style evolutionary search with tournament selection, uniform
+/// crossover, and Gaussian mutation.
+///
+/// This is the Table I "NAAS: Evolutionary" class of baseline: another
+/// black-box optimizer that, like Bayesian optimization, can run either on
+/// the original design space or on the VAESA latent space. Provided as an
+/// extension beyond the paper's two featured search strategies.
+///
+/// # Examples
+///
+/// ```
+/// use vaesa_dse::{BoxSpace, EvolutionarySearch, FnObjective};
+/// use rand::SeedableRng;
+///
+/// let space = BoxSpace::symmetric(2, 2.0);
+/// let mut objective = FnObjective::new(2, |x: &[f64]| {
+///     Some((x[0] - 1.0).powi(2) + (x[1] + 0.5).powi(2))
+/// });
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let trace = EvolutionarySearch::new(space).run(&mut objective, 200, &mut rng);
+/// assert!(trace.best_value().unwrap() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvolutionarySearch {
+    space: BoxSpace,
+    config: EvolutionConfig,
+}
+
+impl EvolutionarySearch {
+    /// Creates a search with default configuration.
+    pub fn new(space: BoxSpace) -> Self {
+        EvolutionarySearch {
+            space,
+            config: EvolutionConfig::default(),
+        }
+    }
+
+    /// Creates a search with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is empty, elites exceed the population, or
+    /// the tournament size is zero.
+    pub fn with_config(space: BoxSpace, config: EvolutionConfig) -> Self {
+        assert!(config.population >= 1, "population must be non-empty");
+        assert!(config.elites < config.population, "elites must leave room for offspring");
+        assert!(config.tournament >= 1, "tournament size must be positive");
+        EvolutionarySearch { space, config }
+    }
+
+    /// Runs the search for `budget` objective evaluations (the final
+    /// generation may be truncated). Invalid individuals (`None` fitness)
+    /// consume budget and are treated as infinitely unfit.
+    pub fn run(
+        &self,
+        objective: &mut dyn Objective,
+        budget: usize,
+        mut rng: &mut dyn RngCore,
+    ) -> Trace {
+        assert_eq!(objective.dim(), self.space.dim(), "dimension mismatch");
+        let mut trace = Trace::new("evolutionary");
+        let mut evaluated = 0usize;
+        // (genome, fitness); invalid points get +inf.
+        let mut population: Vec<(Vec<f64>, f64)> = Vec::new();
+
+        let mut evaluate =
+            |x: Vec<f64>, trace: &mut Trace, evaluated: &mut usize| -> (Vec<f64>, f64) {
+                let v = objective.evaluate(&x);
+                trace.record(x.clone(), v);
+                *evaluated += 1;
+                (x, v.unwrap_or(f64::INFINITY))
+            };
+
+        // Initial population.
+        while population.len() < self.config.population && evaluated < budget {
+            let x = self.space.sample(&mut rng);
+            population.push(evaluate(x, &mut trace, &mut evaluated));
+        }
+
+        while evaluated < budget {
+            population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN fitness"));
+            let mut next: Vec<(Vec<f64>, f64)> =
+                population.iter().take(self.config.elites).cloned().collect();
+            while next.len() < self.config.population && evaluated < budget {
+                let p1 = self.tournament_pick(&population, &mut rng);
+                let p2 = self.tournament_pick(&population, &mut rng);
+                let mut child: Vec<f64> = p1
+                    .iter()
+                    .zip(p2)
+                    .map(|(&a, &b)| {
+                        if rng.gen_bool(self.config.crossover_rate) {
+                            b
+                        } else {
+                            a
+                        }
+                    })
+                    .collect();
+                child = perturb(&self.space, &child, self.config.mutation_sigma, &mut rng);
+                next.push(evaluate(child, &mut trace, &mut evaluated));
+            }
+            population = next;
+        }
+        trace
+    }
+
+    fn tournament_pick<'a>(
+        &self,
+        population: &'a [(Vec<f64>, f64)],
+        rng: &mut impl Rng,
+    ) -> &'a [f64] {
+        let mut best: Option<&(Vec<f64>, f64)> = None;
+        for _ in 0..self.config.tournament {
+            let cand = &population[rng.gen_range(0..population.len())];
+            if best.is_none_or(|b| cand.1 < b.1) {
+                best = Some(cand);
+            }
+        }
+        &best.expect("population non-empty").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnObjective, RandomSearch};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rastrigin_ish() -> FnObjective<impl FnMut(&[f64]) -> Option<f64>> {
+        FnObjective::new(2, |x: &[f64]| {
+            Some(
+                x.iter()
+                    .map(|v| v * v - 2.0 * (3.0 * v).cos() + 2.0)
+                    .sum::<f64>(),
+            )
+        })
+    }
+
+    #[test]
+    fn converges_on_multimodal_function() {
+        let space = BoxSpace::symmetric(2, 3.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let trace = EvolutionarySearch::new(space).run(&mut rastrigin_ish(), 300, &mut rng);
+        assert_eq!(trace.len(), 300);
+        assert!(
+            trace.best_value().unwrap() < 1.0,
+            "best {:?}",
+            trace.best_value()
+        );
+    }
+
+    #[test]
+    fn beats_random_search_most_seeds() {
+        let space = BoxSpace::symmetric(3, 3.0);
+        let objective = |x: &[f64]| Some(x.iter().map(|v| (v - 1.1).powi(2)).sum::<f64>());
+        let mut wins = 0;
+        for seed in 0..5 {
+            let mut obj = FnObjective::new(3, objective);
+            let evo = EvolutionarySearch::new(space.clone()).run(
+                &mut obj,
+                150,
+                &mut ChaCha8Rng::seed_from_u64(seed),
+            );
+            let mut obj = FnObjective::new(3, objective);
+            let rnd = RandomSearch::new(space.clone()).run(
+                &mut obj,
+                150,
+                &mut ChaCha8Rng::seed_from_u64(seed),
+            );
+            if evo.best_value().unwrap() <= rnd.best_value().unwrap() {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "evolutionary won only {wins}/5 seeds");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = BoxSpace::unit(2);
+        let run = |seed| {
+            let mut obj = rastrigin_ish();
+            EvolutionarySearch::new(space.clone()).run(
+                &mut obj,
+                60,
+                &mut ChaCha8Rng::seed_from_u64(seed),
+            )
+        };
+        assert_eq!(run(9).samples(), run(9).samples());
+    }
+
+    #[test]
+    fn tolerates_invalid_regions() {
+        let space = BoxSpace::symmetric(2, 2.0);
+        let mut obj = FnObjective::new(2, |x: &[f64]| {
+            if x[0] + x[1] > 1.0 {
+                None
+            } else {
+                Some(x[0].powi(2) + x[1].powi(2))
+            }
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let trace = EvolutionarySearch::new(space).run(&mut obj, 120, &mut rng);
+        assert_eq!(trace.len(), 120);
+        assert!(trace.best_value().unwrap() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "elites")]
+    fn bad_config_rejected() {
+        let _ = EvolutionarySearch::with_config(
+            BoxSpace::unit(1),
+            EvolutionConfig {
+                population: 2,
+                elites: 2,
+                ..EvolutionConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn budget_smaller_than_population_still_works() {
+        let space = BoxSpace::unit(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let trace =
+            EvolutionarySearch::new(space).run(&mut rastrigin_ish(), 5, &mut rng);
+        assert_eq!(trace.len(), 5);
+    }
+}

@@ -1,0 +1,523 @@
+use crate::{ArdKernel, Kernel, KernelKind};
+use vaesa_linalg::{Cholesky, LinalgError, Matrix};
+
+/// The GP's covariance function: isotropic or ARD.
+#[derive(Debug, Clone)]
+enum GpKernel {
+    Iso(Kernel),
+    Ard(ArdKernel),
+}
+
+impl GpKernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            GpKernel::Iso(k) => k.eval(a, b),
+            GpKernel::Ard(k) => k.eval(a, b),
+        }
+    }
+
+    fn kind(&self) -> KernelKind {
+        match self {
+            GpKernel::Iso(k) => k.kind,
+            GpKernel::Ard(k) => k.kind,
+        }
+    }
+}
+
+/// Gaussian-process regression with incremental updates.
+///
+/// The Bayesian-optimization loop adds one observation per iteration; a full
+/// refit would cost O(n³) each time, so [`GpRegressor::add`] extends the
+/// Cholesky factor in O(n²) and only [`GpRegressor::refit`] (called
+/// periodically to retune the lengthscale) pays the cubic cost.
+///
+/// Targets are internally standardized (zero mean, unit variance) for
+/// numerical stability; predictions are returned in the original units.
+///
+/// # Examples
+///
+/// ```
+/// use vaesa_dse::GpRegressor;
+///
+/// let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+/// let ys = vec![0.0, 1.0, 4.0];
+/// let gp = GpRegressor::fit(&xs, &ys)?;
+/// let (mean, var) = gp.predict(&[1.0]);
+/// assert!((mean - 1.0).abs() < 0.2);
+/// assert!(var >= 0.0);
+/// # Ok::<(), vaesa_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpRegressor {
+    kernel: GpKernel,
+    noise: f64,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    /// Lower-triangular Cholesky factor of `K + noise·I`, stored row-major
+    /// as a growing triangle: row i has i+1 entries.
+    l: Vec<Vec<f64>>,
+    /// `(K + noise·I)⁻¹ ỹ` for the standardized targets ỹ.
+    alpha: Vec<f64>,
+}
+
+impl GpRegressor {
+    /// Default observation-noise variance (relative to standardized targets).
+    pub const DEFAULT_NOISE: f64 = 1e-6;
+
+    /// Fits a GP with a lengthscale chosen by maximizing the log marginal
+    /// likelihood over a coarse grid, using the Matérn-5/2 kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than one observation is given or the
+    /// kernel matrix cannot be factored.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, LinalgError> {
+        Self::fit_with(xs, ys, KernelKind::Matern52, Self::DEFAULT_NOISE)
+    }
+
+    /// Fits a GP with an explicit kernel family and noise, tuning the
+    /// lengthscale by log-marginal-likelihood grid search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] when called with no data, or a
+    /// factorization error if every candidate lengthscale fails.
+    pub fn fit_with(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        kind: KernelKind,
+        noise: f64,
+    ) -> Result<Self, LinalgError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(LinalgError::Empty);
+        }
+        // Candidate lengthscales relative to the data's coordinate spread.
+        let spread = coordinate_spread(xs).max(1e-9);
+        let grid = [0.05, 0.1, 0.2, 0.5, 1.0, 2.0];
+        let mut best: Option<(f64, GpRegressor)> = None;
+        let mut last_err = LinalgError::Empty;
+        for &rel in &grid {
+            let kernel = Kernel::new(kind, rel * spread, 1.0);
+            match Self::fit_fixed(xs, ys, kernel, noise) {
+                Ok(gp) => {
+                    let lml = gp.log_marginal_likelihood();
+                    if best.as_ref().is_none_or(|(b, _)| lml > *b) {
+                        best = Some((lml, gp));
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        best.map(|(_, gp)| gp).ok_or(last_err)
+    }
+
+    /// Fits with a fully specified kernel (no hyperparameter search).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty data or a non-factorable kernel matrix.
+    pub fn fit_fixed(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        kernel: Kernel,
+        noise: f64,
+    ) -> Result<Self, LinalgError> {
+        Self::fit_fixed_kernel(xs, ys, GpKernel::Iso(kernel), noise)
+    }
+
+    /// Fits with a fully specified ARD kernel (no hyperparameter search).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty data or a non-factorable kernel matrix.
+    pub fn fit_fixed_ard(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        kernel: ArdKernel,
+        noise: f64,
+    ) -> Result<Self, LinalgError> {
+        Self::fit_fixed_kernel(xs, ys, GpKernel::Ard(kernel), noise)
+    }
+
+    /// Fits an ARD GP: starts from the best isotropic lengthscale, then
+    /// coordinate-descends per-dimension lengthscales (two sweeps over
+    /// ×½ / ×2 proposals), keeping changes that improve the log marginal
+    /// likelihood. O(sweeps · dim · n³) — use for modest `n`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GpRegressor::fit_with`].
+    pub fn fit_ard(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        kind: KernelKind,
+        noise: f64,
+    ) -> Result<Self, LinalgError> {
+        let iso = Self::fit_with(xs, ys, kind, noise)?;
+        let base = match &iso.kernel {
+            GpKernel::Iso(k) => k.lengthscale,
+            GpKernel::Ard(_) => unreachable!("fit_with builds isotropic kernels"),
+        };
+        let dim = xs[0].len();
+        let mut scales = vec![base; dim];
+        let mut best = iso;
+        let mut best_lml = best.log_marginal_likelihood();
+        for _sweep in 0..2 {
+            for d in 0..dim {
+                for factor in [0.5, 2.0] {
+                    let mut trial = scales.clone();
+                    trial[d] *= factor;
+                    let kernel = ArdKernel::new(kind, trial.clone(), 1.0);
+                    if let Ok(gp) = Self::fit_fixed_ard(xs, ys, kernel, noise) {
+                        let lml = gp.log_marginal_likelihood();
+                        if lml > best_lml {
+                            best_lml = lml;
+                            best = gp;
+                            scales = trial;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    fn fit_fixed_kernel(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        kernel: GpKernel,
+        noise: f64,
+    ) -> Result<Self, LinalgError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(LinalgError::Empty);
+        }
+        let n = xs.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel.eval(&xs[i], &xs[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+            k[(i, i)] += noise;
+        }
+        let chol = Cholesky::new(&k)?;
+        let l: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..=i).map(|j| chol.factor()[(i, j)]).collect())
+            .collect();
+        let mut gp = GpRegressor {
+            kernel,
+            noise,
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            y_mean: 0.0,
+            y_std: 1.0,
+            l,
+            alpha: Vec::new(),
+        };
+        gp.recompute_alpha();
+        Ok(gp)
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Returns `true` if the GP holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The per-dimension lengthscales currently in use (an isotropic kernel
+    /// reports its single lengthscale repeated across dimensions).
+    pub fn lengthscales(&self) -> Vec<f64> {
+        let dim = self.xs.first().map_or(0, Vec::len);
+        match &self.kernel {
+            GpKernel::Iso(k) => vec![k.lengthscale; dim],
+            GpKernel::Ard(k) => k.lengthscales.clone(),
+        }
+    }
+
+    /// Adds one observation, extending the Cholesky factor in O(n²).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if the extended matrix
+    /// loses positive definiteness (e.g. a duplicate point with conflicting
+    /// targets and zero noise); callers should then [`GpRegressor::refit`].
+    pub fn add(&mut self, x: Vec<f64>, y: f64) -> Result<(), LinalgError> {
+        let n = self.len();
+        // New column k_vec = K(X, x); solve L b = k_vec.
+        let k_vec: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, &x)).collect();
+        let b = self.solve_lower(&k_vec);
+        let kxx = self.kernel.eval(&x, &x) + self.noise;
+        let d2 = kxx - b.iter().map(|v| v * v).sum::<f64>();
+        if d2 <= 0.0 || !d2.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { max_jitter: 0.0 });
+        }
+        let mut row = b;
+        row.push(d2.sqrt());
+        debug_assert_eq!(row.len(), n + 1);
+        self.l.push(row);
+        self.xs.push(x);
+        self.ys.push(y);
+        self.recompute_alpha();
+        Ok(())
+    }
+
+    /// Refits from scratch, re-tuning the lengthscale.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GpRegressor::fit_with`].
+    pub fn refit(&mut self) -> Result<(), LinalgError> {
+        let refit = Self::fit_with(&self.xs, &self.ys, self.kernel.kind(), self.noise)?;
+        *self = refit;
+        Ok(())
+    }
+
+    /// Posterior mean and variance at `x`, in original target units.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let k_vec: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean_std: f64 = k_vec.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        let v = self.solve_lower(&k_vec);
+        let var_std =
+            (self.kernel.eval(x, x) - v.iter().map(|b| b * b).sum::<f64>()).max(0.0);
+        (
+            mean_std * self.y_std + self.y_mean,
+            var_std * self.y_std * self.y_std,
+        )
+    }
+
+    /// Log marginal likelihood of the standardized targets under the
+    /// current kernel.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        let n = self.len() as f64;
+        let ys_std: Vec<f64> = self
+            .ys
+            .iter()
+            .map(|&y| (y - self.y_mean) / self.y_std)
+            .collect();
+        let data_fit: f64 = ys_std.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        let log_det: f64 = self.l.iter().map(|row| row.last().expect("row").ln()).sum();
+        -0.5 * data_fit - log_det - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    fn recompute_alpha(&mut self) {
+        let n = self.len();
+        let mean = self.ys.iter().sum::<f64>() / n as f64;
+        let var = self.ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / n as f64;
+        self.y_mean = mean;
+        self.y_std = if var > 1e-18 { var.sqrt() } else { 1.0 };
+        let ys_std: Vec<f64> = self
+            .ys
+            .iter()
+            .map(|&y| (y - self.y_mean) / self.y_std)
+            .collect();
+        let z = self.solve_lower(&ys_std);
+        self.alpha = self.solve_upper(&z);
+    }
+
+    #[allow(clippy::needless_range_loop)] // triangular solves read clearest with indices
+    fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.len();
+        debug_assert_eq!(b.len(), n);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[i][k] * y[k];
+            }
+            y[i] = sum / self.l[i][i];
+        }
+        y
+    }
+
+    #[allow(clippy::needless_range_loop)] // triangular solves read clearest with indices
+    fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.len();
+        debug_assert_eq!(y.len(), n);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[k][i] * x[k];
+            }
+            x[i] = sum / self.l[i][i];
+        }
+        x
+    }
+}
+
+/// Mean per-dimension spread (max - min) of the inputs, used to scale the
+/// lengthscale search grid.
+fn coordinate_spread(xs: &[Vec<f64>]) -> f64 {
+    let d = xs[0].len();
+    let mut total = 0.0;
+    for j in 0..d {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for x in xs {
+            lo = lo.min(x[j]);
+            hi = hi.max(x[j]);
+        }
+        total += (hi - lo).max(0.0);
+    }
+    total / d as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn training_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 2.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin() * 3.0 + 10.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let (xs, ys) = training_data();
+        let gp = GpRegressor::fit(&xs, &ys).unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.predict(x);
+            assert!((m - y).abs() < 0.05, "mean {m} vs target {y}");
+            assert!(v < 0.1, "variance {v} too high at a training point");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let (xs, ys) = training_data();
+        let gp = GpRegressor::fit(&xs, &ys).unwrap();
+        let (_, v_near) = gp.predict(&[2.0]);
+        let (_, v_far) = gp.predict(&[30.0]);
+        assert!(v_far > v_near * 10.0, "near {v_near}, far {v_far}");
+    }
+
+    #[test]
+    fn incremental_add_matches_full_fit() {
+        let (xs, ys) = training_data();
+        let kernel = Kernel::new(KernelKind::Matern52, 1.0, 1.0);
+        let full = GpRegressor::fit_fixed(&xs, &ys, kernel, 1e-6).unwrap();
+        let mut inc =
+            GpRegressor::fit_fixed(&xs[..4], &ys[..4], kernel, 1e-6).unwrap();
+        for i in 4..xs.len() {
+            inc.add(xs[i].clone(), ys[i]).unwrap();
+        }
+        for probe in [[0.7], [3.3], [8.0]] {
+            let (mf, vf) = full.predict(&probe);
+            let (mi, vi) = inc.predict(&probe);
+            assert!((mf - mi).abs() < 1e-8, "means differ: {mf} vs {mi}");
+            assert!((vf - vi).abs() < 1e-8, "variances differ: {vf} vs {vi}");
+        }
+    }
+
+    #[test]
+    fn add_rejects_exact_duplicate_with_zero_noise() {
+        let xs = vec![vec![1.0]];
+        let ys = vec![2.0];
+        let kernel = Kernel::new(KernelKind::Rbf, 1.0, 1.0);
+        let mut gp = GpRegressor::fit_fixed(&xs, &ys, kernel, 0.0).unwrap();
+        // With zero noise a duplicate input makes the kernel matrix exactly
+        // singular, so the incremental extension must fail loudly.
+        let result = gp.add(vec![1.0], 5.0);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn refit_preserves_observations() {
+        let (xs, ys) = training_data();
+        let mut gp = GpRegressor::fit(&xs[..6], &ys[..6]).unwrap();
+        for i in 6..xs.len() {
+            gp.add(xs[i].clone(), ys[i]).unwrap();
+        }
+        gp.refit().unwrap();
+        assert_eq!(gp.len(), xs.len());
+        let (m, _) = gp.predict(&xs[8]);
+        assert!((m - ys[8]).abs() < 0.1);
+    }
+
+    #[test]
+    fn lml_prefers_reasonable_lengthscales() {
+        let (xs, ys) = training_data();
+        let good = GpRegressor::fit(&xs, &ys).unwrap();
+        let bad_kernel = Kernel::new(KernelKind::Matern52, 1e-3, 1.0);
+        let bad = GpRegressor::fit_fixed(&xs, &ys, bad_kernel, 1e-6).unwrap();
+        assert!(good.log_marginal_likelihood() > bad.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn empty_fit_rejected() {
+        assert!(GpRegressor::fit(&[], &[]).is_err());
+        assert!(GpRegressor::fit(&[vec![1.0]], &[]).is_err());
+    }
+
+    #[test]
+    fn constant_targets_are_handled() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys = vec![7.0; 5];
+        let gp = GpRegressor::fit(&xs, &ys).unwrap();
+        let (m, _) = gp.predict(&[2.5]);
+        assert!((m - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ard_fit_stretches_irrelevant_dimensions() {
+        // y depends only on x0; x1 is noise. ARD should learn a larger
+        // lengthscale for dim 1 than dim 0 and not fit worse than isotropic.
+        let xs: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let t = i as f64 / 5.0;
+                vec![t.sin() * 2.0, ((i * 7919) % 13) as f64 / 6.5 - 1.0]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + 1.0).collect();
+        let iso = GpRegressor::fit(&xs, &ys).unwrap();
+        let ard = GpRegressor::fit_ard(&xs, &ys, KernelKind::Matern52, 1e-6).unwrap();
+        assert!(ard.log_marginal_likelihood() >= iso.log_marginal_likelihood() - 1e-9);
+        let scales = ard.lengthscales();
+        assert_eq!(scales.len(), 2);
+        assert!(
+            scales[1] >= scales[0],
+            "irrelevant dim should not get the shorter lengthscale: {scales:?}"
+        );
+    }
+
+    #[test]
+    fn ard_predictions_remain_calibrated_at_training_points() {
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 2.0, 0.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0].cos()).collect();
+        let gp = GpRegressor::fit_ard(&xs, &ys, KernelKind::Matern52, 1e-6).unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.predict(x);
+            assert!((m - y).abs() < 0.05);
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lengthscales_accessor_reports_isotropic_repeat() {
+        let xs = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0]];
+        let ys = vec![0.0, 1.0, 2.0];
+        let gp = GpRegressor::fit(&xs, &ys).unwrap();
+        let s = gp.lengthscales();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], s[1]);
+    }
+
+    #[test]
+    fn multidimensional_inputs() {
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] + 2.0 * x[1]).collect();
+        let gp = GpRegressor::fit(&xs, &ys).unwrap();
+        let (m, _) = gp.predict(&[2.0, 1.5]);
+        assert!((m - 5.0).abs() < 0.5, "predicted {m}");
+    }
+}

@@ -1,0 +1,247 @@
+use crate::{BoxSpace, DifferentiableObjective};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`GradientDescent`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GdConfig {
+    /// Step size.
+    pub learning_rate: f64,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f64,
+    /// Number of gradient steps.
+    pub steps: usize,
+    /// Per-element gradient clip; `None` disables clipping.
+    pub clip: Option<f64>,
+}
+
+impl Default for GdConfig {
+    fn default() -> Self {
+        GdConfig {
+            learning_rate: 0.05,
+            momentum: 0.8,
+            steps: 100,
+            clip: Some(10.0),
+        }
+    }
+}
+
+/// One point along a gradient-descent path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GdStep {
+    /// Step index (0 is the starting point).
+    pub step: usize,
+    /// Position after this step.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+}
+
+/// The recorded path of one gradient-descent run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GdPath {
+    /// Every step, starting with the initial point.
+    pub steps: Vec<GdStep>,
+}
+
+impl GdPath {
+    /// The final position.
+    pub fn final_point(&self) -> &[f64] {
+        &self.steps.last().expect("path has at least the start").x
+    }
+
+    /// The final objective value.
+    pub fn final_value(&self) -> f64 {
+        self.steps.last().expect("path has at least the start").value
+    }
+
+    /// The minimum objective value along the path.
+    pub fn best_value(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| s.value)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The position at a given step index, if recorded.
+    pub fn at_step(&self, step: usize) -> Option<&GdStep> {
+        self.steps.get(step)
+    }
+}
+
+/// Gradient descent over a differentiable objective, projected into a box.
+///
+/// This drives the paper's `gd` and `vae_gd` flows: the objective is the
+/// trained performance-predictor EDP (which is differentiable end to end),
+/// and the domain is either the normalized input space or the VAE latent
+/// space. Only the *final* point is sent to the scheduler + cost model, so
+/// a whole descent costs one simulator query (§III-C2).
+///
+/// # Examples
+///
+/// ```
+/// use vaesa_dse::{BoxSpace, FnDifferentiable, GdConfig, GradientDescent};
+///
+/// let space = BoxSpace::symmetric(2, 5.0);
+/// let mut objective = FnDifferentiable::new(2, |x: &[f64]| {
+///     let v = (x[0] - 2.0).powi(2) + (x[1] + 1.0).powi(2);
+///     (v, vec![2.0 * (x[0] - 2.0), 2.0 * (x[1] + 1.0)])
+/// });
+/// let gd = GradientDescent::new(space, GdConfig::default());
+/// let path = gd.run(&mut objective, &[0.0, 0.0]);
+/// assert!(path.final_value() < 1e-2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GradientDescent {
+    space: BoxSpace,
+    config: GdConfig,
+}
+
+impl GradientDescent {
+    /// Creates a driver over `space` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the learning rate is not positive or momentum is not in
+    /// `[0, 1)`.
+    pub fn new(space: BoxSpace, config: GdConfig) -> Self {
+        assert!(config.learning_rate > 0.0, "learning rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&config.momentum),
+            "momentum must be in [0, 1)"
+        );
+        GradientDescent { space, config }
+    }
+
+    /// The configured number of steps.
+    pub fn steps(&self) -> usize {
+        self.config.steps
+    }
+
+    /// Runs descent from `start`, recording every step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` has the wrong dimensionality.
+    pub fn run(&self, objective: &mut dyn DifferentiableObjective, start: &[f64]) -> GdPath {
+        assert_eq!(objective.dim(), self.space.dim(), "dimension mismatch");
+        assert_eq!(start.len(), self.space.dim(), "start dimension mismatch");
+        let mut x = start.to_vec();
+        self.space.clamp(&mut x);
+        let mut velocity = vec![0.0; x.len()];
+        let (v0, _) = objective.evaluate_with_grad(&x);
+        let mut steps = vec![GdStep {
+            step: 0,
+            x: x.clone(),
+            value: v0,
+        }];
+        for step in 1..=self.config.steps {
+            let (_, mut grad) = objective.evaluate_with_grad(&x);
+            if let Some(c) = self.config.clip {
+                for g in &mut grad {
+                    *g = g.clamp(-c, c);
+                }
+            }
+            for i in 0..x.len() {
+                velocity[i] = self.config.momentum * velocity[i]
+                    - self.config.learning_rate * grad[i];
+                x[i] += velocity[i];
+            }
+            self.space.clamp(&mut x);
+            let (value, _) = objective.evaluate_with_grad(&x);
+            steps.push(GdStep {
+                step,
+                x: x.clone(),
+                value,
+            });
+        }
+        GdPath { steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnDifferentiable;
+
+    fn quadratic() -> FnDifferentiable<impl FnMut(&[f64]) -> (f64, Vec<f64>)> {
+        FnDifferentiable::new(2, |x: &[f64]| {
+            let v = (x[0] - 2.0).powi(2) + (x[1] + 1.0).powi(2);
+            (v, vec![2.0 * (x[0] - 2.0), 2.0 * (x[1] + 1.0)])
+        })
+    }
+
+    #[test]
+    fn converges_to_interior_minimum() {
+        let gd = GradientDescent::new(BoxSpace::symmetric(2, 5.0), GdConfig::default());
+        let path = gd.run(&mut quadratic(), &[-4.0, 4.0]);
+        assert_eq!(path.steps.len(), 101);
+        let end = path.final_point();
+        assert!((end[0] - 2.0).abs() < 0.05, "x0 = {}", end[0]);
+        assert!((end[1] + 1.0).abs() < 0.05, "x1 = {}", end[1]);
+    }
+
+    #[test]
+    fn respects_box_constraints() {
+        // Minimum at (2, -1) lies outside the box [-0.5, 0.5]^2.
+        let gd = GradientDescent::new(BoxSpace::symmetric(2, 0.5), GdConfig::default());
+        let path = gd.run(&mut quadratic(), &[0.0, 0.0]);
+        let end = path.final_point();
+        assert!((end[0] - 0.5).abs() < 1e-9);
+        assert!((end[1] + 0.5).abs() < 1e-9);
+        for s in &path.steps {
+            assert!(s.x.iter().all(|v| v.abs() <= 0.5 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn value_decreases_overall() {
+        let gd = GradientDescent::new(BoxSpace::symmetric(2, 5.0), GdConfig::default());
+        let path = gd.run(&mut quadratic(), &[-4.0, 4.0]);
+        assert!(path.final_value() < path.steps[0].value / 100.0);
+        assert!(path.best_value() <= path.final_value());
+    }
+
+    #[test]
+    fn at_step_indexes_path() {
+        let config = GdConfig {
+            steps: 10,
+            ..GdConfig::default()
+        };
+        let gd = GradientDescent::new(BoxSpace::symmetric(2, 5.0), config);
+        let path = gd.run(&mut quadratic(), &[1.0, 1.0]);
+        assert_eq!(path.at_step(0).unwrap().x, vec![1.0, 1.0]);
+        assert!(path.at_step(10).is_some());
+        assert!(path.at_step(11).is_none());
+    }
+
+    #[test]
+    fn clipping_tames_huge_gradients() {
+        let mut steep = FnDifferentiable::new(1, |x: &[f64]| {
+            (1e6 * x[0] * x[0], vec![2e6 * x[0]])
+        });
+        let config = GdConfig {
+            learning_rate: 0.01,
+            momentum: 0.0,
+            steps: 50,
+            clip: Some(1.0),
+        };
+        let gd = GradientDescent::new(BoxSpace::symmetric(1, 2.0), config);
+        let path = gd.run(&mut steep, &[1.5]);
+        // Without clipping this would oscillate to the box bounds; with
+        // clipping it walks steadily down.
+        assert!(path.final_value() < path.steps[0].value);
+        assert!(path.final_point()[0].abs() < 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn bad_momentum_panics() {
+        let _ = GradientDescent::new(
+            BoxSpace::unit(1),
+            GdConfig {
+                momentum: 1.0,
+                ..GdConfig::default()
+            },
+        );
+    }
+}

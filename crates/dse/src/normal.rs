@@ -1,0 +1,67 @@
+//! Standard-normal density and CDF, used by the expected-improvement
+//! acquisition function.
+
+use std::f64::consts::PI;
+
+/// Standard normal probability density φ(x).
+pub fn pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * PI).sqrt()
+}
+
+/// Standard normal cumulative distribution Φ(x), via the complementary
+/// error function (Abramowitz & Stegun 7.1.26, |ε| < 1.5e-7).
+pub fn cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_symmetry_and_peak() {
+        assert!((pdf(0.0) - 0.3989422804).abs() < 1e-9);
+        assert!((pdf(1.3) - pdf(-1.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((cdf(1.0) - 0.8413447).abs() < 1e-5);
+        assert!((cdf(-1.0) - 0.1586553).abs() < 1e-5);
+        assert!((cdf(1.96) - 0.9750021).abs() < 1e-5);
+        assert!(cdf(8.0) > 0.999999);
+        assert!(cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn erf_odd_function() {
+        for x in [0.1, 0.7, 2.3] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+        assert!(erf(0.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let v = cdf(i as f64 / 10.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,149 @@
+/// A black-box minimization objective over a continuous domain.
+///
+/// `evaluate` returns `None` for *invalid* points — e.g. a decoded hardware
+/// configuration for which the scheduler finds no feasible mapping. Invalid
+/// evaluations still consume a sample from the search budget, exactly as a
+/// failed Timeloop run would in the paper's pipeline.
+pub trait Objective {
+    /// Dimensionality of the input.
+    fn dim(&self) -> usize;
+
+    /// Evaluates the objective, or `None` if the point is invalid.
+    fn evaluate(&mut self, x: &[f64]) -> Option<f64>;
+}
+
+/// A [`Objective`] defined by a closure, for tests and simple harnesses.
+///
+/// # Examples
+///
+/// ```
+/// use vaesa_dse::{FnObjective, Objective};
+///
+/// let mut sphere = FnObjective::new(2, |x| Some(x.iter().map(|v| v * v).sum()));
+/// assert_eq!(sphere.evaluate(&[0.0, 0.0]), Some(0.0));
+/// ```
+pub struct FnObjective<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F> FnObjective<F>
+where
+    F: FnMut(&[f64]) -> Option<f64>,
+{
+    /// Wraps a closure as an objective of the given dimensionality.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnObjective { dim, f }
+    }
+}
+
+impl<F> Objective for FnObjective<F>
+where
+    F: FnMut(&[f64]) -> Option<f64>,
+{
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn evaluate(&mut self, x: &[f64]) -> Option<f64> {
+        debug_assert_eq!(x.len(), self.dim, "objective dimension mismatch");
+        (self.f)(x)
+    }
+}
+
+impl<F> std::fmt::Debug for FnObjective<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnObjective").field("dim", &self.dim).finish()
+    }
+}
+
+/// An objective with analytic gradients, used by the gradient-descent
+/// driver (`vae_gd` differentiates the trained performance predictors).
+pub trait DifferentiableObjective {
+    /// Dimensionality of the input.
+    fn dim(&self) -> usize;
+
+    /// Returns `(value, gradient)` at `x`.
+    fn evaluate_with_grad(&mut self, x: &[f64]) -> (f64, Vec<f64>);
+}
+
+/// A [`DifferentiableObjective`] defined by a closure.
+pub struct FnDifferentiable<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F> FnDifferentiable<F>
+where
+    F: FnMut(&[f64]) -> (f64, Vec<f64>),
+{
+    /// Wraps a closure returning `(value, gradient)`.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnDifferentiable { dim, f }
+    }
+}
+
+impl<F> DifferentiableObjective for FnDifferentiable<F>
+where
+    F: FnMut(&[f64]) -> (f64, Vec<f64>),
+{
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn evaluate_with_grad(&mut self, x: &[f64]) -> (f64, Vec<f64>) {
+        debug_assert_eq!(x.len(), self.dim, "objective dimension mismatch");
+        (self.f)(x)
+    }
+}
+
+impl<F> std::fmt::Debug for FnDifferentiable<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnDifferentiable")
+            .field("dim", &self.dim)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_objective_counts_and_returns() {
+        let mut calls = 0;
+        {
+            let mut o = FnObjective::new(1, |x: &[f64]| {
+                calls += 1;
+                if x[0] < 0.0 {
+                    None
+                } else {
+                    Some(x[0])
+                }
+            });
+            assert_eq!(o.dim(), 1);
+            assert_eq!(o.evaluate(&[2.0]), Some(2.0));
+            assert_eq!(o.evaluate(&[-1.0]), None);
+        }
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn differentiable_objective_returns_grad() {
+        let mut o = FnDifferentiable::new(2, |x: &[f64]| {
+            let v = x[0] * x[0] + x[1] * x[1];
+            (v, vec![2.0 * x[0], 2.0 * x[1]])
+        });
+        let (v, g) = o.evaluate_with_grad(&[1.0, -2.0]);
+        assert_eq!(v, 5.0);
+        assert_eq!(g, vec![2.0, -4.0]);
+    }
+
+    #[test]
+    fn debug_impls_are_nonempty() {
+        let o = FnObjective::new(3, |_: &[f64]| Some(0.0));
+        assert!(format!("{o:?}").contains('3'));
+        let d = FnDifferentiable::new(2, |_: &[f64]| (0.0, vec![0.0, 0.0]));
+        assert!(format!("{d:?}").contains('2'));
+    }
+}

@@ -1,0 +1,193 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned continuous box, the search domain for all continuous
+/// optimizers in this crate.
+///
+/// VAESA's latent space is searched as a box (typically `[-3, 3]^dz`, three
+/// standard deviations of the KL-regularized prior); the baseline `bo` runs
+/// on the box of normalized input features `[0, 1]^6`.
+///
+/// # Examples
+///
+/// ```
+/// use vaesa_dse::BoxSpace;
+/// use rand::SeedableRng;
+///
+/// let space = BoxSpace::symmetric(4, 3.0); // [-3, 3]^4
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let x = space.sample(&mut rng);
+/// assert_eq!(x.len(), 4);
+/// assert!(space.contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxSpace {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl BoxSpace {
+    /// Creates a box from per-dimension bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound vectors differ in length, are empty, or any
+    /// `lo >= hi`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound lengths differ");
+        assert!(!lo.is_empty(), "space must have at least one dimension");
+        assert!(
+            lo.iter().zip(&hi).all(|(a, b)| a < b),
+            "every lower bound must be below its upper bound"
+        );
+        BoxSpace { lo, hi }
+    }
+
+    /// The box `[-half_width, half_width]^dim`.
+    pub fn symmetric(dim: usize, half_width: f64) -> Self {
+        assert!(half_width > 0.0, "half width must be positive");
+        BoxSpace::new(vec![-half_width; dim], vec![half_width; dim])
+    }
+
+    /// The unit box `[0, 1]^dim`.
+    pub fn unit(dim: usize) -> Self {
+        BoxSpace::new(vec![0.0; dim], vec![1.0; dim])
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bounds.
+    pub fn lower(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    pub fn upper(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Draws a uniform sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&a, &b)| rng.gen_range(a..b))
+            .collect()
+    }
+
+    /// Returns `true` if `x` lies inside the (closed) box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        x.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(&v, (&a, &b))| v >= a && v <= b)
+    }
+
+    /// Clamps `x` into the box, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn clamp(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        for (v, (&a, &b)) in x.iter_mut().zip(self.lo.iter().zip(&self.hi)) {
+            *v = v.clamp(a, b);
+        }
+    }
+
+    /// Per-dimension widths.
+    pub fn widths(&self) -> Vec<f64> {
+        self.lo.iter().zip(&self.hi).map(|(&a, &b)| b - a).collect()
+    }
+
+    /// An evenly spaced grid with `per_axis` points per dimension
+    /// (inclusive of both bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_axis < 2`.
+    pub fn grid(&self, per_axis: usize) -> Vec<Vec<f64>> {
+        assert!(per_axis >= 2, "grid needs at least 2 points per axis");
+        let d = self.dim();
+        let mut points = Vec::new();
+        let mut idx = vec![0usize; d];
+        loop {
+            let p: Vec<f64> = (0..d)
+                .map(|i| {
+                    let t = idx[i] as f64 / (per_axis - 1) as f64;
+                    self.lo[i] + t * (self.hi[i] - self.lo[i])
+                })
+                .collect();
+            points.push(p);
+            let mut axis = 0;
+            loop {
+                idx[axis] += 1;
+                if idx[axis] < per_axis {
+                    break;
+                }
+                idx[axis] = 0;
+                axis += 1;
+                if axis == d {
+                    return points;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let s = BoxSpace::new(vec![0.0, -1.0], vec![2.0, 1.0]);
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.widths(), vec![2.0, 2.0]);
+        assert_eq!(BoxSpace::unit(3).lower(), &[0.0, 0.0, 0.0]);
+        assert_eq!(BoxSpace::symmetric(2, 3.0).upper(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "below its upper bound")]
+    fn inverted_bounds_panic() {
+        let _ = BoxSpace::new(vec![1.0], vec![1.0]);
+    }
+
+    #[test]
+    fn sampling_stays_inside() {
+        let s = BoxSpace::new(vec![-5.0, 0.0], vec![-1.0, 0.1]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..200 {
+            assert!(s.contains(&s.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn clamp_projects_outside_points() {
+        let s = BoxSpace::unit(2);
+        let mut x = vec![-0.5, 1.7];
+        s.clamp(&mut x);
+        assert_eq!(x, vec![0.0, 1.0]);
+        assert!(s.contains(&x));
+    }
+
+    #[test]
+    fn grid_includes_corners() {
+        let s = BoxSpace::unit(2);
+        let g = s.grid(3);
+        assert_eq!(g.len(), 9);
+        assert!(g.contains(&vec![0.0, 0.0]));
+        assert!(g.contains(&vec![1.0, 1.0]));
+        assert!(g.contains(&vec![0.5, 0.5]));
+    }
+}

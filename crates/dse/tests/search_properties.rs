@@ -1,0 +1,83 @@
+//! Property tests for the search algorithms.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vaesa_dse::{
+    BayesOpt, BoxSpace, FnDifferentiable, FnObjective, GdConfig, GpRegressor, GradientDescent,
+    RandomSearch,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every search consumes exactly its budget and its best value is the
+    /// minimum of the recorded sample values.
+    #[test]
+    fn searches_respect_budget_and_best(seed in 0u64..500, budget in 1usize..40) {
+        let space = BoxSpace::symmetric(2, 1.5);
+        let objective = |x: &[f64]| Some(x[0] * x[0] + (x[1] - 0.5).powi(2));
+        for style in 0..2 {
+            let mut obj = FnObjective::new(2, objective);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let trace = if style == 0 {
+                RandomSearch::new(space.clone()).run(&mut obj, budget, &mut rng)
+            } else {
+                BayesOpt::new(space.clone()).run(&mut obj, budget, &mut rng)
+            };
+            prop_assert_eq!(trace.len(), budget);
+            let min = trace
+                .samples()
+                .iter()
+                .filter_map(|s| s.value)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(trace.best_value().expect("valid samples"), min);
+            // All sampled points stay in the box.
+            for s in trace.samples() {
+                prop_assert!(space.contains(&s.x));
+            }
+        }
+    }
+
+    /// GP posterior mean at a training input reproduces the target (small
+    /// noise) and the posterior variance is non-negative everywhere.
+    #[test]
+    fn gp_posterior_sanity(
+        ys in proptest::collection::vec(-100.0f64..100.0, 5),
+        probe in -3.0f64..6.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let gp = GpRegressor::fit(&xs, &ys).expect("fit");
+        for (x, &y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.predict(x);
+            let spread = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!((m - y).abs() <= 0.05 * (1.0 + spread), "mean {m} vs {y}");
+            prop_assert!(v >= 0.0);
+        }
+        let (_, v) = gp.predict(&[probe]);
+        prop_assert!(v >= 0.0);
+    }
+
+    /// Gradient descent on a convex quadratic never ends above its start,
+    /// for any start and any box.
+    #[test]
+    fn gd_never_ends_worse_on_convex(
+        start in proptest::collection::vec(-4.0f64..4.0, 3),
+        half in 0.5f64..5.0,
+    ) {
+        let space = BoxSpace::symmetric(3, half);
+        let mut obj = FnDifferentiable::new(3, |x: &[f64]| {
+            let v: f64 = x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum();
+            (v, x.iter().map(|v| 2.0 * (v - 0.3)).collect())
+        });
+        let gd = GradientDescent::new(space, GdConfig {
+            learning_rate: 0.05,
+            momentum: 0.0,
+            steps: 60,
+            clip: None,
+        });
+        let path = gd.run(&mut obj, &start);
+        prop_assert!(path.final_value() <= path.steps[0].value + 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+#![deny(missing_docs)]
+//! Tensors, reverse-mode automatic differentiation, MLP layers, and
+//! optimizers — the neural-network substrate for the VAESA reproduction.
+//!
+//! The paper trains its VAE and performance predictors with PyTorch; this
+//! crate provides the equivalent machinery from scratch:
+//!
+//! - [`Tensor`]: dense 2-D `f64` arrays (batch × features).
+//! - [`Graph`]: a define-by-run autodiff tape with the operations the VAESA
+//!   models need (matmul, broadcasting bias, leaky ReLU/sigmoid/tanh, exp/ln,
+//!   slicing/concatenation, MSE and Gaussian-KL losses).
+//! - [`Linear`] / [`Mlp`]: fully connected networks with Kaiming-uniform
+//!   initialization.
+//! - [`Sgd`] / [`Adam`]: optimizers; Adam carries per-parameter moments in
+//!   [`Param`].
+//! - [`Batcher`], [`randn`], [`rand_uniform`]: minibatching and sampling
+//!   helpers (seeded, deterministic).
+//!
+//! # Examples
+//!
+//! Train a tiny regressor on `y = 2x`:
+//!
+//! ```
+//! use vaesa_nn::{Activation, Adam, Graph, Mlp, Tensor};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let mut mlp = Mlp::new(&[1, 8, 1], Activation::Tanh, Activation::Identity, &mut rng);
+//! let mut adam = Adam::new(0.01);
+//! let xs = Tensor::from_rows(&[&[0.0], &[0.5], &[1.0]]);
+//! let ys = xs.scale(2.0);
+//! let mut last_loss = f64::INFINITY;
+//! for _ in 0..300 {
+//!     let mut g = Graph::new();
+//!     let x = g.leaf(xs.clone());
+//!     let t = g.leaf(ys.clone());
+//!     let pass = mlp.forward(&mut g, x);
+//!     let loss = g.mse(pass.output, t);
+//!     g.backward(loss);
+//!     mlp.zero_grad();
+//!     mlp.accumulate_grads(&g, &pass);
+//!     mlp.adam_step(&mut adam);
+//!     last_loss = g.value(loss).get(0, 0);
+//! }
+//! assert!(last_loss < 1e-3);
+//! ```
+
+mod data;
+mod graph;
+mod layers;
+mod optim;
+mod tensor;
+
+pub use data::{rand_uniform, randn, Batcher};
+pub use graph::{finite_diff_check, Graph, VarId};
+pub use layers::{Activation, Linear, Mlp, MlpPass, Param};
+pub use optim::{Adam, Sgd};
+pub use tensor::Tensor;

@@ -1,0 +1,508 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major, two-dimensional `f64` tensor.
+///
+/// Throughout this workspace the first dimension is the batch dimension and
+/// the second is the feature dimension, so a minibatch of 32 six-feature
+/// hardware configurations is a `32 x 6` tensor.
+///
+/// `Tensor` deliberately supports only the operations the VAESA models need;
+/// autodiff over these operations lives in [`crate::Graph`].
+///
+/// # Examples
+///
+/// ```
+/// use vaesa_nn::Tensor;
+///
+/// let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Tensor::fill(2, 2, 1.0);
+/// let sum = a.add(&b);
+/// assert_eq!(sum.get(1, 1), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a `rows x cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` tensor filled with `value`.
+    pub fn fill(rows: usize, cols: usize, value: f64) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Tensor { rows, cols, data }
+    }
+
+    /// Creates a tensor from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are empty or ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "from_rows requires equal-length rows"
+        );
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Tensor {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a single-row tensor from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Tensor::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Number of rows (batch size).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (feature count).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Borrows the flat row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the flat row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrows row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Stacks row tensors vertically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is empty or the column counts differ.
+    pub fn vstack(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "vstack requires at least one tensor");
+        let cols = parts[0].cols;
+        assert!(
+            parts.iter().all(|p| p.cols == cols),
+            "vstack requires equal column counts"
+        );
+        let rows = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Tensor { rows, cols, data }
+    }
+
+    /// Selects a subset of rows by index, cloning them into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Tensor {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Tensor {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    fn zip(&self, other: &Tensor, op: &str, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{op}: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, "mul", |a, b| a * b)
+    }
+
+    /// Multiplies every element by `k`.
+    pub fn scale(&self, k: f64) -> Tensor {
+        self.map(|v| v * k)
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimensions differ ({} vs {})",
+            self.cols, other.rows
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Adds a `1 x cols` row vector to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(
+            bias.shape(),
+            (1, self.cols),
+            "broadcast bias must be 1x{}, got {:?}",
+            self.cols,
+            bias.shape()
+        );
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[r * self.cols + c] += bias.data[c];
+            }
+        }
+        out
+    }
+
+    /// Sums every element.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of every element; 0.0 for an empty tensor.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Sums over rows, producing a `1 x cols` tensor.
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Copies columns `[start, end)` into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.cols()`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.cols, "invalid column range {start}..{end}");
+        let width = end - start;
+        let mut data = Vec::with_capacity(self.rows * width);
+        for r in 0..self.rows {
+            data.extend_from_slice(&self.data[r * self.cols + start..r * self.cols + end]);
+        }
+        Tensor {
+            rows: self.rows,
+            cols: width,
+            data,
+        }
+    }
+
+    /// Concatenates two tensors with equal row counts along columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "concat_cols: row counts differ ({} vs {})",
+            self.rows, other.rows
+        );
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Tensor {
+            rows: self.rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Largest absolute element, or 0.0 when empty.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+
+    /// Returns `true` if both tensors have the same shape and all elements
+    /// are within `tol` of each other.
+    pub fn approx_eq(&self, other: &Tensor, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(12) {
+                write!(f, "{:>11.5} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}", if self.cols > 12 { "..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ... ({} more rows)", self.rows - 8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_accessors() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.get(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_bad_shape_panics() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn elementwise_and_scale() {
+        let a = Tensor::from_rows(&[&[1.0, -2.0]]);
+        let b = Tensor::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.add(&b).as_slice(), &[4.0, 2.0]);
+        assert_eq!(a.sub(&b).as_slice(), &[-2.0, -6.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[3.0, -8.0]);
+        assert_eq!(a.scale(-1.0).as_slice(), &[-1.0, 2.0]);
+        assert_eq!(a.map(f64::abs).as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+        assert_eq!(a.transpose().as_slice(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let x = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::row_vector(&[10.0, 20.0]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.sum_rows().as_slice(), &[4.0, 6.0]);
+        assert_eq!(t.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn slicing_and_concat() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]]);
+        let left = t.slice_cols(0, 2);
+        let right = t.slice_cols(2, 4);
+        assert_eq!(left.as_slice(), &[1.0, 2.0, 5.0, 6.0]);
+        assert_eq!(right.as_slice(), &[3.0, 4.0, 7.0, 8.0]);
+        let joined = left.concat_cols(&right);
+        assert!(joined.approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn stacking_and_selection() {
+        let a = Tensor::row_vector(&[1.0, 2.0]);
+        let b = Tensor::row_vector(&[3.0, 4.0]);
+        let s = Tensor::vstack(&[a, b]);
+        assert_eq!(s.shape(), (2, 2));
+        let sel = s.select_rows(&[1, 0, 1]);
+        assert_eq!(sel.as_slice(), &[3.0, 4.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let t = Tensor::zeros(1, 1);
+        assert!(format!("{t}").contains("1x1"));
+    }
+}

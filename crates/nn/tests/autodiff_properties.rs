@@ -1,0 +1,137 @@
+//! Property tests for the autodiff engine: analytic gradients must match
+//! central finite differences for randomly shaped networks and inputs, and
+//! tensor algebra must satisfy its identities.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vaesa_nn::{finite_diff_check, Activation, Graph, Mlp, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random MLP (depth 1-2, widths 1-6, any activation pair), random
+    /// input batch: parameter gradients match finite differences.
+    #[test]
+    fn mlp_param_gradients_match_finite_difference(
+        seed in 0u64..1000,
+        w1 in 1usize..6,
+        w2 in 1usize..6,
+        batch in 1usize..4,
+        act_idx in 0usize..4,
+    ) {
+        let acts = [
+            Activation::LeakyRelu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Identity,
+        ];
+        let act = acts[act_idx];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut mlp = Mlp::new(&[3, w1, w2], act, Activation::Identity, &mut rng);
+        let x = vaesa_nn::rand_uniform(batch, 3, -1.0, 1.0, &mut rng);
+        let t = vaesa_nn::rand_uniform(batch, w2, -1.0, 1.0, &mut rng);
+
+        let loss_of = |m: &Mlp| {
+            let mut g = Graph::new();
+            let xi = g.leaf(x.clone());
+            let ti = g.leaf(t.clone());
+            let pass = m.forward(&mut g, xi);
+            let l = g.mse(pass.output, ti);
+            (g, pass, l)
+        };
+        let (mut g, pass, l) = loss_of(&mlp);
+        g.backward(l);
+        mlp.zero_grad();
+        mlp.accumulate_grads(&g, &pass);
+        let analytic = mlp.flatten_grads();
+        let theta = mlp.flatten_params();
+        let mut probe = mlp.clone();
+        let worst = finite_diff_check(&theta, &analytic, 1e-6, |p| {
+            probe.unflatten_params(p);
+            let (g, _, l) = loss_of(&probe);
+            g.value(l).get(0, 0)
+        });
+        // Leaky ReLU has kinks; tolerate subgradient mismatches there.
+        let tol = if act == Activation::LeakyRelu { 5e-2 } else { 1e-6 };
+        prop_assert!(worst < tol, "gradient off by {worst} for {act:?}");
+    }
+
+    /// Input gradients (the quantity `vae_gd` descends) also match finite
+    /// differences.
+    #[test]
+    fn input_gradients_match_finite_difference(
+        seed in 0u64..1000,
+        x in proptest::collection::vec(-2.0f64..2.0, 4),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mlp = Mlp::new(&[4, 5, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let value_of = |xv: &[f64]| {
+            let mut g = Graph::new();
+            let xi = g.leaf(Tensor::row_vector(xv));
+            let pass = mlp.forward(&mut g, xi);
+            let l = g.sum_all(pass.output);
+            (g, xi, l)
+        };
+        let (mut g, xi, l) = value_of(&x);
+        g.backward(l);
+        let analytic = g.grad(xi).expect("input grad").clone().into_vec();
+        let worst = finite_diff_check(&x, &analytic, 1e-6, |xv| {
+            let (g, _, l) = value_of(xv);
+            g.value(l).get(0, 0)
+        });
+        prop_assert!(worst < 1e-6, "input gradient off by {worst}");
+    }
+
+    /// Matmul distributes over addition: (A+B)·C = A·C + B·C.
+    #[test]
+    fn matmul_distributes(
+        a in proptest::collection::vec(-5.0f64..5.0, 6),
+        b in proptest::collection::vec(-5.0f64..5.0, 6),
+        c in proptest::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        let ma = Tensor::from_vec(2, 3, a);
+        let mb = Tensor::from_vec(2, 3, b);
+        let mc = Tensor::from_vec(3, 2, c);
+        let left = ma.add(&mb).matmul(&mc);
+        let right = ma.matmul(&mc).add(&mb.matmul(&mc));
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    /// Transpose is an involution and respects matmul: (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_identities(
+        a in proptest::collection::vec(-5.0f64..5.0, 6),
+        b in proptest::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        let ma = Tensor::from_vec(2, 3, a);
+        let mb = Tensor::from_vec(3, 2, b);
+        prop_assert!(ma.transpose().transpose().approx_eq(&ma, 0.0));
+        let left = ma.matmul(&mb).transpose();
+        let right = mb.transpose().matmul(&ma.transpose());
+        prop_assert!(left.approx_eq(&right, 1e-12));
+    }
+
+    /// Slicing then concatenating restores the tensor.
+    #[test]
+    fn slice_concat_roundtrip(
+        data in proptest::collection::vec(-9.0f64..9.0, 12),
+        split in 1usize..4,
+    ) {
+        let t = Tensor::from_vec(3, 4, data);
+        let left = t.slice_cols(0, split);
+        let right = t.slice_cols(split, 4);
+        prop_assert!(left.concat_cols(&right).approx_eq(&t, 0.0));
+    }
+
+    /// sum_rows agrees with a manual column sum.
+    #[test]
+    fn sum_rows_matches_manual(data in proptest::collection::vec(-9.0f64..9.0, 12)) {
+        let t = Tensor::from_vec(4, 3, data.clone());
+        let s = t.sum_rows();
+        for c in 0..3 {
+            let manual: f64 = (0..4).map(|r| data[r * 3 + c]).sum();
+            prop_assert!((s.get(0, c) - manual).abs() < 1e-12);
+        }
+    }
+}

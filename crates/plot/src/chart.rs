@@ -1,0 +1,383 @@
+//! High-level charts: multi-series line charts with optional ±std bands,
+//! and value-colored scatter plots.
+
+use crate::color::{series_color, viridis};
+use crate::scale::{format_tick, Scale};
+use crate::svg::Svg;
+
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 20.0;
+const MARGIN_TOP: f64 = 36.0;
+const MARGIN_BOTTOM: f64 = 52.0;
+
+/// One line-chart series: points plus an optional symmetric band (±std).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in order.
+    pub points: Vec<(f64, f64)>,
+    /// Optional per-point half-band width (same length as `points`).
+    pub band: Option<Vec<f64>>,
+}
+
+impl Series {
+    /// A plain series with no band.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+            band: None,
+        }
+    }
+
+    /// Attaches a ±band (e.g. standard deviation across seeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band length differs from the point count.
+    pub fn with_band(mut self, band: Vec<f64>) -> Self {
+        assert_eq!(band.len(), self.points.len(), "band length mismatch");
+        self.band = Some(band);
+        self
+    }
+}
+
+/// A multi-series line chart.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    log_y: bool,
+    size: (u32, u32),
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            log_y: false,
+            size: (640, 420),
+        }
+    }
+
+    /// Adds a series.
+    pub fn series(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Uses a base-10 log y-axis (requires positive y values).
+    pub fn log_y(&mut self) -> &mut Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Sets the pixel size.
+    pub fn size(&mut self, width: u32, height: u32) -> &mut Self {
+        self.size = (width, height);
+        self
+    }
+
+    /// Renders to an SVG string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series or no finite points were added, or if `log_y`
+    /// was requested with non-positive values.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        assert!(!pts.is_empty(), "line chart has no finite points");
+        let (w, h) = (self.size.0 as f64, self.size.1 as f64);
+
+        let (mut x0, mut x1) = min_max(pts.iter().map(|p| p.0));
+        if x0 == x1 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        let (mut y0, mut y1) = min_max(pts.iter().map(|p| p.1));
+        if self.log_y {
+            assert!(y0 > 0.0, "log y-axis requires positive values");
+            y0 /= 1.3;
+            y1 *= 1.3;
+        } else {
+            let pad = ((y1 - y0) * 0.08).max(y1.abs() * 1e-6 + 1e-12);
+            y0 -= pad;
+            y1 += pad;
+        }
+        let sx = Scale::linear((x0, x1), (MARGIN_LEFT, w - MARGIN_RIGHT));
+        let sy = if self.log_y {
+            Scale::log10((y0, y1), (h - MARGIN_BOTTOM, MARGIN_TOP))
+        } else {
+            Scale::linear((y0, y1), (h - MARGIN_BOTTOM, MARGIN_TOP))
+        };
+
+        let mut svg = Svg::new(self.size.0, self.size.1);
+        draw_axes(&mut svg, &sx, &sy, w, h, &self.title, &self.x_label, &self.y_label);
+
+        for (i, series) in self.series.iter().enumerate() {
+            let color = series_color(i);
+            if let Some(band) = &series.band {
+                let mut hull: Vec<(f64, f64)> = series
+                    .points
+                    .iter()
+                    .zip(band)
+                    .map(|(&(x, y), &b)| (sx.map(x), sy.map((y + b).max(y0))))
+                    .collect();
+                let lower: Vec<(f64, f64)> = series
+                    .points
+                    .iter()
+                    .zip(band)
+                    .rev()
+                    .map(|(&(x, y), &b)| (sx.map(x), sy.map((y - b).max(y0))))
+                    .collect();
+                hull.extend(lower);
+                svg.polygon(&hull, color, 0.15);
+            }
+            let line: Vec<(f64, f64)> = series
+                .points
+                .iter()
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .map(|&(x, y)| (sx.map(x), sy.map(y)))
+                .collect();
+            svg.polyline(&line, color, 1.8);
+        }
+
+        // Legend: one row per series, top-right inside the plot.
+        for (i, series) in self.series.iter().enumerate() {
+            let y = MARGIN_TOP + 14.0 + i as f64 * 16.0;
+            let x = w - MARGIN_RIGHT - 130.0;
+            svg.line(x, y - 4.0, x + 18.0, y - 4.0, series_color(i), 2.0);
+            svg.text(x + 24.0, y, &series.label, 11.0, "start");
+        }
+        svg.finish()
+    }
+}
+
+/// A scatter plot whose marker colors encode a third value via viridis.
+#[derive(Debug, Clone)]
+pub struct ScatterChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    color_label: String,
+    /// `(x, y, value)` triples.
+    points: Vec<(f64, f64, f64)>,
+    log_color: bool,
+    size: (u32, u32),
+}
+
+impl ScatterChart {
+    /// Creates an empty scatter chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        color_label: impl Into<String>,
+    ) -> Self {
+        ScatterChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            color_label: color_label.into(),
+            points: Vec::new(),
+            log_color: false,
+            size: (560, 460),
+        }
+    }
+
+    /// Adds one point.
+    pub fn point(&mut self, x: f64, y: f64, value: f64) -> &mut Self {
+        self.points.push((x, y, value));
+        self
+    }
+
+    /// Adds many points.
+    pub fn points(&mut self, pts: impl IntoIterator<Item = (f64, f64, f64)>) -> &mut Self {
+        self.points.extend(pts);
+        self
+    }
+
+    /// Color by `log10(value)` (for EDP-like quantities spanning decades).
+    pub fn log_color(&mut self) -> &mut Self {
+        self.log_color = true;
+        self
+    }
+
+    /// Renders to an SVG string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no finite points were added.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64, f64)> = self
+            .points
+            .iter()
+            .copied()
+            .filter(|(x, y, v)| x.is_finite() && y.is_finite() && v.is_finite())
+            .collect();
+        assert!(!pts.is_empty(), "scatter chart has no finite points");
+        let (w, h) = (self.size.0 as f64, self.size.1 as f64);
+
+        let (mut x0, mut x1) = min_max(pts.iter().map(|p| p.0));
+        let (mut y0, mut y1) = min_max(pts.iter().map(|p| p.1));
+        for (lo, hi) in [(&mut x0, &mut x1), (&mut y0, &mut y1)] {
+            if lo == hi {
+                *lo -= 0.5;
+                *hi += 0.5;
+            } else {
+                let pad = (*hi - *lo) * 0.05;
+                *lo -= pad;
+                *hi += pad;
+            }
+        }
+        let sx = Scale::linear((x0, x1), (MARGIN_LEFT, w - MARGIN_RIGHT - 24.0));
+        let sy = Scale::linear((y0, y1), (h - MARGIN_BOTTOM, MARGIN_TOP));
+
+        let key = |v: f64| if self.log_color { v.log10() } else { v };
+        let (c0, c1) = min_max(pts.iter().map(|p| key(p.2)));
+        let span = (c1 - c0).max(1e-300);
+
+        let mut svg = Svg::new(self.size.0, self.size.1);
+        draw_axes(&mut svg, &sx, &sy, w, h, &self.title, &self.x_label, &self.y_label);
+        for &(x, y, v) in &pts {
+            let t = (key(v) - c0) / span;
+            svg.circle(sx.map(x), sy.map(y), 2.6, &viridis(t));
+        }
+
+        // Color bar on the right edge.
+        let bar_x = w - MARGIN_RIGHT - 12.0;
+        let bar_top = MARGIN_TOP;
+        let bar_h = h - MARGIN_TOP - MARGIN_BOTTOM;
+        let steps = 32;
+        for i in 0..steps {
+            let t = i as f64 / (steps - 1) as f64;
+            let y = bar_top + bar_h * (1.0 - t);
+            svg.rect(bar_x, y - bar_h / steps as f64, 10.0, bar_h / steps as f64 + 1.0, &viridis(t), None);
+        }
+        svg.vtext(bar_x - 4.0, bar_top + bar_h / 2.0, &self.color_label, 11.0);
+        svg.finish()
+    }
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn draw_axes(
+    svg: &mut Svg,
+    sx: &Scale,
+    sy: &Scale,
+    w: f64,
+    h: f64,
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+) {
+    let x_axis_y = h - MARGIN_BOTTOM;
+    svg.line(MARGIN_LEFT, x_axis_y, w - MARGIN_RIGHT, x_axis_y, "#444444", 1.0);
+    svg.line(MARGIN_LEFT, MARGIN_TOP, MARGIN_LEFT, x_axis_y, "#444444", 1.0);
+    for t in sx.ticks(6) {
+        let px = sx.map(t);
+        svg.line(px, x_axis_y, px, x_axis_y + 4.0, "#444444", 1.0);
+        svg.text(px, x_axis_y + 16.0, &format_tick(t), 10.0, "middle");
+    }
+    for t in sy.ticks(6) {
+        let py = sy.map(t);
+        svg.line(MARGIN_LEFT - 4.0, py, MARGIN_LEFT, py, "#444444", 1.0);
+        svg.text(MARGIN_LEFT - 7.0, py + 3.0, &format_tick(t), 10.0, "end");
+        svg.line(MARGIN_LEFT, py, w - MARGIN_RIGHT, py, "#eeeeee", 0.6);
+    }
+    svg.text(w / 2.0, 20.0, title, 13.0, "middle");
+    svg.text(w / 2.0, h - 14.0, x_label, 11.0, "middle");
+    svg.vtext(18.0, h / 2.0, y_label, 11.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_all_series() {
+        let mut chart = LineChart::new("t", "x", "y");
+        chart.series(Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]));
+        chart.series(
+            Series::new("b", vec![(0.0, 3.0), (1.0, 1.0)]).with_band(vec![0.2, 0.1]),
+        );
+        let svg = chart.render();
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("<polygon")); // the band
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+        assert!(svg.contains(">t</text>"));
+    }
+
+    #[test]
+    fn log_axis_renders_decades() {
+        let mut chart = LineChart::new("edp", "sample", "EDP");
+        chart.log_y();
+        chart.series(Series::new(
+            "curve",
+            vec![(1.0, 1e16), (2.0, 3e15), (3.0, 1e15)],
+        ));
+        let svg = chart.render();
+        assert!(svg.contains("1e15") || svg.contains("1e16"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite points")]
+    fn empty_chart_panics() {
+        let _ = LineChart::new("t", "x", "y").render();
+    }
+
+    #[test]
+    fn scatter_renders_points_and_colorbar() {
+        let mut chart = ScatterChart::new("latent", "z1", "z2", "EDP");
+        chart.points((0..50).map(|i| {
+            let t = i as f64 / 10.0;
+            (t.sin(), t.cos(), 1e15 * (1.0 + t))
+        }));
+        chart.log_color();
+        let svg = chart.render();
+        assert!(svg.matches("<circle").count() >= 50);
+        assert!(svg.contains("EDP"));
+        assert!(svg.contains("rotate(-90"));
+    }
+
+    #[test]
+    fn constant_axis_is_padded_not_degenerate() {
+        let mut chart = ScatterChart::new("t", "x", "y", "v");
+        chart.point(1.0, 5.0, 2.0);
+        chart.point(1.0, 5.0, 3.0);
+        let svg = chart.render(); // must not panic on zero-width domain
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "band length")]
+    fn band_length_mismatch_panics() {
+        let _ = Series::new("a", vec![(0.0, 0.0)]).with_band(vec![0.1, 0.2]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Series palette and a perceptual colormap for value-colored scatter
+//! plots.
+
+/// Categorical palette for line/series colors (colorblind-friendly Okabe–Ito).
+pub const SERIES: [&str; 8] = [
+    "#0072B2", // blue
+    "#D55E00", // vermillion
+    "#009E73", // green
+    "#CC79A7", // purple
+    "#E69F00", // orange
+    "#56B4E9", // sky
+    "#F0E442", // yellow
+    "#000000", // black
+];
+
+/// Returns the `i`-th series color, cycling.
+pub fn series_color(i: usize) -> &'static str {
+    SERIES[i % SERIES.len()]
+}
+
+/// Maps `t in [0, 1]` through a viridis-like perceptual colormap and
+/// returns an `#rrggbb` string. Values outside `[0, 1]` are clamped.
+pub fn viridis(t: f64) -> String {
+    // Five control points of viridis, linearly interpolated.
+    const STOPS: [(f64, [u8; 3]); 5] = [
+        (0.00, [68, 1, 84]),
+        (0.25, [59, 82, 139]),
+        (0.50, [33, 145, 140]),
+        (0.75, [94, 201, 98]),
+        (1.00, [253, 231, 37]),
+    ];
+    let t = t.clamp(0.0, 1.0);
+    let mut lo = STOPS[0];
+    let mut hi = STOPS[STOPS.len() - 1];
+    for w in STOPS.windows(2) {
+        if t >= w[0].0 && t <= w[1].0 {
+            lo = w[0];
+            hi = w[1];
+            break;
+        }
+    }
+    let f = if hi.0 > lo.0 { (t - lo.0) / (hi.0 - lo.0) } else { 0.0 };
+    let mix = |a: u8, b: u8| (a as f64 + f * (b as f64 - a as f64)).round() as u8;
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        mix(lo.1[0], hi.1[0]),
+        mix(lo.1[1], hi.1[1]),
+        mix(lo.1[2], hi.1[2])
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palette_cycles() {
+        assert_eq!(series_color(0), SERIES[0]);
+        assert_eq!(series_color(8), SERIES[0]);
+        assert_eq!(series_color(9), SERIES[1]);
+    }
+
+    #[test]
+    fn viridis_endpoints_and_clamping() {
+        assert_eq!(viridis(0.0), "#440154");
+        assert_eq!(viridis(1.0), "#fde725");
+        assert_eq!(viridis(-5.0), viridis(0.0));
+        assert_eq!(viridis(5.0), viridis(1.0));
+    }
+
+    #[test]
+    fn viridis_is_valid_hex_everywhere() {
+        for i in 0..=100 {
+            let c = viridis(i as f64 / 100.0);
+            assert_eq!(c.len(), 7);
+            assert!(c.starts_with('#'));
+            assert!(c[1..].chars().all(|ch| ch.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn viridis_midpoint_matches_control() {
+        assert_eq!(viridis(0.5), "#21918c");
+    }
+}

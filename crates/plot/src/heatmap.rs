@@ -1,0 +1,185 @@
+//! Grid heatmaps for surface plots (Figure 5's predicted vs real latency
+//! and energy surfaces over the 2-D latent space).
+
+use crate::color::viridis;
+use crate::scale::{format_tick, Scale};
+use crate::svg::Svg;
+
+/// A regular-grid heatmap: cell values colored through viridis.
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    title: String,
+    x_label: String,
+    y_label: String,
+    color_label: String,
+    /// `(x, y, value)` samples on a regular grid.
+    cells: Vec<(f64, f64, f64)>,
+    log_color: bool,
+    size: (u32, u32),
+}
+
+impl Heatmap {
+    /// Creates an empty heatmap.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        color_label: impl Into<String>,
+    ) -> Self {
+        Heatmap {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            color_label: color_label.into(),
+            cells: Vec::new(),
+            log_color: false,
+            size: (520, 440),
+        }
+    }
+
+    /// Adds one grid cell sample.
+    pub fn cell(&mut self, x: f64, y: f64, value: f64) -> &mut Self {
+        self.cells.push((x, y, value));
+        self
+    }
+
+    /// Adds many cells.
+    pub fn cells(&mut self, it: impl IntoIterator<Item = (f64, f64, f64)>) -> &mut Self {
+        self.cells.extend(it);
+        self
+    }
+
+    /// Color by `log10(value)`.
+    pub fn log_color(&mut self) -> &mut Self {
+        self.log_color = true;
+        self
+    }
+
+    /// Renders to SVG. Cell size is inferred from the smallest positive
+    /// spacing between distinct x (and y) coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two distinct grid coordinates exist on either
+    /// axis, or no finite cells were added.
+    pub fn render(&self) -> String {
+        let cells: Vec<(f64, f64, f64)> = self
+            .cells
+            .iter()
+            .copied()
+            .filter(|(x, y, v)| x.is_finite() && y.is_finite() && v.is_finite())
+            .collect();
+        assert!(!cells.is_empty(), "heatmap has no finite cells");
+        let dx = min_spacing(cells.iter().map(|c| c.0));
+        let dy = min_spacing(cells.iter().map(|c| c.1));
+
+        let (w, h) = (self.size.0 as f64, self.size.1 as f64);
+        let (x0, x1) = bounds(cells.iter().map(|c| c.0));
+        let (y0, y1) = bounds(cells.iter().map(|c| c.1));
+        let sx = Scale::linear((x0 - dx / 2.0, x1 + dx / 2.0), (70.0, w - 44.0));
+        let sy = Scale::linear((y0 - dy / 2.0, y1 + dy / 2.0), (h - 52.0, 36.0));
+
+        let key = |v: f64| if self.log_color { v.log10() } else { v };
+        let (c0, c1) = bounds(cells.iter().map(|c| key(c.2)));
+        let span = (c1 - c0).max(1e-300);
+
+        let mut svg = Svg::new(self.size.0, self.size.1);
+        let cell_w = (sx.map(x0 + dx) - sx.map(x0)).abs();
+        let cell_h = (sy.map(y0 + dy) - sy.map(y0)).abs();
+        for &(x, y, v) in &cells {
+            let t = (key(v) - c0) / span;
+            svg.rect(
+                sx.map(x) - cell_w / 2.0,
+                sy.map(y) - cell_h / 2.0,
+                cell_w + 0.5,
+                cell_h + 0.5,
+                &viridis(t),
+                None,
+            );
+        }
+        // Axes on top of the cells.
+        for t in sx.ticks(6) {
+            svg.text(sx.map(t), h - 36.0, &format_tick(t), 10.0, "middle");
+        }
+        for t in sy.ticks(6) {
+            svg.text(62.0, sy.map(t) + 3.0, &format_tick(t), 10.0, "end");
+        }
+        svg.text(w / 2.0, 20.0, &self.title, 13.0, "middle");
+        svg.text(w / 2.0, h - 14.0, &self.x_label, 11.0, "middle");
+        svg.vtext(18.0, h / 2.0, &self.y_label, 11.0);
+
+        // Colorbar.
+        let bar_x = w - 32.0;
+        let bar_top = 36.0;
+        let bar_h = h - 36.0 - 52.0;
+        let steps = 32;
+        for i in 0..steps {
+            let t = i as f64 / (steps - 1) as f64;
+            let y = bar_top + bar_h * (1.0 - t);
+            svg.rect(bar_x, y - bar_h / steps as f64, 10.0, bar_h / steps as f64 + 1.0, &viridis(t), None);
+        }
+        svg.vtext(bar_x - 4.0, bar_top + bar_h / 2.0, &self.color_label, 11.0);
+        svg.finish()
+    }
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+fn min_spacing(values: impl Iterator<Item = f64>) -> f64 {
+    let mut distinct: Vec<f64> = values.collect();
+    distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    distinct.dedup();
+    assert!(
+        distinct.len() >= 2,
+        "heatmap needs at least two distinct coordinates per axis"
+    );
+    distinct
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_a_grid() {
+        let mut hm = Heatmap::new("surface", "z1", "z2", "latency");
+        for i in 0..5 {
+            for j in 0..5 {
+                hm.cell(i as f64, j as f64, (i * j + 1) as f64);
+            }
+        }
+        hm.log_color();
+        let svg = hm.render();
+        // 25 cells + background + colorbar steps.
+        assert!(svg.matches("<rect").count() > 25);
+        assert!(svg.contains("latency"));
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct coordinates")]
+    fn single_column_panics() {
+        let mut hm = Heatmap::new("t", "x", "y", "v");
+        hm.cell(0.0, 0.0, 1.0);
+        hm.cell(0.0, 1.0, 2.0);
+        let _ = hm.render();
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite cells")]
+    fn all_nan_panics() {
+        let mut hm = Heatmap::new("t", "x", "y", "v");
+        hm.cell(f64::NAN, 0.0, 1.0);
+        let _ = hm.render();
+    }
+}

@@ -1,0 +1,190 @@
+//! Histograms, used for distributional results such as Figure 13's
+//! per-start EDP improvement factors.
+
+use crate::color::series_color;
+use crate::scale::{format_tick, nice_step, Scale};
+use crate::svg::Svg;
+
+/// A single-series histogram with automatic binning.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    title: String,
+    x_label: String,
+    values: Vec<f64>,
+    bins: usize,
+    log_x: bool,
+    size: (u32, u32),
+}
+
+impl Histogram {
+    /// Creates an empty histogram with 20 bins.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>) -> Self {
+        Histogram {
+            title: title.into(),
+            x_label: x_label.into(),
+            values: Vec::new(),
+            bins: 20,
+            log_x: false,
+            size: (560, 360),
+        }
+    }
+
+    /// Adds values.
+    pub fn values(&mut self, it: impl IntoIterator<Item = f64>) -> &mut Self {
+        self.values.extend(it);
+        self
+    }
+
+    /// Sets the bin count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn bins(&mut self, bins: usize) -> &mut Self {
+        assert!(bins >= 1, "need at least one bin");
+        self.bins = bins;
+        self
+    }
+
+    /// Bins in log10 space (for ratio-like values spanning decades); the
+    /// axis labels remain in raw units.
+    pub fn log_x(&mut self) -> &mut Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Bin counts as `(bin_start, bin_end, count)` in raw units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no finite (and, under `log_x`, positive) values were added.
+    pub fn counts(&self) -> Vec<(f64, f64, usize)> {
+        let key = |v: f64| if self.log_x { v.log10() } else { v };
+        let unkey = |v: f64| if self.log_x { 10f64.powf(v) } else { v };
+        let vals: Vec<f64> = self
+            .values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite() && (!self.log_x || *v > 0.0))
+            .map(key)
+            .collect();
+        assert!(!vals.is_empty(), "histogram has no usable values");
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / self.bins as f64).max(1e-12);
+        let mut counts = vec![0usize; self.bins];
+        for v in &vals {
+            let idx = (((v - lo) / width) as usize).min(self.bins - 1);
+            counts[idx] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    unkey(lo + i as f64 * width),
+                    unkey(lo + (i + 1) as f64 * width),
+                    c,
+                )
+            })
+            .collect()
+    }
+
+    /// Renders to SVG.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Histogram::counts`].
+    pub fn render(&self) -> String {
+        let counts = self.counts();
+        let (w, h) = (self.size.0 as f64, self.size.1 as f64);
+        let max_count = counts.iter().map(|c| c.2).max().unwrap_or(1).max(1);
+
+        let sx = Scale::linear((0.0, counts.len() as f64), (70.0, w - 20.0));
+        let sy = Scale::linear((0.0, max_count as f64 * 1.05), (h - 52.0, 36.0));
+
+        let mut svg = Svg::new(self.size.0, self.size.1);
+        for (i, &(_, _, c)) in counts.iter().enumerate() {
+            let x0 = sx.map(i as f64) + 1.0;
+            let x1 = sx.map((i + 1) as f64) - 1.0;
+            let y = sy.map(c as f64);
+            svg.rect(x0, y, (x1 - x0).max(0.5), sy.map(0.0) - y, series_color(0), None);
+        }
+        // Axis line + a few bin labels.
+        svg.line(70.0, h - 52.0, w - 20.0, h - 52.0, "#444444", 1.0);
+        let step = (counts.len() / 6).max(1);
+        for i in (0..=counts.len()).step_by(step) {
+            let edge = if i == counts.len() {
+                counts[i - 1].1
+            } else {
+                counts[i].0
+            };
+            svg.text(sx.map(i as f64), h - 38.0, &format_tick(edge), 9.0, "middle");
+        }
+        for t in Scale::linear((0.0, max_count as f64), (0.0, 1.0)).ticks(4) {
+            let step_t = nice_step(max_count as f64 / 4.0);
+            if (t / step_t).fract().abs() > 1e-9 {
+                continue;
+            }
+            svg.text(62.0, sy.map(t) + 3.0, &format_tick(t), 10.0, "end");
+            svg.line(66.0, sy.map(t), 70.0, sy.map(t), "#444444", 1.0);
+        }
+        svg.text(w / 2.0, 20.0, &self.title, 13.0, "middle");
+        svg.text(w / 2.0, h - 14.0, &self.x_label, 11.0, "middle");
+        svg.vtext(18.0, h / 2.0, "count", 11.0);
+        svg.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_cover_all_values() {
+        let mut h = Histogram::new("t", "x");
+        h.values([1.0, 2.0, 2.5, 9.0, 9.5]).bins(4);
+        let counts = h.counts();
+        assert_eq!(counts.len(), 4);
+        let total: usize = counts.iter().map(|c| c.2).sum();
+        assert_eq!(total, 5);
+        // Edges are ordered and span the data.
+        assert!(counts[0].0 <= 1.0 + 1e-9);
+        assert!(counts[3].1 >= 9.5 - 1e-9);
+    }
+
+    #[test]
+    fn log_binning_spans_decades_evenly() {
+        let mut h = Histogram::new("t", "x");
+        h.values([1.0, 10.0, 100.0, 1000.0]).bins(3).log_x();
+        let counts = h.counts();
+        // Bin widths should be equal in log space: edges 1, 10, 100, 1000.
+        assert!((counts[0].1 - 10.0).abs() < 1e-6);
+        assert!((counts[1].1 - 100.0).abs() < 1e-3);
+        let total: usize = counts.iter().map(|c| c.2).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn renders_bars() {
+        let mut h = Histogram::new("improvements", "factor");
+        h.values((1..100).map(|i| 1.0 + (i % 13) as f64 * 0.3));
+        let svg = h.render();
+        assert!(svg.matches("<rect").count() > 10);
+        assert!(svg.contains("improvements"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no usable values")]
+    fn empty_histogram_panics() {
+        let _ = Histogram::new("t", "x").render();
+    }
+
+    #[test]
+    #[should_panic(expected = "no usable values")]
+    fn log_x_rejects_all_nonpositive() {
+        let mut h = Histogram::new("t", "x");
+        h.values([-1.0, 0.0]).log_x();
+        let _ = h.render();
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal SVG document builder.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct Svg {
+    width: u32,
+    height: u32,
+    body: String,
+}
+
+impl Svg {
+    /// Creates an empty document of the given pixel size with a white
+    /// background.
+    pub fn new(width: u32, height: u32) -> Self {
+        let mut svg = Svg {
+            width,
+            height,
+            body: String::new(),
+        };
+        svg.rect(0.0, 0.0, width as f64, height as f64, "#ffffff", None);
+        svg
+    }
+
+    /// Document width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Document height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Adds a filled rectangle (optionally stroked).
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke_attr = stroke
+            .map(|s| format!(" stroke=\"{s}\""))
+            .unwrap_or_default();
+        writeln!(
+            self.body,
+            "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"{fill}\"{stroke_attr}/>"
+        )
+        .expect("string write");
+    }
+
+    /// Adds a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        writeln!(
+            self.body,
+            "<line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\" stroke=\"{stroke}\" stroke-width=\"{width:.2}\"/>"
+        )
+        .expect("string write");
+    }
+
+    /// Adds an unfilled polyline through `points`.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.len() < 2 {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
+        writeln!(
+            self.body,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{width:.2}\"/>",
+            pts.join(" ")
+        )
+        .expect("string write");
+    }
+
+    /// Adds a filled polygon (used for ±std bands).
+    pub fn polygon(&mut self, points: &[(f64, f64)], fill: &str, opacity: f64) {
+        if points.len() < 3 {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
+        writeln!(
+            self.body,
+            "<polygon points=\"{}\" fill=\"{fill}\" fill-opacity=\"{opacity:.2}\" stroke=\"none\"/>",
+            pts.join(" ")
+        )
+        .expect("string write");
+    }
+
+    /// Adds a filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        writeln!(
+            self.body,
+            "<circle cx=\"{cx:.2}\" cy=\"{cy:.2}\" r=\"{r:.2}\" fill=\"{fill}\"/>"
+        )
+        .expect("string write");
+    }
+
+    /// Adds text. `anchor` is an SVG `text-anchor` (`start`, `middle`,
+    /// `end`); `size` is in pixels.
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, anchor: &str) {
+        writeln!(
+            self.body,
+            "<text x=\"{x:.2}\" y=\"{y:.2}\" font-family=\"sans-serif\" font-size=\"{size:.1}\" text-anchor=\"{anchor}\" fill=\"#222222\">{}</text>",
+            escape(content)
+        )
+        .expect("string write");
+    }
+
+    /// Adds text rotated 90° counter-clockwise around `(x, y)` (for y-axis
+    /// labels).
+    pub fn vtext(&mut self, x: f64, y: f64, content: &str, size: f64) {
+        writeln!(
+            self.body,
+            "<text x=\"{x:.2}\" y=\"{y:.2}\" font-family=\"sans-serif\" font-size=\"{size:.1}\" text-anchor=\"middle\" fill=\"#222222\" transform=\"rotate(-90 {x:.2} {y:.2})\">{}</text>",
+            escape(content)
+        )
+        .expect("string write");
+    }
+
+    /// Serializes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut svg = Svg::new(320, 200);
+        svg.line(0.0, 0.0, 10.0, 10.0, "#000000", 1.0);
+        svg.circle(5.0, 5.0, 2.0, "#ff0000");
+        svg.text(1.0, 1.0, "a < b & c", 10.0, "start");
+        let out = svg.finish();
+        assert!(out.starts_with("<svg"));
+        assert!(out.trim_end().ends_with("</svg>"));
+        assert!(out.contains("width=\"320\""));
+        assert!(out.contains("<line"));
+        assert!(out.contains("<circle"));
+        assert!(out.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn degenerate_shapes_are_skipped() {
+        let mut svg = Svg::new(10, 10);
+        svg.polyline(&[(0.0, 0.0)], "#000", 1.0); // single point: no-op
+        svg.polygon(&[(0.0, 0.0), (1.0, 1.0)], "#000", 0.5); // 2 points: no-op
+        let out = svg.finish();
+        assert!(!out.contains("<polyline"));
+        assert!(!out.contains("<polygon"));
+    }
+
+    #[test]
+    fn polyline_emits_all_points() {
+        let mut svg = Svg::new(10, 10);
+        svg.polyline(&[(0.0, 0.0), (1.0, 2.0), (3.0, 4.0)], "#00ff00", 1.5);
+        let out = svg.finish();
+        assert!(out.contains("0.00,0.00 1.00,2.00 3.00,4.00"));
+    }
+}

@@ -1,0 +1,100 @@
+use serde::{Deserialize, Serialize};
+
+/// Technology constants for the analytical energy/latency model.
+///
+/// The defaults are inspired by published 40 nm numbers (the paper's
+/// Timeloop runs use a 40 nm technology node): a MAC costs ~1 pJ, SRAM
+/// access energy grows roughly with the square root of capacity, and DRAM
+/// access costs two orders of magnitude more than small SRAM access. The
+/// absolute values matter less than the *ratios*, which shape the
+/// optimization landscape the same way Timeloop's tables do.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per 8-bit MAC operation, in pJ.
+    pub mac_pj: f64,
+    /// Base energy per byte read/written from any SRAM, in pJ.
+    pub sram_base_pj_per_byte: f64,
+    /// Capacity-dependent SRAM energy coefficient: added energy per byte is
+    /// `coeff * sqrt(capacity_kib)` pJ.
+    pub sram_sqrt_pj_per_byte: f64,
+    /// Energy per byte of DRAM traffic, in pJ.
+    pub dram_pj_per_byte: f64,
+    /// DRAM bandwidth in bytes per cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Global-buffer bandwidth in bytes per cycle.
+    pub gb_bytes_per_cycle: f64,
+}
+
+impl EnergyModel {
+    /// The default 40 nm-inspired model used throughout the reproduction.
+    pub fn nm40() -> Self {
+        EnergyModel {
+            mac_pj: 1.0,
+            sram_base_pj_per_byte: 0.06,
+            sram_sqrt_pj_per_byte: 0.012,
+            dram_pj_per_byte: 100.0,
+            dram_bytes_per_cycle: 16.0,
+            gb_bytes_per_cycle: 64.0,
+        }
+    }
+
+    /// Energy in pJ for accessing one byte of an SRAM of the given capacity.
+    ///
+    /// Larger SRAMs cost more per access (longer bit/word lines); the √C
+    /// scaling is the standard first-order CACTI approximation.
+    pub fn sram_pj_per_byte(&self, capacity_bytes: u64) -> f64 {
+        let kib = capacity_bytes as f64 / 1024.0;
+        self.sram_base_pj_per_byte + self.sram_sqrt_pj_per_byte * kib.max(0.0).sqrt()
+    }
+
+    /// Silicon area in mm² of an SRAM of the given capacity (first-order:
+    /// proportional, ~1 mm² per MiB at 40 nm).
+    pub fn sram_area_mm2(&self, capacity_bytes: u64) -> f64 {
+        capacity_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Area of one MAC unit in mm² (8-bit multiplier + accumulator).
+    pub fn mac_area_mm2(&self) -> f64 {
+        0.0005
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::nm40()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_energy_grows_with_capacity() {
+        let m = EnergyModel::nm40();
+        let small = m.sram_pj_per_byte(1024);
+        let large = m.sram_pj_per_byte(1024 * 1024);
+        assert!(small < large);
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn dram_is_much_more_expensive_than_sram() {
+        let m = EnergyModel::nm40();
+        // The DRAM/SRAM ratio is what drives the landscape shape: it must be
+        // large (Timeloop's 40 nm tables put it around 100x for small SRAM).
+        assert!(m.dram_pj_per_byte / m.sram_pj_per_byte(8 * 1024) > 50.0);
+    }
+
+    #[test]
+    fn area_is_monotone_in_capacity() {
+        let m = EnergyModel::nm40();
+        assert!(m.sram_area_mm2(2048) > m.sram_area_mm2(1024));
+        assert!(m.mac_area_mm2() > 0.0);
+    }
+
+    #[test]
+    fn default_is_nm40() {
+        assert_eq!(EnergyModel::default(), EnergyModel::nm40());
+    }
+}

@@ -1,0 +1,108 @@
+//! Network-on-chip model for the PE array.
+//!
+//! The paper's hardware template is Simba, a *chiplet-based* architecture
+//! whose PEs communicate over a mesh NoC. The base cost model folds all
+//! on-chip movement into buffer accesses; this optional extension charges
+//! the array-level movement explicitly:
+//!
+//! - input activations are multicast from the global buffer to the
+//!   `spatial_k` PEs that share them;
+//! - weights stream from DRAM to each PE's weight buffer;
+//! - output partial sums are collected from the PEs back to the global
+//!   buffer.
+//!
+//! Hop counts use the standard mesh approximation: an `n`-endpoint
+//! multicast/reduction tree on a `√P × √P` mesh spans ≈ `√n` hops.
+
+use serde::{Deserialize, Serialize};
+
+/// Technology constants for the mesh NoC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocModel {
+    /// Energy per byte per hop, in pJ (40 nm mesh links are ~0.05–0.1
+    /// pJ/byte/hop).
+    pub hop_pj_per_byte: f64,
+    /// Per-link bandwidth in bytes per cycle.
+    pub link_bytes_per_cycle: f64,
+}
+
+impl NocModel {
+    /// The default 40 nm-inspired mesh.
+    pub fn nm40() -> Self {
+        NocModel {
+            hop_pj_per_byte: 0.06,
+            link_bytes_per_cycle: 32.0,
+        }
+    }
+
+    /// Average hop count to reach `endpoints` PEs on a mesh.
+    pub fn mesh_hops(endpoints: u64) -> f64 {
+        (endpoints as f64).sqrt().max(1.0)
+    }
+
+    /// NoC traffic in byte·hops for one layer execution, given the
+    /// data-movement counts and the spatial mapping width.
+    pub fn byte_hops(
+        &self,
+        gb_input_bytes: f64,
+        dram_weight_bytes: f64,
+        gb_output_bytes: f64,
+        spatial_k: u64,
+        pe_count: u64,
+    ) -> f64 {
+        let input_hops = Self::mesh_hops(spatial_k);
+        let weight_hops = Self::mesh_hops(pe_count) / 2.0; // average unicast distance
+        let output_hops = Self::mesh_hops(spatial_k);
+        gb_input_bytes * input_hops
+            + dram_weight_bytes * weight_hops
+            + gb_output_bytes * output_hops
+    }
+
+    /// NoC energy in pJ for the given traffic.
+    pub fn energy_pj(&self, byte_hops: f64) -> f64 {
+        byte_hops * self.hop_pj_per_byte
+    }
+
+    /// NoC-bandwidth-bound cycle count: the mesh bisection supplies
+    /// `√P` parallel links.
+    pub fn cycles(&self, byte_hops: f64, pe_count: u64) -> f64 {
+        let links = (pe_count as f64).sqrt().max(1.0);
+        byte_hops / (self.link_bytes_per_cycle * links)
+    }
+}
+
+impl Default for NocModel {
+    fn default() -> Self {
+        NocModel::nm40()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_hops_grow_sublinearly() {
+        assert_eq!(NocModel::mesh_hops(1), 1.0);
+        assert_eq!(NocModel::mesh_hops(16), 4.0);
+        assert_eq!(NocModel::mesh_hops(64), 8.0);
+        assert!(NocModel::mesh_hops(64) < 64.0 / 2.0);
+    }
+
+    #[test]
+    fn wider_spatial_mapping_costs_more_byte_hops() {
+        let noc = NocModel::nm40();
+        let narrow = noc.byte_hops(1000.0, 1000.0, 1000.0, 4, 64);
+        let wide = noc.byte_hops(1000.0, 1000.0, 1000.0, 64, 64);
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn energy_and_cycles_scale_linearly_with_traffic() {
+        let noc = NocModel::nm40();
+        assert_eq!(noc.energy_pj(2000.0), 2.0 * noc.energy_pj(1000.0));
+        assert_eq!(noc.cycles(2000.0, 16), 2.0 * noc.cycles(1000.0, 16));
+        // More PEs -> more parallel links -> fewer cycles.
+        assert!(noc.cycles(1000.0, 64) < noc.cycles(1000.0, 16));
+    }
+}

@@ -1,0 +1,207 @@
+//! Latent-space interpolation between the worst and best known designs
+//! (Figures 7 and 8 of the paper).
+//!
+//! The paper probes latent-space smoothness by encoding the worst and best
+//! training points, walking the segment between them (and a little past the
+//! best point), and plotting the predicted EDP of each interpolated latent
+//! point. A mostly monotone decreasing profile indicates gradient descent
+//! started at a poor design would reach a good one.
+
+use crate::{Dataset, VaesaModel};
+use serde::{Deserialize, Serialize};
+use vaesa_nn::Tensor;
+
+/// One point along the worst→best interpolation axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterpolationPoint {
+    /// Interpolation parameter: 0 at the worst point, 1 at the best point,
+    /// > 1 past the best point.
+    pub t: f64,
+    /// The latent point.
+    pub z: Vec<f64>,
+    /// Predicted EDP (raw units) from the predictor heads.
+    pub predicted_edp: f64,
+}
+
+/// The full interpolation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interpolation {
+    /// Latent encoding of the worst training design.
+    pub z_worst: Vec<f64>,
+    /// Latent encoding of the best training design.
+    pub z_best: Vec<f64>,
+    /// Probed points, ordered by `t`.
+    pub points: Vec<InterpolationPoint>,
+}
+
+impl Interpolation {
+    /// Euclidean distance between the worst and best encodings (the paper
+    /// reports 0.96 for its 2-D space and 2.58 for 4-D).
+    pub fn worst_best_distance(&self) -> f64 {
+        self.z_worst
+            .iter()
+            .zip(&self.z_best)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Fraction of consecutive point pairs (within `t <= 1`) where the
+    /// predicted EDP does not increase — a scalar summary of how conducive
+    /// the surface is to gradient descent.
+    pub fn monotonicity(&self) -> f64 {
+        let inner: Vec<&InterpolationPoint> =
+            self.points.iter().filter(|p| p.t <= 1.0 + 1e-12).collect();
+        if inner.len() < 2 {
+            return 1.0;
+        }
+        let decreasing = inner
+            .windows(2)
+            .filter(|w| w[1].predicted_edp <= w[0].predicted_edp * (1.0 + 1e-12))
+            .count();
+        decreasing as f64 / (inner.len() - 1) as f64
+    }
+}
+
+/// Interpolates between the dataset's worst and best designs in latent
+/// space, predicting EDP for a given layer at each of `n_inner + n_beyond`
+/// points (`n_inner` between worst and best, `n_beyond` past the best).
+///
+/// # Panics
+///
+/// Panics if `n_inner < 2` or the dataset is empty.
+pub fn interpolate_worst_best(
+    model: &VaesaModel,
+    dataset: &Dataset,
+    layer_raw: &[f64; 8],
+    n_inner: usize,
+    n_beyond: usize,
+) -> Interpolation {
+    assert!(n_inner >= 2, "need at least two interpolation points");
+    let worst = &dataset.records[dataset.worst_index()];
+    let best = &dataset.records[dataset.best_index()];
+    let encode = |hw_raw: &[f64; 6]| {
+        let normalized = dataset.hw_norm.transform_row(hw_raw);
+        model
+            .encode_mean(&Tensor::row_vector(&normalized))
+            .into_vec()
+    };
+    let z_worst = encode(&worst.hw_raw);
+    let z_best = encode(&best.hw_raw);
+
+    let layer_n = dataset.layer_norm.transform_row(layer_raw);
+    let layer_t = Tensor::row_vector(&layer_n);
+
+    let mut points = Vec::with_capacity(n_inner + n_beyond);
+    let total = n_inner + n_beyond;
+    for i in 0..total {
+        let t = i as f64 / (n_inner - 1) as f64;
+        let z: Vec<f64> = z_worst
+            .iter()
+            .zip(&z_best)
+            .map(|(a, b)| a + t * (b - a))
+            .collect();
+        let (lat_n, en_n) = model.predict(&Tensor::row_vector(&z), &layer_t);
+        let lat = dataset.latency_norm.inverse_row(&[lat_n.get(0, 0)])[0];
+        let en = dataset.energy_norm.inverse_row(&[en_n.get(0, 0)])[0];
+        points.push(InterpolationPoint {
+            t,
+            z,
+            predicted_edp: lat * en,
+        });
+    }
+
+    Interpolation {
+        z_worst,
+        z_best,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetBuilder, TrainConfig, Trainer, VaesaConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vaesa_accel::{workloads, DesignSpace};
+    use vaesa_cosa::CachedScheduler;
+
+    fn fixture() -> (Dataset, VaesaModel) {
+        let space = DesignSpace::coarse(4);
+        let layers = vec![workloads::resnet50()[5].clone()];
+        let scheduler = CachedScheduler::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(30);
+        let ds = DatasetBuilder::new(&space, layers)
+            .random_configs(60)
+            .grid_per_axis(0)
+            .build(&scheduler, &mut rng);
+        let mut model = VaesaModel::new(VaesaConfig::paper().with_latent_dim(2), &mut rng);
+        Trainer::new(TrainConfig {
+            epochs: 40,
+            batch_size: 32,
+            learning_rate: 3e-3,
+        })
+        .train_vae(&mut model, &ds, &mut rng);
+        (ds, model)
+    }
+
+    #[test]
+    fn interpolation_spans_worst_to_best() {
+        let (ds, model) = fixture();
+        let layer = ds.records[0].layer_raw;
+        let interp = interpolate_worst_best(&model, &ds, &layer, 10, 3);
+        assert_eq!(interp.points.len(), 13);
+        assert_eq!(interp.points[0].t, 0.0);
+        assert!((interp.points[9].t - 1.0).abs() < 1e-12);
+        assert!(interp.points[12].t > 1.0);
+        assert_eq!(interp.points[0].z, interp.z_worst);
+        assert!(interp.worst_best_distance() > 0.0);
+    }
+
+    #[test]
+    fn predicted_edp_is_positive_and_finite() {
+        let (ds, model) = fixture();
+        let layer = ds.records[0].layer_raw;
+        let interp = interpolate_worst_best(&model, &ds, &layer, 8, 2);
+        for p in &interp.points {
+            assert!(p.predicted_edp.is_finite() && p.predicted_edp > 0.0);
+        }
+    }
+
+    #[test]
+    fn surface_trends_downward_toward_best() {
+        let (ds, model) = fixture();
+        let layer = ds.records[0].layer_raw;
+        let interp = interpolate_worst_best(&model, &ds, &layer, 12, 0);
+        // The paper's qualitative finding: the predicted surface tends to
+        // decrease along the worst->best axis. Require that the endpoint is
+        // better than the start and at least a weak majority of steps
+        // decrease.
+        let first = interp.points.first().unwrap().predicted_edp;
+        let last = interp.points.last().unwrap().predicted_edp;
+        assert!(
+            last < first,
+            "predicted EDP did not improve along the axis: {first:.3e} -> {last:.3e}"
+        );
+        assert!(
+            interp.monotonicity() >= 0.5,
+            "monotonicity {} too low",
+            interp.monotonicity()
+        );
+    }
+
+    #[test]
+    fn monotonicity_of_trivial_interp_is_one() {
+        let interp = Interpolation {
+            z_worst: vec![0.0],
+            z_best: vec![1.0],
+            points: vec![InterpolationPoint {
+                t: 0.0,
+                z: vec![0.0],
+                predicted_edp: 1.0,
+            }],
+        };
+        assert_eq!(interp.monotonicity(), 1.0);
+    }
+}

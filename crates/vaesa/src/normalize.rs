@@ -1,0 +1,234 @@
+use serde::{Deserialize, Serialize};
+use vaesa_nn::Tensor;
+
+/// Per-column log + min–max normalization (paper §IV-A4).
+///
+/// Hardware parameters, layer dimensions, and the latency/energy labels all
+/// span orders of magnitude, so the paper first takes logarithms and then
+/// min–max-scales each column into `[0, 1)`. `Normalizer` implements exactly
+/// that: it is fit on *raw* positive values, stores per-column `min`/`range`
+/// of the log values, and transforms both ways.
+///
+/// # Examples
+///
+/// ```
+/// use vaesa::Normalizer;
+///
+/// let raw = vec![vec![1.0, 100.0], vec![10.0, 1000.0], vec![100.0, 10000.0]];
+/// let norm = Normalizer::fit(&raw);
+/// let t = norm.transform_row(&[10.0, 1000.0]);
+/// assert!((t[0] - 0.5).abs() < 1e-12); // log-space midpoint
+/// let back = norm.inverse_row(&t);
+/// assert!((back[0] - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    log_min: Vec<f64>,
+    log_range: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Range floor for (nearly) constant columns, which would otherwise
+    /// divide by zero.
+    const MIN_RANGE: f64 = 1e-9;
+
+    /// Fits the normalizer on raw positive rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty, ragged, or contains non-positive values
+    /// (the log transform requires positivity; all modeled quantities are
+    /// counts, sizes, or energies).
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a normalizer on no data");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "normalizer input rows are ragged"
+        );
+        let mut log_min = vec![f64::INFINITY; cols];
+        let mut log_max = vec![f64::NEG_INFINITY; cols];
+        for row in rows {
+            for (c, &v) in row.iter().enumerate() {
+                assert!(v > 0.0, "normalizer requires positive values, got {v}");
+                let lv = v.ln();
+                log_min[c] = log_min[c].min(lv);
+                log_max[c] = log_max[c].max(lv);
+            }
+        }
+        let log_range = log_min
+            .iter()
+            .zip(&log_max)
+            .map(|(&lo, &hi)| (hi - lo).max(Self::MIN_RANGE))
+            .collect();
+        Normalizer { log_min, log_range }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.log_min.len()
+    }
+
+    /// The per-column width of the fitted log range (`ln max − ln min`).
+    ///
+    /// Used by the gradient-descent flow to weight normalized latency and
+    /// energy predictions into a quantity monotone in log-EDP.
+    pub fn log_range(&self) -> &[f64] {
+        &self.log_range
+    }
+
+    /// The per-column minimum of the fitted log values (`ln min`).
+    ///
+    /// Together with [`Normalizer::log_range`] this fully describes the
+    /// affine map from normalized space back to log space.
+    pub fn log_min(&self) -> &[f64] {
+        &self.log_min
+    }
+
+    /// Normalizes one raw row into `[0, 1)` (values outside the fitted range
+    /// extrapolate beyond `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the fit or any value is
+    /// non-positive.
+    pub fn transform_row(&self, raw: &[f64]) -> Vec<f64> {
+        assert_eq!(raw.len(), self.cols(), "column count mismatch");
+        raw.iter()
+            .enumerate()
+            .map(|(c, &v)| {
+                assert!(v > 0.0, "normalizer requires positive values, got {v}");
+                (v.ln() - self.log_min[c]) / self.log_range[c]
+            })
+            .collect()
+    }
+
+    /// Inverse of [`Normalizer::transform_row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the fit.
+    pub fn inverse_row(&self, normalized: &[f64]) -> Vec<f64> {
+        assert_eq!(normalized.len(), self.cols(), "column count mismatch");
+        normalized
+            .iter()
+            .enumerate()
+            .map(|(c, &v)| (v * self.log_range[c] + self.log_min[c]).exp())
+            .collect()
+    }
+
+    /// Maps a normalized row back to *log-space* raw values (no exp), which
+    /// is what nearest-log snapping in the design space consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the fit.
+    pub fn inverse_row_log(&self, normalized: &[f64]) -> Vec<f64> {
+        assert_eq!(normalized.len(), self.cols(), "column count mismatch");
+        normalized
+            .iter()
+            .enumerate()
+            .map(|(c, &v)| v * self.log_range[c] + self.log_min[c])
+            .collect()
+    }
+
+    /// Normalizes a batch of raw rows into a tensor.
+    pub fn transform_tensor(&self, rows: &[Vec<f64>]) -> Tensor {
+        let cols = self.cols();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            data.extend(self.transform_row(row));
+        }
+        Tensor::from_vec(rows.len(), cols, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![4.0, 64.0],
+            vec![8.0, 4096.0],
+            vec![64.0, 256.0],
+        ]
+    }
+
+    #[test]
+    fn transforms_into_unit_interval() {
+        let n = Normalizer::fit(&sample_rows());
+        for row in sample_rows() {
+            for v in n.transform_row(&row) {
+                assert!((0.0..=1.0).contains(&v), "value {v} outside [0,1]");
+            }
+        }
+        // Extremes map to exactly 0 and 1.
+        assert_eq!(n.transform_row(&[4.0, 64.0])[0], 0.0);
+        assert_eq!(n.transform_row(&[64.0, 64.0])[0], 1.0);
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let n = Normalizer::fit(&sample_rows());
+        for row in sample_rows() {
+            let back = n.inverse_row(&n.transform_row(&row));
+            for (a, b) in row.iter().zip(&back) {
+                assert!((a - b).abs() / a < 1e-9, "{a} != {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_midpoint_maps_to_half() {
+        let n = Normalizer::fit(&[vec![1.0], vec![100.0]]);
+        let t = n.transform_row(&[10.0]); // geometric mean of 1 and 100
+        assert!((t[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_row_log_matches_ln_of_inverse() {
+        let n = Normalizer::fit(&sample_rows());
+        let t = n.transform_row(&[8.0, 256.0]);
+        let logs = n.inverse_row_log(&t);
+        let raws = n.inverse_row(&t);
+        for (l, r) in logs.iter().zip(&raws) {
+            assert!((l - r.ln()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_column_is_safe() {
+        let n = Normalizer::fit(&[vec![5.0], vec![5.0], vec![5.0]]);
+        let t = n.transform_row(&[5.0]);
+        assert_eq!(t[0], 0.0);
+        let back = n.inverse_row(&t);
+        assert!((back[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_extrapolates() {
+        let n = Normalizer::fit(&[vec![1.0], vec![100.0]]);
+        assert!(n.transform_row(&[1000.0])[0] > 1.0);
+        assert!(n.transform_row(&[0.1])[0] < 0.0);
+    }
+
+    #[test]
+    fn transform_tensor_shapes() {
+        let n = Normalizer::fit(&sample_rows());
+        let t = n.transform_tensor(&sample_rows());
+        assert_eq!(t.shape(), (3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_values_rejected() {
+        let _ = Normalizer::fit(&[vec![0.0]]);
+    }
+
+    #[test]
+    fn log_range_exposed() {
+        let n = Normalizer::fit(&[vec![1.0], vec![(1f64).exp()]]);
+        assert!((n.log_range()[0] - 1.0).abs() < 1e-12);
+    }
+}

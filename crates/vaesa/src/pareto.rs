@@ -1,0 +1,219 @@
+//! Latency–energy Pareto analysis.
+//!
+//! The paper selects EDP as its metric "because it allows us to investigate
+//! Pareto-optimal design points that trade off latency and energy"
+//! (§IV-A2). This module makes that tradeoff explicit: given scored
+//! designs, it extracts the latency–energy Pareto front and reports where
+//! the EDP-optimal point sits on it.
+
+use serde::{Deserialize, Serialize};
+use vaesa_accel::ArchConfig;
+
+/// A design point scored on both axes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoredDesign {
+    /// The design.
+    pub config: ArchConfig,
+    /// Workload latency in cycles.
+    pub latency: f64,
+    /// Workload energy in pJ.
+    pub energy: f64,
+}
+
+impl ScoredDesign {
+    /// Energy-delay product.
+    pub fn edp(&self) -> f64 {
+        self.latency * self.energy
+    }
+
+    /// Returns `true` if `self` dominates `other` (no worse on both axes,
+    /// strictly better on at least one).
+    pub fn dominates(&self, other: &ScoredDesign) -> bool {
+        self.latency <= other.latency
+            && self.energy <= other.energy
+            && (self.latency < other.latency || self.energy < other.energy)
+    }
+}
+
+/// Indices of the non-dominated points, sorted by ascending latency.
+///
+/// Duplicate-scored points are all kept (they are mutually non-dominating).
+/// O(n log n).
+///
+/// # Examples
+///
+/// ```
+/// use vaesa::pareto::{pareto_front, ScoredDesign};
+/// use vaesa_accel::DesignSpace;
+///
+/// let space = DesignSpace::paper();
+/// let config = space.config_from_indices([0; 6]).unwrap();
+/// let mk = |l, e| ScoredDesign { config, latency: l, energy: e };
+/// let pts = [mk(1.0, 9.0), mk(5.0, 5.0), mk(9.0, 1.0), mk(6.0, 6.0)];
+/// let front = pareto_front(&pts);
+/// assert_eq!(front, vec![0, 1, 2]); // (6,6) is dominated by (5,5)
+/// ```
+pub fn pareto_front(points: &[ScoredDesign]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Ascending latency; ties broken by ascending energy so the scan keeps
+    // the better of two equal-latency points first.
+    order.sort_by(|&a, &b| {
+        points[a]
+            .latency
+            .partial_cmp(&points[b].latency)
+            .expect("finite latency")
+            .then(
+                points[a]
+                    .energy
+                    .partial_cmp(&points[b].energy)
+                    .expect("finite energy"),
+            )
+    });
+    let mut front = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    for idx in order {
+        let e = points[idx].energy;
+        if e < best_energy {
+            front.push(idx);
+            best_energy = e;
+        } else if e == best_energy
+            && front
+                .last()
+                .is_some_and(|&l| points[l].latency == points[idx].latency)
+        {
+            // Exact duplicate of the incumbent: mutually non-dominating.
+            front.push(idx);
+        }
+    }
+    front
+}
+
+/// Summary of a front: its size, the EDP-optimal member, and the extreme
+/// (latency-optimal, energy-optimal) members.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontSummary {
+    /// Number of non-dominated points.
+    pub size: usize,
+    /// Index (into the original slice) of the minimum-EDP front member.
+    pub edp_optimal: usize,
+    /// Index of the minimum-latency front member.
+    pub latency_optimal: usize,
+    /// Index of the minimum-energy front member.
+    pub energy_optimal: usize,
+}
+
+/// Summarizes the Pareto front of `points`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn summarize_front(points: &[ScoredDesign]) -> FrontSummary {
+    assert!(!points.is_empty(), "cannot summarize an empty set");
+    let front = pareto_front(points);
+    let by = |f: fn(&ScoredDesign) -> f64| {
+        front
+            .iter()
+            .copied()
+            .min_by(|&a, &b| f(&points[a]).partial_cmp(&f(&points[b])).expect("finite"))
+            .expect("front non-empty")
+    };
+    FrontSummary {
+        size: front.len(),
+        edp_optimal: by(|p| p.edp()),
+        latency_optimal: by(|p| p.latency),
+        energy_optimal: by(|p| p.energy),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaesa_accel::DesignSpace;
+
+    fn pt(latency: f64, energy: f64) -> ScoredDesign {
+        let space = DesignSpace::paper();
+        ScoredDesign {
+            config: space.config_from_indices([0; 6]).expect("valid"),
+            latency,
+            energy,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        assert!(pt(1.0, 1.0).dominates(&pt(2.0, 2.0)));
+        assert!(pt(1.0, 2.0).dominates(&pt(1.0, 3.0)));
+        assert!(!pt(1.0, 1.0).dominates(&pt(1.0, 1.0))); // equal: no
+        assert!(!pt(1.0, 3.0).dominates(&pt(2.0, 2.0))); // tradeoff: no
+    }
+
+    #[test]
+    fn front_excludes_dominated_points() {
+        let pts = [
+            pt(1.0, 9.0),
+            pt(2.0, 8.0),
+            pt(3.0, 9.5), // dominated by (2, 8)
+            pt(5.0, 3.0),
+            pt(6.0, 3.0), // dominated by (5, 3)
+            pt(9.0, 1.0),
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front, vec![0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn single_point_front() {
+        let pts = [pt(3.0, 4.0)];
+        assert_eq!(pareto_front(&pts), vec![0]);
+        let s = summarize_front(&pts);
+        assert_eq!(s.size, 1);
+        assert_eq!(s.edp_optimal, 0);
+    }
+
+    #[test]
+    fn exact_duplicates_are_kept() {
+        let pts = [pt(2.0, 2.0), pt(2.0, 2.0), pt(1.0, 5.0)];
+        let front = pareto_front(&pts);
+        assert!(front.contains(&0) && front.contains(&1) && front.contains(&2));
+    }
+
+    #[test]
+    fn summary_identifies_the_extremes() {
+        let pts = [pt(1.0, 100.0), pt(10.0, 5.0), pt(100.0, 1.0)];
+        let s = summarize_front(&pts);
+        assert_eq!(s.size, 3);
+        assert_eq!(s.latency_optimal, 0);
+        assert_eq!(s.energy_optimal, 2);
+        assert_eq!(s.edp_optimal, 1); // EDP 50 vs 100 vs 100
+    }
+
+    #[test]
+    fn every_non_front_point_is_dominated_by_some_front_point() {
+        // Deterministic pseudo-random cloud.
+        let mut pts = Vec::new();
+        let mut state = 123456789u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = ((state >> 33) % 1000) as f64 + 1.0;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = ((state >> 33) % 1000) as f64 + 1.0;
+            pts.push(pt(a, b));
+        }
+        let front = pareto_front(&pts);
+        for i in 0..pts.len() {
+            if front.contains(&i) {
+                continue;
+            }
+            assert!(
+                front.iter().any(|&f| pts[f].dominates(&pts[i])),
+                "point {i} is neither on the front nor dominated"
+            );
+        }
+        // Front members never dominate each other.
+        for &a in &front {
+            for &b in &front {
+                assert!(!pts[a].dominates(&pts[b]), "front member dominated");
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Saving and loading trained artifacts.
+//!
+//! Training a VAESA model takes minutes while a DSE campaign may want to
+//! reuse it across many workloads and sessions; the paper likewise trains
+//! once and searches many times. Models and normalizers serialize to JSON
+//! (human-inspectable, dependency-free).
+
+use crate::{Normalizer, VaesaConfig, VaesaModel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+use vaesa_nn::Mlp;
+
+/// A serializable snapshot of a trained model plus the normalizers needed
+/// to use it (decode outputs and build predictor inputs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelCheckpoint {
+    /// Model hyperparameters.
+    pub config: VaesaConfig,
+    /// Encoder weights.
+    pub encoder: Mlp,
+    /// Decoder weights.
+    pub decoder: Mlp,
+    /// Latency-head weights.
+    pub latency_predictor: Mlp,
+    /// Energy-head weights.
+    pub energy_predictor: Mlp,
+    /// Hardware-feature normalizer.
+    pub hw_norm: Normalizer,
+    /// Layer-feature normalizer.
+    pub layer_norm: Normalizer,
+    /// Latency-label normalizer.
+    pub latency_norm: Normalizer,
+    /// Energy-label normalizer.
+    pub energy_norm: Normalizer,
+}
+
+impl ModelCheckpoint {
+    /// Bundles a trained model with its dataset's normalizers.
+    pub fn new(model: &VaesaModel, dataset: &crate::Dataset) -> Self {
+        ModelCheckpoint {
+            config: model.config().clone(),
+            encoder: model.encoder.clone(),
+            decoder: model.decoder.clone(),
+            latency_predictor: model.latency_predictor.clone(),
+            energy_predictor: model.energy_predictor.clone(),
+            hw_norm: dataset.hw_norm.clone(),
+            layer_norm: dataset.layer_norm.clone(),
+            latency_norm: dataset.latency_norm.clone(),
+            energy_norm: dataset.energy_norm.clone(),
+        }
+    }
+
+    /// Reassembles the model.
+    pub fn into_model(self) -> (VaesaModel, CheckpointNormalizers) {
+        let model = VaesaModel::from_parts(
+            self.config,
+            self.encoder,
+            self.decoder,
+            self.latency_predictor,
+            self.energy_predictor,
+        );
+        (
+            model,
+            CheckpointNormalizers {
+                hw: self.hw_norm,
+                layer: self.layer_norm,
+                latency: self.latency_norm,
+                energy: self.energy_norm,
+            },
+        )
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Serialize`] if serialization fails (it
+    /// cannot for well-formed models, but the API is honest).
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        serde_json::to_string(self).map_err(PersistError::Serialize)
+    }
+
+    /// Deserializes from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Deserialize`] for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, PersistError> {
+        serde_json::from_str(json).map_err(PersistError::Deserialize)
+    }
+
+    /// Writes the checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let json = self.to_json()?;
+        fs::write(path, json).map_err(PersistError::Io)
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failure or
+    /// [`PersistError::Deserialize`] for malformed content.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let json = fs::read_to_string(path).map_err(PersistError::Io)?;
+        Self::from_json(&json)
+    }
+}
+
+/// The normalizers recovered from a checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointNormalizers {
+    /// Hardware-feature normalizer.
+    pub hw: Normalizer,
+    /// Layer-feature normalizer.
+    pub layer: Normalizer,
+    /// Latency-label normalizer.
+    pub latency: Normalizer,
+    /// Energy-label normalizer.
+    pub energy: Normalizer,
+}
+
+/// Errors from checkpoint persistence.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// Serialization failed.
+    Serialize(serde_json::Error),
+    /// Deserialization failed.
+    Deserialize(serde_json::Error),
+    /// Filesystem I/O failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Serialize(e) => write!(f, "failed to serialize checkpoint: {e}"),
+            PersistError::Deserialize(e) => write!(f, "failed to deserialize checkpoint: {e}"),
+            PersistError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Serialize(e) | PersistError::Deserialize(e) => Some(e),
+            PersistError::Io(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vaesa_accel::{workloads, DesignSpace};
+    use vaesa_cosa::CachedScheduler;
+    use vaesa_nn::Tensor;
+
+    fn fixture() -> (crate::Dataset, VaesaModel) {
+        let space = DesignSpace::coarse(4);
+        let scheduler = CachedScheduler::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let ds = DatasetBuilder::new(&space, vec![workloads::alexnet()[2].clone()])
+            .random_configs(20)
+            .grid_per_axis(0)
+            .build(&scheduler, &mut rng);
+        let model = VaesaModel::new(VaesaConfig::paper(), &mut rng);
+        (ds, model)
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behavior() {
+        let (ds, model) = fixture();
+        let ckpt = ModelCheckpoint::new(&model, &ds);
+        let json = ckpt.to_json().unwrap();
+        let (restored, norms) = ModelCheckpoint::from_json(&json).unwrap().into_model();
+
+        let x = Tensor::fill(3, 6, 0.42);
+        assert!(restored.encode_mean(&x).approx_eq(&model.encode_mean(&x), 0.0));
+        let z = Tensor::fill(3, restored.latent_dim(), 0.1);
+        assert!(restored.decode(&z).approx_eq(&model.decode(&z), 0.0));
+        let layer = Tensor::fill(3, 8, 0.5);
+        let (l1, e1) = restored.predict(&z, &layer);
+        let (l2, e2) = model.predict(&z, &layer);
+        assert!(l1.approx_eq(&l2, 0.0));
+        assert!(e1.approx_eq(&e2, 0.0));
+        // Normalizers survive too.
+        assert_eq!(norms.hw, ds.hw_norm);
+        assert_eq!(norms.energy, ds.energy_norm);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (ds, model) = fixture();
+        let ckpt = ModelCheckpoint::new(&model, &ds);
+        let path = std::env::temp_dir().join("vaesa_ckpt_test.json");
+        ckpt.save(&path).unwrap();
+        let loaded = ModelCheckpoint::load(&path).unwrap();
+        assert_eq!(
+            loaded.encoder.flatten_params(),
+            model.encoder.flatten_params()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        let err = ModelCheckpoint::from_json("{not json").unwrap_err();
+        assert!(err.to_string().contains("deserialize"));
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = ModelCheckpoint::load("/nonexistent/vaesa.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

@@ -1,0 +1,218 @@
+//! Search-comparison reporting: the paper's Table V metrics (search
+//! performance and sample efficiency) computed from raw [`Trace`]s.
+//!
+//! §IV-A2 defines the two metrics this module implements:
+//!
+//! - **Search performance (SP)**: the best EDP achieved within the budget,
+//!   relative to the *average random-search* result (higher is better;
+//!   random ≡ 1.00).
+//! - **Sample efficiency (SE)**: the rate at which a method reaches within
+//!   3% of the best-known EDP, relative to random (higher is better;
+//!   methods that never arrive are charged `budget + 1` samples).
+
+use serde::{Deserialize, Serialize};
+use vaesa_dse::Trace;
+use vaesa_linalg::stats;
+
+/// The tolerance band of the paper's sample-efficiency metric: within 3%
+/// of the best-known value.
+pub const SE_TOLERANCE: f64 = 0.03;
+
+/// Multi-seed traces of one search method on one workload.
+#[derive(Debug, Clone)]
+pub struct MethodRuns {
+    /// Method label (e.g. `"vae_bo"`).
+    pub label: String,
+    /// One trace per seed, all with the same budget.
+    pub traces: Vec<Trace>,
+}
+
+impl MethodRuns {
+    /// Bundles traces under a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    pub fn new(label: impl Into<String>, traces: Vec<Trace>) -> Self {
+        assert!(!traces.is_empty(), "method needs at least one trace");
+        MethodRuns {
+            label: label.into(),
+            traces,
+        }
+    }
+
+    /// Mean best value across seeds (`None` if no seed found a valid point).
+    pub fn mean_best(&self) -> Option<f64> {
+        let bests: Vec<f64> = self.traces.iter().filter_map(Trace::best_value).collect();
+        stats::mean(&bests)
+    }
+
+    /// Mean samples-to-within-[`SE_TOLERANCE`] of `reference`, charging
+    /// `budget + 1` when never reached.
+    pub fn mean_samples_to(&self, reference: f64, budget: usize) -> f64 {
+        let needed: Vec<f64> = self
+            .traces
+            .iter()
+            .map(|t| {
+                t.samples_to_within(SE_TOLERANCE, reference)
+                    .unwrap_or(budget + 1) as f64
+            })
+            .collect();
+        stats::mean(&needed).unwrap_or(f64::NAN)
+    }
+}
+
+/// One row of a [`Comparison`]: the paper's per-method Table V entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodSummary {
+    /// Method label.
+    pub label: String,
+    /// Mean best value across seeds.
+    pub mean_best: f64,
+    /// Search performance relative to random (higher is better).
+    pub search_performance: f64,
+    /// Sample efficiency relative to random (higher is better).
+    pub sample_efficiency: f64,
+    /// Mean samples to reach within 3% of the best-known value.
+    pub mean_samples_to_3pct: f64,
+}
+
+/// A Table V-style comparison of several methods against a random baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Best value observed by any method/seed (the "best known" reference).
+    pub best_known: f64,
+    /// Per-method summaries, in input order (random first).
+    pub methods: Vec<MethodSummary>,
+}
+
+impl Comparison {
+    /// Computes the comparison. `random` must be the random-search baseline
+    /// (its SP and SE define 1.00); `others` are the competing methods. All
+    /// traces must share `budget`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the random baseline found no valid design.
+    pub fn against_random(random: &MethodRuns, others: &[MethodRuns], budget: usize) -> Self {
+        let best_known = std::iter::once(random)
+            .chain(others)
+            .flat_map(|m| m.traces.iter())
+            .filter_map(Trace::best_value)
+            .fold(f64::INFINITY, f64::min);
+        let random_best = random
+            .mean_best()
+            .expect("random baseline found no valid design");
+        let random_samples = random.mean_samples_to(best_known, budget);
+
+        let summarize = |m: &MethodRuns| {
+            let mean_best = m.mean_best().unwrap_or(f64::NAN);
+            let samples = m.mean_samples_to(best_known, budget);
+            MethodSummary {
+                label: m.label.clone(),
+                mean_best,
+                search_performance: random_best / mean_best,
+                sample_efficiency: random_samples / samples,
+                mean_samples_to_3pct: samples,
+            }
+        };
+        let mut methods = vec![summarize(random)];
+        methods.extend(others.iter().map(summarize));
+        Comparison {
+            best_known,
+            methods,
+        }
+    }
+
+    /// Formats the comparison as a fixed-width text table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "{:<12} {:>12} {:>8} {:>8} {:>12}\n",
+            "method", "mean best", "SP", "SE", "samples-to-3%"
+        );
+        for m in &self.methods {
+            out.push_str(&format!(
+                "{:<12} {:>12.4e} {:>8.2} {:>8.2} {:>12.0}\n",
+                m.label, m.mean_best, m.search_performance, m.sample_efficiency,
+                m.mean_samples_to_3pct
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with(values: &[f64]) -> Trace {
+        let mut t = Trace::new("t");
+        for (i, &v) in values.iter().enumerate() {
+            t.record(vec![i as f64], Some(v));
+        }
+        t
+    }
+
+    #[test]
+    fn random_baseline_is_identity() {
+        let random = MethodRuns::new("random", vec![trace_with(&[10.0, 8.0, 6.0])]);
+        let cmp = Comparison::against_random(&random, &[], 3);
+        assert_eq!(cmp.methods.len(), 1);
+        let r = &cmp.methods[0];
+        assert!((r.search_performance - 1.0).abs() < 1e-12);
+        assert!((r.sample_efficiency - 1.0).abs() < 1e-12);
+        assert_eq!(cmp.best_known, 6.0);
+    }
+
+    #[test]
+    fn better_method_gets_sp_and_se_above_one() {
+        // Random reaches 6 at sample 3; the method reaches 6 at sample 1 and
+        // finishes at 5.
+        let random = MethodRuns::new("random", vec![trace_with(&[10.0, 8.0, 6.0])]);
+        let fast = MethodRuns::new("vae_bo", vec![trace_with(&[6.0, 5.5, 5.0])]);
+        let cmp = Comparison::against_random(&random, &[fast], 3);
+        let m = &cmp.methods[1];
+        assert_eq!(cmp.best_known, 5.0);
+        assert!(m.search_performance > 1.0, "SP = {}", m.search_performance);
+        assert!(m.sample_efficiency > 1.0, "SE = {}", m.sample_efficiency);
+    }
+
+    #[test]
+    fn never_reaching_method_is_charged_budget_plus_one() {
+        let random = MethodRuns::new("random", vec![trace_with(&[10.0, 1.0])]);
+        let bad = MethodRuns::new("bad", vec![trace_with(&[10.0, 9.0])]);
+        let cmp = Comparison::against_random(&random, &[bad], 2);
+        let m = &cmp.methods[1];
+        assert_eq!(m.mean_samples_to_3pct, 3.0); // budget + 1
+        assert!(m.sample_efficiency < 1.0);
+        assert!(m.search_performance < 1.0);
+    }
+
+    #[test]
+    fn multi_seed_means_are_used() {
+        let random = MethodRuns::new(
+            "random",
+            vec![trace_with(&[4.0, 4.0]), trace_with(&[8.0, 6.0])],
+        );
+        let cmp = Comparison::against_random(&random, &[], 2);
+        // mean best = (4 + 6) / 2 = 5
+        assert!((cmp.methods[0].mean_best - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_all_methods() {
+        let random = MethodRuns::new("random", vec![trace_with(&[2.0])]);
+        let other = MethodRuns::new("bo", vec![trace_with(&[1.9])]);
+        let cmp = Comparison::against_random(&random, &[other], 1);
+        let table = cmp.to_table();
+        assert!(table.contains("random"));
+        assert!(table.contains("bo"));
+        assert!(table.contains("SP"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn empty_runs_rejected() {
+        let _ = MethodRuns::new("x", vec![]);
+    }
+}

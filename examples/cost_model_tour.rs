@@ -1,0 +1,76 @@
+//! A tour of the substrate: drive the scheduler and analytical cost model
+//! directly, without any machine learning.
+//!
+//! Shows how a `(architecture, layer)` pair becomes a mapping and an
+//! evaluation — the exact path every DSE sample takes — and prints the
+//! energy breakdown that shapes the optimization landscape.
+//!
+//! Run with: `cargo run --release --example cost_model_tour`
+
+use vaesa_repro::accel::{workloads, ArchDescription};
+use vaesa_repro::cosa::Scheduler;
+use vaesa_repro::timeloop::Mapping;
+
+fn main() {
+    // A midrange Simba-like configuration.
+    let arch = ArchDescription {
+        pe_count: 16,
+        macs_per_pe: 1024,
+        accum_buf_bytes: 32 * 1024,
+        weight_buf_bytes: 512 * 1024,
+        input_buf_bytes: 64 * 1024,
+        global_buf_bytes: 128 * 1024,
+    };
+    println!("architecture: {arch}");
+    println!("  total MACs: {}", arch.total_macs());
+    println!("  on-chip SRAM: {} KiB\n", arch.total_buffer_bytes() / 1024);
+
+    let scheduler = Scheduler::default();
+    let layer = &workloads::resnet50()[6]; // 3x3, 28x28, 128->128, stride 1
+    println!("layer: {layer}");
+    println!("  MACs: {:.3e}\n", layer.macs() as f64);
+
+    // The naive mapping: no tiling, no parallelism.
+    let unit = scheduler
+        .model()
+        .evaluate(&arch, layer, &Mapping::unit())
+        .expect("unit mapping is always valid");
+    println!("unit mapping:      {unit}");
+
+    // The scheduler's one-shot mapping.
+    let scheduled = scheduler.schedule(&arch, layer).expect("schedulable");
+    println!("scheduled mapping: {}", scheduled.evaluation);
+    println!("  chosen tiling: {}", scheduled.mapping);
+    println!(
+        "  speedup over unit mapping: {:.0}x latency, {:.0}x EDP\n",
+        unit.latency_cycles / scheduled.evaluation.latency_cycles,
+        unit.edp() / scheduled.evaluation.edp()
+    );
+
+    // Where does the energy go?
+    let e = &scheduled.evaluation.energy;
+    let total = e.total();
+    println!("energy breakdown:");
+    for (name, pj) in [
+        ("MACs", e.mac_pj),
+        ("DRAM", e.dram_pj),
+        ("global buffer", e.global_buf_pj),
+        ("weight buffer", e.weight_buf_pj),
+        ("input buffer", e.input_buf_pj),
+        ("accum buffer", e.accum_buf_pj),
+    ] {
+        println!("  {name:>14}: {pj:>12.3e} pJ ({:>5.1}%)", 100.0 * pj / total);
+    }
+
+    // Whole-network cost.
+    let resnet = workloads::resnet50();
+    let w = scheduler
+        .schedule_workload(&arch, &resnet)
+        .expect("all layers schedulable");
+    println!(
+        "\nResNet-50 (24 unique layers): latency {:.3e} cycles, energy {:.3e} pJ, EDP {:.3e}",
+        w.total_latency_cycles,
+        w.total_energy_pj,
+        w.edp()
+    );
+}

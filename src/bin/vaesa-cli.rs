@@ -1,0 +1,279 @@
+//! The `vaesa-cli` command-line tool: dataset generation, training, and
+//! latent-space design-space exploration from the shell.
+//!
+//! ```text
+//! vaesa-cli dataset --configs 400 --out dataset.json
+//! vaesa-cli train   --dataset dataset.json --latent 4 --alpha 1e-4 --out model.json
+//! vaesa-cli search  --model model.json --dataset dataset.json \
+//!                   --workload resnet50 --method vae_bo --budget 200
+//! vaesa-cli eval    --pe 16 --macs 1024 --accum 32768 --weight 524288 \
+//!                   --input 65536 --global 131072 --workload alexnet
+//! ```
+//!
+//! All commands are deterministic under `--seed` and print human-readable
+//! summaries; artifacts are JSON.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use vaesa_repro::accel::{workloads, ArchDescription, DesignSpace, LayerShape, Network};
+use vaesa_repro::core::flows::{
+    decode_to_config, run_annealing, run_bo, run_coordinate_descent, run_evo, run_random,
+    run_vae_annealing, run_vae_bo, run_vae_evo, HardwareEvaluator,
+};
+use vaesa_repro::core::{
+    Convergence, Dataset, DatasetBuilder, ModelCheckpoint, TrainConfig, Trainer, VaesaConfig,
+    VaesaModel,
+};
+use vaesa_repro::cosa::CachedScheduler;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = match Flags::parse(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "dataset" => cmd_dataset(&flags),
+        "train" => cmd_train(&flags),
+        "search" => cmd_search(&flags),
+        "eval" => cmd_eval(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: vaesa-cli <command> [flags]
+
+commands:
+  dataset   build a labeled dataset          --configs N --grid N --workload W --seed S --out PATH
+  train     train the VAE + predictors       --dataset PATH --latent N --alpha F
+                                             (--epochs N | --converge) --seed S --out PATH
+  search    explore the design space         --model PATH --dataset PATH --workload W
+                                             --method (vae_bo|vae_evo|vae_sa|bo|evo|sa|cd|random)
+                                             --budget N --seed S
+  eval      score one design on a workload   --pe N --macs N --accum B --weight B
+                                             --input B --global B --workload W
+
+workloads: alexnet, resnet50, resnext50, deepbench, vgg16, mobilenet,
+           bert, all (the Table III training pool)";
+
+/// Minimal `--key value` flag map.
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got `{key}`"));
+            };
+            if name == "converge" {
+                map.insert(name.to_string(), "true".to_string());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            map.insert(name.to_string(), value.clone());
+        }
+        Ok(Flags(map))
+    }
+
+    fn str(&self, name: &str, default: &str) -> String {
+        self.0.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn required(&self, name: &str) -> Result<String, String> {
+        self.0
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.0.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name} has invalid value `{v}`")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.0.contains_key(name)
+    }
+}
+
+fn workload_layers(name: &str) -> Result<Vec<LayerShape>, String> {
+    match name {
+        "alexnet" => Ok(Network::AlexNet.layers()),
+        "resnet50" => Ok(Network::ResNet50.layers()),
+        "resnext50" => Ok(Network::ResNext50.layers()),
+        "deepbench" => Ok(Network::DeepBench.layers()),
+        "vgg16" => Ok(workloads::vgg16()),
+        "mobilenet" => Ok(workloads::mobilenet_v1()),
+        "bert" => Ok(workloads::bert_base_gemms()),
+        "all" => Ok(workloads::training_layers()),
+        other => Err(format!("unknown workload `{other}` (see --help)")),
+    }
+}
+
+fn cmd_dataset(flags: &Flags) -> Result<(), String> {
+    let configs: usize = flags.num("configs", 400)?;
+    let grid: usize = flags.num("grid", 2)?;
+    let seed: u64 = flags.num("seed", 0)?;
+    let out = flags.str("out", "dataset.json");
+    let layers = workload_layers(&flags.str("workload", "all"))?;
+
+    let space = DesignSpace::paper();
+    let scheduler = CachedScheduler::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    println!("sampling {configs} random configs (+{grid}-per-axis grid) over {} layers...", layers.len());
+    let dataset = DatasetBuilder::new(&space, layers)
+        .random_configs(configs)
+        .grid_per_axis(grid)
+        .build(&scheduler, &mut rng);
+    println!("built {} labeled samples", dataset.len());
+
+    let json = serde_json::to_string(&dataset).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read dataset {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("cannot parse dataset {path}: {e}"))
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let dataset = load_dataset(&flags.required("dataset")?)?;
+    let latent: usize = flags.num("latent", 4)?;
+    let alpha: f64 = flags.num("alpha", 1e-4)?;
+    let seed: u64 = flags.num("seed", 0)?;
+    let out = flags.str("out", "model.json");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let config = VaesaConfig::paper()
+        .with_latent_dim(latent)
+        .with_alpha(alpha);
+    let mut model = VaesaModel::new(config, &mut rng);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: flags.num("epochs", 60)?,
+        batch_size: flags.num("batch", 64)?,
+        learning_rate: flags.num("lr", 1e-3)?,
+    });
+
+    println!(
+        "training {latent}-D VAESA (alpha {alpha:e}) on {} samples...",
+        dataset.len()
+    );
+    let history = if flags.has("converge") {
+        trainer.train_vae_until_converged(&mut model, &dataset, Convergence::default(), &mut rng)
+    } else {
+        trainer.train_vae(&mut model, &dataset, &mut rng)
+    };
+    let last = history.last();
+    println!(
+        "done after {} epochs: recon {:.4}, kld {:.2}, latency {:.4}, energy {:.4}",
+        history.epochs.len(),
+        last.recon,
+        last.kld,
+        last.latency,
+        last.energy
+    );
+
+    ModelCheckpoint::new(&model, &dataset)
+        .save(&out)
+        .map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_search(flags: &Flags) -> Result<(), String> {
+    let ckpt = ModelCheckpoint::load(flags.required("model")?).map_err(|e| e.to_string())?;
+    let dataset = load_dataset(&flags.required("dataset")?)?;
+    let (model, _) = ckpt.into_model();
+    let layers = workload_layers(&flags.str("workload", "resnet50"))?;
+    let method = flags.str("method", "vae_bo");
+    let budget: usize = flags.num("budget", 200)?;
+    let seed: u64 = flags.num("seed", 0)?;
+
+    let space = DesignSpace::paper();
+    let scheduler = CachedScheduler::default();
+    let evaluator = HardwareEvaluator::new(&space, &scheduler, &layers);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    println!("running {method} for {budget} samples (seed {seed})...");
+    let trace = match method.as_str() {
+        "vae_bo" => run_vae_bo(&evaluator, &model, &dataset, budget, &mut rng),
+        "vae_evo" => run_vae_evo(&evaluator, &model, &dataset, budget, &mut rng),
+        "vae_sa" => run_vae_annealing(&evaluator, &model, &dataset, budget, &mut rng),
+        "bo" => run_bo(&evaluator, &dataset.hw_norm, budget, &mut rng),
+        "evo" => run_evo(&evaluator, &dataset.hw_norm, budget, &mut rng),
+        "sa" => run_annealing(&evaluator, &dataset.hw_norm, budget, &mut rng),
+        "cd" => run_coordinate_descent(&evaluator, budget, &mut rng),
+        "random" => run_random(&evaluator, &dataset.hw_norm, budget, &mut rng),
+        other => return Err(format!("unknown method `{other}`")),
+    };
+
+    let best = trace
+        .best_value()
+        .ok_or("no valid design found within the budget")?;
+    let point = trace.best_point().expect("best point recorded");
+    let config = if method.starts_with("vae") {
+        decode_to_config(&model, point, &dataset.hw_norm, &evaluator)
+    } else {
+        evaluator.snap(point, &dataset.hw_norm)
+    };
+    let arch = space.describe(&config);
+    println!("\nbest EDP: {best:.4e} cycles*pJ");
+    println!("design:   {arch}");
+    if let Some(n) = trace.samples_to_within(0.03, best) {
+        println!("reached within 3% of its best after {n} samples");
+    }
+    Ok(())
+}
+
+fn cmd_eval(flags: &Flags) -> Result<(), String> {
+    let arch = ArchDescription {
+        pe_count: flags.num("pe", 16u64)?,
+        macs_per_pe: flags.num("macs", 1024u64)?,
+        accum_buf_bytes: flags.num("accum", 32768u64)?,
+        weight_buf_bytes: flags.num("weight", 524288u64)?,
+        input_buf_bytes: flags.num("input", 65536u64)?,
+        global_buf_bytes: flags.num("global", 131072u64)?,
+    };
+    let layers = workload_layers(&flags.str("workload", "resnet50"))?;
+    let scheduler = CachedScheduler::default();
+    let w = scheduler
+        .schedule_workload(&arch, &layers)
+        .map_err(|e| e.to_string())?;
+    println!("architecture: {arch}");
+    println!("latency: {:.4e} cycles", w.total_latency_cycles);
+    println!("energy:  {:.4e} pJ", w.total_energy_pj);
+    println!("EDP:     {:.4e}", w.edp());
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Property-based tests over the learning stack: normalization, the VAE,
+//! and the search algorithms.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vaesa_repro::core::{Normalizer, VaesaConfig, VaesaModel};
+use vaesa_repro::dse::{BoxSpace, FnObjective, RandomSearch, Trace};
+use vaesa_repro::nn::Tensor;
+
+fn arb_positive_rows() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    // 3..12 rows of 4 positive values spanning several magnitudes.
+    proptest::collection::vec(
+        proptest::collection::vec(1e-3f64..1e9, 4),
+        3..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Normalizer round-trip is the identity (to relative 1e-6) for any
+    /// positive data, and transforms of fitted rows stay within [0, 1].
+    #[test]
+    fn normalizer_roundtrip(rows in arb_positive_rows()) {
+        let norm = Normalizer::fit(&rows);
+        for row in &rows {
+            let t = norm.transform_row(row);
+            prop_assert!(t.iter().all(|v| (-1e-9..=1.0 + 1e-9).contains(v)));
+            let back = norm.inverse_row(&t);
+            for (a, b) in row.iter().zip(&back) {
+                prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1e-12));
+            }
+        }
+    }
+
+    /// The VAE decoder always emits normalized features in (0, 1) — every
+    /// latent point is decodable (the generative property the latent search
+    /// relies on).
+    #[test]
+    fn decoder_output_always_normalized(
+        z in proptest::collection::vec(-10.0f64..10.0, 4),
+        seed in 0u64..50,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let model = VaesaModel::new(VaesaConfig::paper(), &mut rng);
+        let out = model.decode(&Tensor::row_vector(&z));
+        prop_assert_eq!(out.shape(), (1, 6));
+        prop_assert!(out.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    /// Encoding is deterministic and the log-variance head stays bounded
+    /// for arbitrary (even unnormalized) inputs.
+    #[test]
+    fn encoder_is_deterministic_and_bounded(
+        x in proptest::collection::vec(-5.0f64..5.0, 6),
+        seed in 0u64..50,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let model = VaesaModel::new(VaesaConfig::paper(), &mut rng);
+        let t = Tensor::row_vector(&x);
+        let (mu1, lv1) = model.encode_params(&t);
+        let (mu2, lv2) = model.encode_params(&t);
+        prop_assert!(mu1.approx_eq(&mu2, 0.0));
+        prop_assert!(lv1.approx_eq(&lv2, 0.0));
+        prop_assert!(lv1.as_slice().iter().all(|&v| v.abs() <= 4.0));
+        prop_assert!(mu1.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Trace invariant: best-so-far is monotone non-increasing and equals
+    /// the running minimum of the valid values, for any outcome sequence.
+    #[test]
+    fn trace_best_is_running_min(values in proptest::collection::vec(
+        proptest::option::of(0.0f64..1e6), 1..50,
+    )) {
+        let mut trace = Trace::new("prop");
+        let mut min_so_far: Option<f64> = None;
+        for (i, v) in values.iter().enumerate() {
+            trace.record(vec![i as f64], *v);
+            min_so_far = match (min_so_far, v) {
+                (Some(m), Some(x)) => Some(m.min(*x)),
+                (Some(m), None) => Some(m),
+                (None, x) => *x,
+            };
+            prop_assert_eq!(trace.samples()[i].best_so_far, min_so_far);
+        }
+        prop_assert_eq!(trace.best_value(), min_so_far);
+    }
+
+    /// Random search never returns a best value that beats the true
+    /// minimum of the objective over the box.
+    #[test]
+    fn random_search_respects_true_minimum(seed in 0u64..100) {
+        let space = BoxSpace::new(vec![-1.0, -1.0], vec![2.0, 2.0]);
+        // min of (x-1)^2 + (y-1)^2 over the box is 0 at (1,1); shifted by 5.
+        let mut obj = FnObjective::new(2, |x: &[f64]| {
+            Some((x[0] - 1.0).powi(2) + (x[1] - 1.0).powi(2) + 5.0)
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let trace = RandomSearch::new(space).run(&mut obj, 30, &mut rng);
+        prop_assert!(trace.best_value().expect("valid") >= 5.0);
+    }
+}
