@@ -361,7 +361,10 @@ mod tests {
 
         assert_eq!(*s.values(ArchParam::PeCount).last().unwrap(), 64);
         assert_eq!(*s.values(ArchParam::MacsPerPe).last().unwrap(), 4096);
-        assert_eq!(*s.values(ArchParam::AccumBufBytes).last().unwrap(), 96 * 1024);
+        assert_eq!(
+            *s.values(ArchParam::AccumBufBytes).last().unwrap(),
+            96 * 1024
+        );
         assert_eq!(
             *s.values(ArchParam::WeightBufBytes).last().unwrap(),
             8 * 1024 * 1024
@@ -430,7 +433,9 @@ mod tests {
     #[test]
     fn describe_round_trips_values() {
         let s = DesignSpace::paper();
-        let c = s.config_from_indices([4, 63, 127, 32767, 2047, 131071]).unwrap();
+        let c = s
+            .config_from_indices([4, 63, 127, 32767, 2047, 131071])
+            .unwrap();
         let d = s.describe(&c);
         assert_eq!(d.pe_count, 64);
         assert_eq!(d.macs_per_pe, 4096);
@@ -457,7 +462,7 @@ mod tests {
         let s = DesignSpace::coarse(4);
         let g = s.grid(2);
         assert_eq!(g.len(), 64); // 2^6
-        // All grid points valid.
+                                 // All grid points valid.
         for c in &g {
             assert!(s.config_from_indices(c.indices()).is_ok());
         }

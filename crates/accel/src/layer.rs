@@ -70,7 +70,9 @@ impl LayerShape {
             stride_h,
         };
         assert!(
-            [r, s, p, q, c, k, stride_w, stride_h].iter().all(|&d| d > 0),
+            [r, s, p, q, c, k, stride_w, stride_h]
+                .iter()
+                .all(|&d| d > 0),
             "all layer dimensions must be positive: {layer:?}"
         );
         layer

@@ -295,9 +295,18 @@ mod tests {
         let layers = gd_test_layers();
         assert_eq!(layers.len(), 12);
         // Spot-check rows 1, 8, and 12 against the paper's table.
-        assert_eq!(layers[0].features(), [1.0, 1.0, 1.0, 1.0, 2208.0, 1000.0, 1.0, 1.0]);
-        assert_eq!(layers[7].features(), [3.0, 3.0, 350.0, 80.0, 64.0, 64.0, 1.0, 1.0]);
-        assert_eq!(layers[11].features(), [5.0, 5.0, 700.0, 161.0, 1.0, 64.0, 2.0, 2.0]);
+        assert_eq!(
+            layers[0].features(),
+            [1.0, 1.0, 1.0, 1.0, 2208.0, 1000.0, 1.0, 1.0]
+        );
+        assert_eq!(
+            layers[7].features(),
+            [3.0, 3.0, 350.0, 80.0, 64.0, 64.0, 1.0, 1.0]
+        );
+        assert_eq!(
+            layers[11].features(),
+            [5.0, 5.0, 700.0, 161.0, 1.0, 64.0, 2.0, 2.0]
+        );
     }
 
     #[test]

@@ -66,5 +66,43 @@ fn bench_resnet_sweep(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_evaluate, bench_resnet_sweep);
+fn bench_dataset_labeling(c: &mut Criterion) {
+    // Scheduler + cost-model labeling of a dataset batch, serial vs. the
+    // vaesa-par pool: the dominant cost of every `DatasetBuilder::build`.
+    // A fresh scheduler per iteration keeps the mapping cache cold, so each
+    // measurement does the full mapspace search.
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vaesa::DatasetBuilder;
+    use vaesa_accel::DesignSpace;
+    use vaesa_cosa::CachedScheduler;
+
+    let space = DesignSpace::coarse(4);
+    let layers = vec![
+        workloads::alexnet()[2].clone(),
+        workloads::resnet50()[5].clone(),
+    ];
+    for threads in [1usize, vaesa_par::num_threads()] {
+        let builder = DatasetBuilder::new(&space, layers.clone())
+            .random_configs(40)
+            .grid_per_axis(0);
+        c.bench_function(&format!("cost_model/dataset_labeling_t{threads}"), |b| {
+            b.iter_batched(
+                CachedScheduler::default,
+                |scheduler| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(3);
+                    black_box(builder.build_parallel(&scheduler, &mut rng, threads))
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_evaluate,
+    bench_resnet_sweep,
+    bench_dataset_labeling
+);
 criterion_main!(benches);

@@ -13,6 +13,54 @@ fn model() -> VaesaModel {
     VaesaModel::new(VaesaConfig::paper(), &mut rng)
 }
 
+/// Reference triple-loop matmul, for measuring the blocked kernel's speedup.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, inner) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for k in 0..inner {
+            let av = a.get(i, k);
+            for j in 0..n {
+                out.set(i, j, out.get(i, j) + av * b.get(k, j));
+            }
+        }
+    }
+    out
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for n in [64usize, 128, 256] {
+        let a = randn(n, n, &mut rng);
+        let b = randn(n, n, &mut rng);
+        c.bench_function(&format!("nn/matmul_{n}"), |bch| {
+            bch.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
+        });
+        c.bench_function(&format!("nn/matmul_naive_{n}"), |bch| {
+            bch.iter(|| black_box(naive_matmul(black_box(&a), black_box(&b))))
+        });
+    }
+    // The backward pass's fused transpose products vs. materializing the
+    // transpose first (what Op::MatMul backward used to do).
+    let a = randn(256, 128, &mut rng);
+    let b = randn(256, 64, &mut rng);
+    c.bench_function("nn/matmul_transpose_a_fused", |bch| {
+        bch.iter(|| black_box(black_box(&a).matmul_transpose_a(black_box(&b))))
+    });
+    c.bench_function("nn/matmul_transpose_a_materialized", |bch| {
+        bch.iter(|| black_box(black_box(&a).transpose().matmul(black_box(&b))))
+    });
+    let c2 = randn(128, 64, &mut rng);
+    let d = randn(256, 64, &mut rng);
+    c.bench_function("nn/matmul_transpose_b_fused", |bch| {
+        bch.iter(|| black_box(black_box(&c2).matmul_transpose_b(black_box(&d))))
+    });
+    c.bench_function("nn/matmul_transpose_b_materialized", |bch| {
+        bch.iter(|| black_box(black_box(&c2).matmul(&black_box(&d).transpose())))
+    });
+}
+
 fn bench_train_step(c: &mut Criterion) {
     let m = model();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
@@ -67,5 +115,5 @@ fn bench_inference(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_train_step, bench_inference);
+criterion_group!(benches, bench_matmul, bench_train_step, bench_inference);
 criterion_main!(benches);

@@ -39,7 +39,10 @@ fn main() {
     let mut improvement_logs = Vec::new();
     let mut rows = Vec::new();
     println!("per-layer dataflow selection on {arch}\n");
-    println!("{:<14} {:>8} {:>10} {:>22}", "workload", "layers", "geo gain", "dataflow wins (WS/OS/IS)");
+    println!(
+        "{:<14} {:>8} {:>10} {:>22}",
+        "workload", "layers", "geo gain", "dataflow wins (WS/OS/IS)"
+    );
     for (name, layers) in &pools {
         let mut logs = Vec::new();
         let mut local = [0usize; 3];
@@ -70,10 +73,15 @@ fn main() {
             local[1],
             local[2]
         );
-        rows.push((name.to_string(), vec![geo, local[0] as f64, local[1] as f64, local[2] as f64]));
+        rows.push((
+            name.to_string(),
+            vec![geo, local[0] as f64, local[1] as f64, local[2] as f64],
+        ));
     }
 
-    let overall = stats::mean(&improvement_logs).map(f64::exp).unwrap_or(f64::NAN);
+    let overall = stats::mean(&improvement_logs)
+        .map(f64::exp)
+        .unwrap_or(f64::NAN);
     println!("\noverall geometric-mean EDP gain from dataflow freedom: {overall:.3}x");
     println!(
         "dataflow wins: WS {} | OS {} | IS {}",

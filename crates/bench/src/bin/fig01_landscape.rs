@@ -24,7 +24,10 @@ fn main() {
 
     println!("Figure 1: ResNet-50 latency/energy vs accumulation-buffer share");
     println!("total buffer budget: {:.1} KiB", total_budget / 1024.0);
-    println!("{:>8} {:>14} {:>14} {:>14}", "accum%", "latency(cyc)", "energy(pJ)", "EDP");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "accum%", "latency(cyc)", "energy(pJ)", "EDP"
+    );
 
     let mut rows = Vec::new();
     let pe_count = 16u64;

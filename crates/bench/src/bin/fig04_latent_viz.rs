@@ -10,8 +10,8 @@ use std::collections::HashSet;
 use vaesa_accel::workloads;
 use vaesa_bench::{write_csv, write_svg, Args, Setup};
 use vaesa_linalg::stats;
-use vaesa_plot::ScatterChart;
 use vaesa_nn::Tensor;
+use vaesa_plot::ScatterChart;
 
 fn main() {
     let args = Args::parse();
@@ -62,7 +62,11 @@ fn main() {
         "z1,z2,total_macs,global_buf_bytes,resnet50_edp",
         &rows,
     );
-    println!("wrote {} ({} unique architectures)", path.display(), rows.len());
+    println!(
+        "wrote {} ({} unique architectures)",
+        path.display(),
+        rows.len()
+    );
 
     for (col, label, file) in [
         (2usize, "total MACs", "fig04a_macs.svg"),

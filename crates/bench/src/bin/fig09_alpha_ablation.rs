@@ -58,7 +58,10 @@ fn main() {
         "alpha_index,z1,z2,total_macs",
         &rows,
     );
-    println!("\nwrote {} (alpha_index: 0 => 0, 1 => 1e-4, 2 => 1e-2)", path.display());
+    println!(
+        "\nwrote {} (alpha_index: 0 => 0, 1 => 1e-4, 2 => 1e-2)",
+        path.display()
+    );
 
     println!("\nsummary (alpha, max encoding std, final recon loss):");
     for (alpha, spread, recon) in &summary {
@@ -72,7 +75,15 @@ fn main() {
     let s2 = summary[2].1;
     println!(
         "measured: spread ordering {}, recon(1e-4) {} recon(1e-2)",
-        if s0 >= s1 && s1 >= s2 { "HOLDS" } else { "DIFFERS" },
-        if summary[1].2 <= summary[2].2 { "<=" } else { ">" },
+        if s0 >= s1 && s1 >= s2 {
+            "HOLDS"
+        } else {
+            "DIFFERS"
+        },
+        if summary[1].2 <= summary[2].2 {
+            "<="
+        } else {
+            ">"
+        },
     );
 }

@@ -64,9 +64,25 @@ fn main() {
         for seed in 0..seeds {
             let stream = |m: u64| 10_000 + (w as u64) * 100 + (seed as u64) * 10 + m;
             let runs = [
-                run_random(&evaluator, &dataset.hw_norm, budget, &mut args.rng(stream(0))),
-                run_bo(&evaluator, &dataset.hw_norm, budget, &mut args.rng(stream(1))),
-                run_vae_bo(&evaluator, &model, &dataset, budget, &mut args.rng(stream(2))),
+                run_random(
+                    &evaluator,
+                    &dataset.hw_norm,
+                    budget,
+                    &mut args.rng(stream(0)),
+                ),
+                run_bo(
+                    &evaluator,
+                    &dataset.hw_norm,
+                    budget,
+                    &mut args.rng(stream(1)),
+                ),
+                run_vae_bo(
+                    &evaluator,
+                    &model,
+                    &dataset,
+                    budget,
+                    &mut args.rng(stream(2)),
+                ),
             ];
             for (m, trace) in runs.into_iter().enumerate() {
                 curves[m].push(curve_filled(&trace, budget));
@@ -136,16 +152,28 @@ fn main() {
         for m in &cmp.methods {
             println!(
                 "  {:>8}: SP = {:.2}, SE = {:.2} (mean best EDP {:.3e}, samples-to-3% {:.0})",
-                m.label, m.search_performance, m.sample_efficiency, m.mean_best,
+                m.label,
+                m.search_performance,
+                m.sample_efficiency,
+                m.mean_best,
                 m.mean_samples_to_3pct
             );
         }
         println!();
         table.push((
             network.name().to_string(),
-            [cmp.methods[0].search_performance, cmp.methods[0].sample_efficiency],
-            [cmp.methods[1].search_performance, cmp.methods[1].sample_efficiency],
-            [cmp.methods[2].search_performance, cmp.methods[2].sample_efficiency],
+            [
+                cmp.methods[0].search_performance,
+                cmp.methods[0].sample_efficiency,
+            ],
+            [
+                cmp.methods[1].search_performance,
+                cmp.methods[1].sample_efficiency,
+            ],
+            [
+                cmp.methods[2].search_performance,
+                cmp.methods[2].sample_efficiency,
+            ],
         ));
     }
 
@@ -160,5 +188,7 @@ fn main() {
             r[0], r[1], b[0], b[1], v[0], v[1]
         );
     }
-    println!("\npaper (2000 samples): vae_bo SP 1.00-1.01, SE 1.27-4.46; bo SP 0.96-1.00, SE 0.31-1.00");
+    println!(
+        "\npaper (2000 samples): vae_bo SP 1.00-1.01, SE 1.27-4.46; bo SP 0.96-1.00, SE 0.31-1.00"
+    );
 }

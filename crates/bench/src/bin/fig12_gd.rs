@@ -51,7 +51,10 @@ fn main() {
     );
 
     let gd_cfg = GdConfig::default();
-    println!("{samples} samples x {seeds} seeds x {} layers\n", test_layers.len());
+    println!(
+        "{samples} samples x {seeds} seeds x {} layers\n",
+        test_layers.len()
+    );
 
     // Per-method normalized best-so-far curves pooled across layers/seeds.
     let mut pooled: [Vec<Vec<f64>>; 3] = [Vec::new(), Vec::new(), Vec::new()];
@@ -62,9 +65,30 @@ fn main() {
         for seed in 0..seeds {
             let stream = |m: u64| 20_000 + (li as u64) * 100 + (seed as u64) * 10 + m;
             let traces = [
-                run_vae_gd(&evaluator, &model, &dataset, layer, samples, gd_cfg, &mut args.rng(stream(0))),
-                run_gd(&evaluator, &input_preds, &dataset, layer, samples, gd_cfg, &mut args.rng(stream(1))),
-                run_random_layer(&evaluator, &dataset.hw_norm, samples, &mut args.rng(stream(2))),
+                run_vae_gd(
+                    &evaluator,
+                    &model,
+                    &dataset,
+                    layer,
+                    samples,
+                    gd_cfg,
+                    &mut args.rng(stream(0)),
+                ),
+                run_gd(
+                    &evaluator,
+                    &input_preds,
+                    &dataset,
+                    layer,
+                    samples,
+                    gd_cfg,
+                    &mut args.rng(stream(1)),
+                ),
+                run_random_layer(
+                    &evaluator,
+                    &dataset.hw_norm,
+                    samples,
+                    &mut args.rng(stream(2)),
+                ),
             ];
             for (m, t) in traces.iter().enumerate() {
                 per_layer[m].push(filled(t, samples));
@@ -84,7 +108,10 @@ fn main() {
                 pooled[m].push(curve.iter().map(|v| v / best_known).collect());
             }
         }
-        println!("layer {:>4} done (best known EDP {best_known:.3e})", layer.name());
+        println!(
+            "layer {:>4} done (best known EDP {best_known:.3e})",
+            layer.name()
+        );
     }
 
     let methods = ["vae_gd", "gd", "random"];
@@ -136,7 +163,10 @@ fn main() {
     println!("wrote {}", p.display());
 
     println!("\nmean normalized best EDP (lower is better):");
-    println!("{:>8} {:>10} {:>10} {:>10}", "samples", "vae_gd", "gd", "random");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "samples", "vae_gd", "gd", "random"
+    );
     let mut checkpoints = vec![5usize, 10, 20, 30, samples];
     checkpoints.sort_unstable();
     checkpoints.dedup();

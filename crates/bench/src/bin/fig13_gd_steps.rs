@@ -47,7 +47,13 @@ fn main() {
         for s in 0..starts {
             let start = space.sample(&mut rng);
             let edps = vae_gd_edp_at_steps(
-                &evaluator, &model, &dataset, layer, &start, &step_counts, gd_cfg,
+                &evaluator,
+                &model,
+                &dataset,
+                layer,
+                &start,
+                &step_counts,
+                gd_cfg,
             );
             if let (Some(e0), Some(e100), Some(e200)) = (edps[0], edps[1], edps[2]) {
                 rows.push(vec![li as f64, s as f64, e0, e100, e200]);
@@ -55,7 +61,11 @@ fn main() {
                 log_improve_200.push((e0 / e200).ln());
             }
         }
-        println!("layer {:>4}: {} valid starts so far", layer.name(), rows.len());
+        println!(
+            "layer {:>4}: {} valid starts so far",
+            layer.name(),
+            rows.len()
+        );
     }
 
     let path = write_csv(

@@ -90,15 +90,23 @@ fn main() {
     println!("wrote {}", p.display());
 
     let from_vae = front.iter().filter(|&&i| scored[i].0 == 1).count();
-    println!("\njoint Pareto front: {} points ({} contributed by vae_bo, {} by random)",
-        summary.size, from_vae, summary.size - from_vae);
+    println!(
+        "\njoint Pareto front: {} points ({} contributed by vae_bo, {} by random)",
+        summary.size,
+        from_vae,
+        summary.size - from_vae
+    );
     let best = &designs[summary.edp_optimal];
     println!(
         "EDP-optimal front member: latency {:.3e}, energy {:.3e}, EDP {:.3e} (found by {})",
         best.latency,
         best.energy,
         best.edp(),
-        if scored[summary.edp_optimal].0 == 1 { "vae_bo" } else { "random" },
+        if scored[summary.edp_optimal].0 == 1 {
+            "vae_bo"
+        } else {
+            "random"
+        },
     );
     let lat_best = &designs[summary.latency_optimal];
     let en_best = &designs[summary.energy_optimal];

@@ -262,12 +262,7 @@ mod tests {
         let content = std::fs::read_to_string(p).unwrap();
         assert!(content.starts_with("a,b\n"));
         assert!(content.contains("1.0"));
-        let p = write_labeled_csv(
-            &dir,
-            "l.csv",
-            "m,a",
-            &[("bo".to_string(), vec![3.0])],
-        );
+        let p = write_labeled_csv(&dir, "l.csv", "m,a", &[("bo".to_string(), vec![3.0])]);
         let content = std::fs::read_to_string(p).unwrap();
         assert!(content.contains("bo,"));
         let _ = std::fs::remove_dir_all(&dir);

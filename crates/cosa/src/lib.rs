@@ -221,9 +221,7 @@ impl Scheduler {
                     continue;
                 };
                 if let Ok(eval) = self.model.evaluate(arch, layer, &candidate) {
-                    let bar = best_candidate
-                        .as_ref()
-                        .map_or(best.edp(), |(_, e)| e.edp());
+                    let bar = best_candidate.as_ref().map_or(best.edp(), |(_, e)| e.edp());
                     if eval.edp() < bar {
                         best_candidate = Some((candidate, eval));
                     }
@@ -405,7 +403,10 @@ mod tests {
     #[test]
     fn schedule_beats_unit_mapping_substantially() {
         let s = Scheduler::default();
-        let unit = s.model().evaluate(&arch(), &conv(), &Mapping::unit()).unwrap();
+        let unit = s
+            .model()
+            .evaluate(&arch(), &conv(), &Mapping::unit())
+            .unwrap();
         let sched = s.schedule(&arch(), &conv()).unwrap();
         assert!(
             sched.evaluation.edp() < unit.edp() / 100.0,

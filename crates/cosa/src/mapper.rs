@@ -110,8 +110,7 @@ impl IterativeMapper {
         consider(Mapping::unit(), &mut best);
 
         let mut rng = rng;
-        let random_budget =
-            self.config.budget * self.config.random_fraction_percent as usize / 100;
+        let random_budget = self.config.budget * self.config.random_fraction_percent as usize / 100;
         for _ in 0..random_budget {
             consider(random_mapping(arch, layer, &mut rng), &mut best);
         }
@@ -119,7 +118,9 @@ impl IterativeMapper {
         // Hill climbing: mutate one factor of the incumbent at a time.
         let climb_budget = self.config.budget.saturating_sub(random_budget);
         for _ in 0..climb_budget {
-            let Some(incumbent) = best.as_ref() else { break };
+            let Some(incumbent) = best.as_ref() else {
+                break;
+            };
             let candidate = mutate_mapping(&incumbent.mapping, arch, layer, &mut rng);
             consider(candidate, &mut best);
         }
@@ -132,11 +133,7 @@ impl IterativeMapper {
 
 /// Draws a random mapping with power-of-two factors within the hardware and
 /// layer bounds.
-pub fn random_mapping(
-    arch: &ArchDescription,
-    layer: &LayerShape,
-    rng: &mut impl Rng,
-) -> Mapping {
+pub fn random_mapping(arch: &ArchDescription, layer: &LayerShape, rng: &mut impl Rng) -> Mapping {
     let pow2_upto = |cap: u64, rng: &mut dyn RngCore| -> u64 {
         let max_exp = 63 - cap.max(1).leading_zeros();
         1u64 << (rng.next_u32() % (max_exp + 1))
@@ -239,7 +236,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins >= 4, "one-shot matched the mapper only {wins}/5 trials");
+        assert!(
+            wins >= 4,
+            "one-shot matched the mapper only {wins}/5 trials"
+        );
     }
 
     #[test]

@@ -19,7 +19,14 @@ fn arb_indices() -> impl Strategy<Value = [usize; 6]> {
 }
 
 fn arb_layer() -> impl Strategy<Value = LayerShape> {
-    (1u64..=5, 1u64..=5, 1u64..=32, 1u64..=32, 1u64..=256, 1u64..=256)
+    (
+        1u64..=5,
+        1u64..=5,
+        1u64..=32,
+        1u64..=32,
+        1u64..=256,
+        1u64..=256,
+    )
         .prop_map(|(r, s, p, q, c, k)| LayerShape::new("prop", r, s, p, q, c, k, 1, 1))
 }
 

@@ -75,7 +75,10 @@ impl SimulatedAnnealing {
     /// Panics if the temperature or step size is not positive, or cooling
     /// is outside `(0, 1]`.
     pub fn with_config(space: BoxSpace, config: AnnealingConfig) -> Self {
-        assert!(config.initial_temperature > 0.0, "temperature must be positive");
+        assert!(
+            config.initial_temperature > 0.0,
+            "temperature must be positive"
+        );
         assert!(
             config.cooling > 0.0 && config.cooling <= 1.0,
             "cooling must be in (0, 1]"
@@ -118,14 +121,13 @@ impl SimulatedAnnealing {
         let mut temperature = self.config.initial_temperature * v_cur.abs().max(1e-300);
         let mut rejections = 0usize;
         while evaluated < budget {
-            let proposal = if self.config.restart_after > 0
-                && rejections >= self.config.restart_after
-            {
-                rejections = 0;
-                self.space.sample(&mut rng)
-            } else {
-                perturb(&self.space, &x_cur, self.config.step_sigma, &mut rng)
-            };
+            let proposal =
+                if self.config.restart_after > 0 && rejections >= self.config.restart_after {
+                    rejections = 0;
+                    self.space.sample(&mut rng)
+                } else {
+                    perturb(&self.space, &x_cur, self.config.step_sigma, &mut rng)
+                };
             let value = objective.evaluate(&proposal);
             trace.record(proposal.clone(), value);
             evaluated += 1;
@@ -178,7 +180,11 @@ mod tests {
         assert_eq!(trace.len(), 400);
         // Global minimum is slightly below 0.6 - 0.6 + small; just demand a
         // good region.
-        assert!(trace.best_value().unwrap() < 0.3, "best {:?}", trace.best_value());
+        assert!(
+            trace.best_value().unwrap() < 0.3,
+            "best {:?}",
+            trace.best_value()
+        );
     }
 
     #[test]

@@ -138,8 +138,7 @@ impl BayesOpt {
             }
 
             since_refit += 1;
-            let needs_refit =
-                gp.is_none() || since_refit >= self.config.refit_every;
+            let needs_refit = gp.is_none() || since_refit >= self.config.refit_every;
             if needs_refit {
                 gp = GpRegressor::fit(&xs, &ys).ok();
                 since_refit = 0;
@@ -225,12 +224,7 @@ mod tests {
     fn beats_random_search_on_average() {
         let space = BoxSpace::symmetric(3, 3.0);
         let objective = |x: &[f64]| {
-            Some(
-                x.iter()
-                    .map(|v| (v - 1.2).powi(2))
-                    .sum::<f64>()
-                    + (x[0] * 3.0).sin() * 0.3,
-            )
+            Some(x.iter().map(|v| (v - 1.2).powi(2)).sum::<f64>() + (x[0] * 3.0).sin() * 0.3)
         };
         let budget = 50;
         let mut bo_wins = 0;

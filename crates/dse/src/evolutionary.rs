@@ -76,7 +76,10 @@ impl EvolutionarySearch {
     /// the tournament size is zero.
     pub fn with_config(space: BoxSpace, config: EvolutionConfig) -> Self {
         assert!(config.population >= 1, "population must be non-empty");
-        assert!(config.elites < config.population, "elites must leave room for offspring");
+        assert!(
+            config.elites < config.population,
+            "elites must leave room for offspring"
+        );
         assert!(config.tournament >= 1, "tournament size must be positive");
         EvolutionarySearch { space, config }
     }
@@ -112,8 +115,11 @@ impl EvolutionarySearch {
 
         while evaluated < budget {
             population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN fitness"));
-            let mut next: Vec<(Vec<f64>, f64)> =
-                population.iter().take(self.config.elites).cloned().collect();
+            let mut next: Vec<(Vec<f64>, f64)> = population
+                .iter()
+                .take(self.config.elites)
+                .cloned()
+                .collect();
             while next.len() < self.config.population && evaluated < budget {
                 let p1 = self.tournament_pick(&population, &mut rng);
                 let p2 = self.tournament_pick(&population, &mut rng);
@@ -254,8 +260,7 @@ mod tests {
     fn budget_smaller_than_population_still_works() {
         let space = BoxSpace::unit(2);
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        let trace =
-            EvolutionarySearch::new(space).run(&mut rastrigin_ish(), 5, &mut rng);
+        let trace = EvolutionarySearch::new(space).run(&mut rastrigin_ish(), 5, &mut rng);
         assert_eq!(trace.len(), 5);
     }
 }

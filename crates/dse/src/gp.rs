@@ -1,6 +1,11 @@
 use crate::{ArdKernel, Kernel, KernelKind};
 use vaesa_linalg::{Cholesky, LinalgError, Matrix};
 
+/// Observation count below which GP fitting stays serial: thread fan-out
+/// costs more than the O(n³) work it would hide on small problems, and the
+/// BO loop refits small GPs every iteration.
+const GP_PAR_MIN_N: usize = 64;
+
 /// The GP's covariance function: isotropic or ARD.
 #[derive(Debug, Clone)]
 enum GpKernel {
@@ -94,13 +99,25 @@ impl GpRegressor {
             return Err(LinalgError::Empty);
         }
         // Candidate lengthscales relative to the data's coordinate spread.
+        // Each candidate costs a full O(n³) factorization, so the grid fans
+        // out across the pool; the reduction walks candidates in grid order,
+        // reproducing the serial selection (first maximum wins, last error
+        // reported) for any thread count.
         let spread = coordinate_spread(xs).max(1e-9);
         let grid = [0.05, 0.1, 0.2, 0.5, 1.0, 2.0];
+        let fit_one = |&rel: &f64| {
+            let kernel = Kernel::new(kind, rel * spread, 1.0);
+            Self::fit_fixed(xs, ys, kernel, noise)
+        };
+        let candidates: Vec<Result<Self, LinalgError>> = if xs.len() >= GP_PAR_MIN_N {
+            vaesa_par::par_map(&grid, fit_one)
+        } else {
+            grid.iter().map(fit_one).collect()
+        };
         let mut best: Option<(f64, GpRegressor)> = None;
         let mut last_err = LinalgError::Empty;
-        for &rel in &grid {
-            let kernel = Kernel::new(kind, rel * spread, 1.0);
-            match Self::fit_fixed(xs, ys, kernel, noise) {
+        for candidate in candidates {
+            match candidate {
                 Ok(gp) => {
                     let lml = gp.log_marginal_likelihood();
                     if best.as_ref().is_none_or(|(b, _)| lml > *b) {
@@ -195,13 +212,25 @@ impl GpRegressor {
         }
         let n = xs.len();
         let mut k = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let v = kernel.eval(&xs[i], &xs[j]);
-                k[(i, j)] = v;
-                k[(j, i)] = v;
+        if n >= GP_PAR_MIN_N && vaesa_par::num_threads() > 1 {
+            // One row per chunk; `eval` is exactly symmetric (the squared
+            // differences negate bit-exactly), so filling both triangles
+            // independently matches the mirrored serial fill.
+            vaesa_par::par_chunks_mut(k.as_mut_slice(), n, |i, _, row| {
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot = kernel.eval(&xs[i], &xs[j]);
+                }
+                row[i] += noise;
+            });
+        } else {
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = kernel.eval(&xs[i], &xs[j]);
+                    k[(i, j)] = v;
+                    k[(j, i)] = v;
+                }
+                k[(i, i)] += noise;
             }
-            k[(i, i)] += noise;
         }
         let chol = Cholesky::new(&k)?;
         let l: Vec<Vec<f64>> = (0..n)
@@ -284,8 +313,7 @@ impl GpRegressor {
         let k_vec: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
         let mean_std: f64 = k_vec.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
         let v = self.solve_lower(&k_vec);
-        let var_std =
-            (self.kernel.eval(x, x) - v.iter().map(|b| b * b).sum::<f64>()).max(0.0);
+        let var_std = (self.kernel.eval(x, x) - v.iter().map(|b| b * b).sum::<f64>()).max(0.0);
         (
             mean_std * self.y_std + self.y_mean,
             var_std * self.y_std * self.y_std,
@@ -404,8 +432,7 @@ mod tests {
         let (xs, ys) = training_data();
         let kernel = Kernel::new(KernelKind::Matern52, 1.0, 1.0);
         let full = GpRegressor::fit_fixed(&xs, &ys, kernel, 1e-6).unwrap();
-        let mut inc =
-            GpRegressor::fit_fixed(&xs[..4], &ys[..4], kernel, 1e-6).unwrap();
+        let mut inc = GpRegressor::fit_fixed(&xs[..4], &ys[..4], kernel, 1e-6).unwrap();
         for i in 4..xs.len() {
             inc.add(xs[i].clone(), ys[i]).unwrap();
         }
@@ -508,6 +535,34 @@ mod tests {
         let s = gp.lengthscales();
         assert_eq!(s.len(), 2);
         assert_eq!(s[0], s[1]);
+    }
+
+    #[test]
+    fn large_fit_is_deterministic_across_thread_counts() {
+        // Big enough to take the parallel kernel-build and grid-search
+        // paths; results must be bit-identical at every thread count.
+        let xs: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - x[1]).collect();
+        std::env::set_var("VAESA_THREADS", "1");
+        let base = GpRegressor::fit(&xs, &ys).unwrap();
+        for threads in ["2", "5"] {
+            std::env::set_var("VAESA_THREADS", threads);
+            let gp = GpRegressor::fit(&xs, &ys).unwrap();
+            assert_eq!(
+                base.log_marginal_likelihood().to_bits(),
+                gp.log_marginal_likelihood().to_bits(),
+                "threads = {threads}"
+            );
+            for probe in [[0.3, -0.2], [1.5, 0.9]] {
+                let (m0, v0) = base.predict(&probe);
+                let (m1, v1) = gp.predict(&probe);
+                assert_eq!(m0.to_bits(), m1.to_bits());
+                assert_eq!(v0.to_bits(), v1.to_bits());
+            }
+        }
+        std::env::remove_var("VAESA_THREADS");
     }
 
     #[test]

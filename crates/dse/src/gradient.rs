@@ -51,7 +51,10 @@ impl GdPath {
 
     /// The final objective value.
     pub fn final_value(&self) -> f64 {
-        self.steps.last().expect("path has at least the start").value
+        self.steps
+            .last()
+            .expect("path has at least the start")
+            .value
     }
 
     /// The minimum objective value along the path.
@@ -142,8 +145,8 @@ impl GradientDescent {
                 }
             }
             for i in 0..x.len() {
-                velocity[i] = self.config.momentum * velocity[i]
-                    - self.config.learning_rate * grad[i];
+                velocity[i] =
+                    self.config.momentum * velocity[i] - self.config.learning_rate * grad[i];
                 x[i] += velocity[i];
             }
             self.space.clamp(&mut x);
@@ -216,9 +219,7 @@ mod tests {
 
     #[test]
     fn clipping_tames_huge_gradients() {
-        let mut steep = FnDifferentiable::new(1, |x: &[f64]| {
-            (1e6 * x[0] * x[0], vec![2e6 * x[0]])
-        });
+        let mut steep = FnDifferentiable::new(1, |x: &[f64]| (1e6 * x[0] * x[0], vec![2e6 * x[0]]));
         let config = GdConfig {
             learning_rate: 0.01,
             momentum: 0.0,

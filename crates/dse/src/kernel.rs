@@ -102,7 +102,10 @@ impl ArdKernel {
     /// Panics if any lengthscale or the variance is not positive, or no
     /// dimensions are given.
     pub fn new(kind: KernelKind, lengthscales: Vec<f64>, variance: f64) -> Self {
-        assert!(!lengthscales.is_empty(), "ARD kernel needs at least one dimension");
+        assert!(
+            !lengthscales.is_empty(),
+            "ARD kernel needs at least one dimension"
+        );
         assert!(
             lengthscales.iter().all(|&l| l > 0.0),
             "lengthscales must be positive"

@@ -132,11 +132,8 @@ mod tests {
     fn random_search_deterministic_per_seed() {
         let space = BoxSpace::unit(2);
         let mut obj = FnObjective::new(2, |x: &[f64]| Some(x[0] * x[1]));
-        let t1 = RandomSearch::new(space.clone()).run(
-            &mut obj,
-            20,
-            &mut ChaCha8Rng::seed_from_u64(5),
-        );
+        let t1 =
+            RandomSearch::new(space.clone()).run(&mut obj, 20, &mut ChaCha8Rng::seed_from_u64(5));
         let t2 = RandomSearch::new(space).run(&mut obj, 20, &mut ChaCha8Rng::seed_from_u64(5));
         assert_eq!(t1.samples(), t2.samples());
     }
@@ -144,8 +141,9 @@ mod tests {
     #[test]
     fn grid_search_hits_exact_optimum_on_grid() {
         let space = BoxSpace::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
-        let mut obj =
-            FnObjective::new(2, |x: &[f64]| Some((x[0] - 0.0).powi(2) + (x[1] - 0.0).powi(2)));
+        let mut obj = FnObjective::new(2, |x: &[f64]| {
+            Some((x[0] - 0.0).powi(2) + (x[1] - 0.0).powi(2))
+        });
         let gs = GridSearch::new(space, 5);
         assert_eq!(gs.len(), 25);
         let trace = gs.run(&mut obj);
@@ -156,13 +154,7 @@ mod tests {
     #[test]
     fn invalid_points_are_recorded_but_not_best() {
         let space = BoxSpace::unit(1);
-        let mut obj = FnObjective::new(1, |x: &[f64]| {
-            if x[0] < 0.5 {
-                None
-            } else {
-                Some(x[0])
-            }
-        });
+        let mut obj = FnObjective::new(1, |x: &[f64]| if x[0] < 0.5 { None } else { Some(x[0]) });
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let trace = RandomSearch::new(space).run(&mut obj, 100, &mut rng);
         assert_eq!(trace.len(), 100);

@@ -206,7 +206,10 @@ mod tests {
     #[test]
     fn best_curve_pads_and_truncates() {
         let t = demo();
-        assert_eq!(t.best_curve(6, f64::NAN), vec![10.0, 10.0, 10.0, 4.0, 4.0, 4.0]);
+        assert_eq!(
+            t.best_curve(6, f64::NAN),
+            vec![10.0, 10.0, 10.0, 4.0, 4.0, 4.0]
+        );
         assert_eq!(t.best_curve(2, 0.0), vec![10.0, 10.0]);
         let empty = Trace::new("e");
         assert_eq!(empty.best_curve(2, 7.0), vec![7.0, 7.0]);

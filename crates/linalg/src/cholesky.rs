@@ -189,24 +189,15 @@ mod tests {
     use super::*;
 
     fn spd3() -> Matrix {
-        Matrix::from_rows(&[
-            &[25.0, 15.0, -5.0],
-            &[15.0, 18.0, 0.0],
-            &[-5.0, 0.0, 11.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]).unwrap()
     }
 
     #[test]
     fn factor_known_matrix() {
         let chol = Cholesky::new(&spd3()).unwrap();
         let l = chol.factor();
-        let expected = Matrix::from_rows(&[
-            &[5.0, 0.0, 0.0],
-            &[3.0, 3.0, 0.0],
-            &[-1.0, 1.0, 3.0],
-        ])
-        .unwrap();
+        let expected =
+            Matrix::from_rows(&[&[5.0, 0.0, 0.0], &[3.0, 3.0, 0.0], &[-1.0, 1.0, 3.0]]).unwrap();
         assert!(l.approx_eq(&expected, 1e-12));
         assert_eq!(chol.jitter(), 0.0);
     }

@@ -70,20 +70,33 @@ impl Batcher {
 /// Used for the VAE reparameterization trick (`z = μ + ε·σ`) and for random
 /// latent starting points in gradient-descent search.
 pub fn randn(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
-    let n = rows * cols;
-    let mut data = Vec::with_capacity(n);
-    while data.len() < n {
+    let mut out = Tensor::zeros(0, 0);
+    randn_into(rows, cols, rng, &mut out);
+    out
+}
+
+/// Like [`randn`], but fills `out` in place, reusing its buffer.
+///
+/// Draws exactly the same RNG stream as [`randn`], so swapping one for the
+/// other does not perturb downstream random state.
+pub fn randn_into(rows: usize, cols: usize, rng: &mut impl Rng, out: &mut Tensor) {
+    out.resize_uninit(rows, cols);
+    let data = out.as_mut_slice();
+    let n = data.len();
+    let mut i = 0;
+    while i < n {
         // Box–Muller: two uniforms -> two independent standard normals.
         let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
-        data.push(r * theta.cos());
-        if data.len() < n {
-            data.push(r * theta.sin());
+        data[i] = r * theta.cos();
+        i += 1;
+        if i < n {
+            data[i] = r * theta.sin();
+            i += 1;
         }
     }
-    Tensor::from_vec(rows, cols, data)
 }
 
 /// Draws a `rows x cols` tensor of uniform samples in `[lo, hi)`.
@@ -135,12 +148,33 @@ mod tests {
 
     #[test]
     fn randn_moments_are_plausible() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let t = randn(100, 100, &mut rng);
-        let mean = t.mean();
-        let var = t.map(|v| v * v).mean() - mean * mean;
-        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
-        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+        for seed in [3u64, 4, 5] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let t = randn(100, 100, &mut rng);
+            let mean = t.mean();
+            let var = t.map(|v| v * v).mean() - mean * mean;
+            // 10k draws: std err of the mean is 0.01, so allow 3 sigma.
+            assert!(mean.abs() < 0.03, "seed {seed}: mean {mean} too far from 0");
+            assert!(
+                (var - 1.0).abs() < 0.05,
+                "seed {seed}: variance {var} too far from 1"
+            );
+        }
+    }
+
+    #[test]
+    fn randn_into_matches_randn_stream() {
+        let a = randn(7, 3, &mut ChaCha8Rng::seed_from_u64(11));
+        let mut b = Tensor::zeros(2, 2);
+        let ptr = {
+            randn_into(7, 3, &mut ChaCha8Rng::seed_from_u64(11), &mut b);
+            b.as_slice().as_ptr()
+        };
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(a.shape(), b.shape());
+        // Refilling with a smaller shape must keep the allocation.
+        randn_into(2, 2, &mut ChaCha8Rng::seed_from_u64(12), &mut b);
+        assert_eq!(ptr, b.as_slice().as_ptr(), "buffer must be reused");
     }
 
     #[test]

@@ -285,8 +285,10 @@ impl Graph {
             match op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
-                    let ga = gout.matmul(&self.nodes[b.0].value.transpose());
-                    let gb = self.nodes[a.0].value.transpose().matmul(&gout);
+                    // Fused variants avoid materializing transposed copies
+                    // of the forward values on every backward step.
+                    let ga = gout.matmul_transpose_b(&self.nodes[b.0].value);
+                    let gb = self.nodes[a.0].value.matmul_transpose_a(&gout);
                     self.accumulate(a, ga);
                     self.accumulate(b, gb);
                 }
@@ -375,9 +377,32 @@ impl Graph {
 
     fn accumulate(&mut self, id: VarId, g: Tensor) {
         match &mut self.grads[id.0] {
-            Some(existing) => *existing = existing.add(&g),
+            Some(existing) => existing.add_assign(&g),
             slot @ None => *slot = Some(g),
         }
+    }
+
+    /// Clears the tape for reuse, keeping both backing allocations so a
+    /// per-minibatch training loop stops paying two `Vec` growths per step.
+    ///
+    /// All previously issued [`VarId`]s become invalid.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.grads.clear();
+    }
+
+    /// Takes the forward value out of node `id`, leaving an empty tensor.
+    ///
+    /// The training loop uses this to reclaim minibatch input buffers
+    /// after the optimizer step, feeding them back into
+    /// [`Tensor::select_rows_into`] for the next batch instead of
+    /// allocating fresh tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn take_value(&mut self, id: VarId) -> Tensor {
+        std::mem::replace(&mut self.nodes[id.0].value, Tensor::zeros(0, 0))
     }
 }
 
@@ -608,6 +633,29 @@ mod tests {
         let mut g = Graph::new();
         let x = g.leaf(Tensor::zeros(2, 2));
         g.backward(x);
+    }
+
+    #[test]
+    fn reset_reuses_tape_allocations() {
+        let mut g = Graph::new();
+        let x = g.leaf(scalar(2.0));
+        let y = g.square(x);
+        g.backward(y);
+        g.reset();
+        assert!(g.is_empty());
+        let x2 = g.leaf(scalar(3.0));
+        let y2 = g.square(x2);
+        g.backward(y2);
+        assert_eq!(g.grad(x2).unwrap().get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn take_value_reclaims_leaf_buffer() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[1.0, 2.0]]));
+        let taken = g.take_value(x);
+        assert_eq!(taken.as_slice(), &[1.0, 2.0]);
+        assert!(g.value(x).is_empty());
     }
 
     #[test]

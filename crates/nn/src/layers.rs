@@ -30,9 +30,9 @@ impl Param {
         }
     }
 
-    /// Resets the gradient to zero.
+    /// Resets the gradient to zero in place, keeping the buffer allocation.
     pub fn zero_grad(&mut self) {
-        self.grad = Tensor::zeros(self.value.rows(), self.value.cols());
+        self.grad.fill_zero();
     }
 }
 
@@ -81,7 +81,10 @@ pub struct Linear {
 impl Linear {
     /// Creates a new layer with Kaiming-uniform weights drawn from `rng`.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         let bound = (6.0 / in_dim as f64).sqrt();
         let data: Vec<f64> = (0..in_dim * out_dim)
             .map(|_| rng.gen_range(-bound..bound))
@@ -163,7 +166,10 @@ impl Mlp {
         output_activation: Activation,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
@@ -231,10 +237,10 @@ impl Mlp {
         );
         for (layer, &(wid, bid)) in self.layers.iter_mut().zip(&pass.param_ids) {
             if let Some(gw) = g.grad(wid) {
-                layer.weight.grad = layer.weight.grad.add(gw);
+                layer.weight.grad.add_assign(gw);
             }
             if let Some(gb) = g.grad(bid) {
-                layer.bias.grad = layer.bias.grad.add(gb);
+                layer.bias.grad.add_assign(gb);
             }
         }
     }
@@ -270,7 +276,11 @@ impl Mlp {
     ///
     /// Panics if `flat` has the wrong length.
     pub fn unflatten_params(&mut self, flat: &[f64]) {
-        assert_eq!(flat.len(), self.param_count(), "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat parameter length mismatch"
+        );
         let mut offset = 0;
         for layer in &mut self.layers {
             for dst in [&mut layer.weight, &mut layer.bias] {
@@ -324,7 +334,12 @@ mod tests {
     #[test]
     fn mlp_forward_shapes() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let mlp = Mlp::new(&[5, 7, 3], Activation::LeakyRelu, Activation::Sigmoid, &mut rng);
+        let mlp = Mlp::new(
+            &[5, 7, 3],
+            Activation::LeakyRelu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
         assert_eq!(mlp.in_dim(), 5);
         assert_eq!(mlp.out_dim(), 3);
         assert_eq!(mlp.depth(), 2);
@@ -376,7 +391,12 @@ mod tests {
     #[test]
     fn flatten_roundtrip() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let mut mlp = Mlp::new(&[2, 3, 1], Activation::LeakyRelu, Activation::Identity, &mut rng);
+        let mut mlp = Mlp::new(
+            &[2, 3, 1],
+            Activation::LeakyRelu,
+            Activation::Identity,
+            &mut rng,
+        );
         let flat = mlp.flatten_params();
         let mut clone = mlp.clone();
         clone.unflatten_params(&flat);
@@ -390,7 +410,12 @@ mod tests {
     #[test]
     fn accumulate_grads_adds_rather_than_overwrites() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let mut mlp = Mlp::new(&[2, 2], Activation::Identity, Activation::Identity, &mut rng);
+        let mut mlp = Mlp::new(
+            &[2, 2],
+            Activation::Identity,
+            Activation::Identity,
+            &mut rng,
+        );
         let x = Tensor::from_rows(&[&[1.0, 1.0]]);
         let t = Tensor::from_rows(&[&[0.0, 0.0]]);
         let run = |mlp: &Mlp| {
@@ -417,7 +442,12 @@ mod tests {
     #[test]
     fn zero_grad_clears() {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        let mut mlp = Mlp::new(&[2, 2], Activation::Identity, Activation::Identity, &mut rng);
+        let mut mlp = Mlp::new(
+            &[2, 2],
+            Activation::Identity,
+            Activation::Identity,
+            &mut rng,
+        );
         mlp.visit_params(&mut |p| p.grad = Tensor::fill(p.grad.rows(), p.grad.cols(), 3.0));
         mlp.zero_grad();
         assert!(mlp.flatten_grads().iter().all(|&g| g == 0.0));

@@ -30,7 +30,7 @@
 //! let xs = Tensor::from_rows(&[&[0.0], &[0.5], &[1.0]]);
 //! let ys = xs.scale(2.0);
 //! let mut last_loss = f64::INFINITY;
-//! for _ in 0..300 {
+//! for _ in 0..1000 {
 //!     let mut g = Graph::new();
 //!     let x = g.leaf(xs.clone());
 //!     let t = g.leaf(ys.clone());
@@ -51,7 +51,7 @@ mod layers;
 mod optim;
 mod tensor;
 
-pub use data::{rand_uniform, randn, Batcher};
+pub use data::{rand_uniform, randn, randn_into, Batcher};
 pub use graph::{finite_diff_check, Graph, VarId};
 pub use layers::{Activation, Linear, Mlp, MlpPass, Param};
 pub use optim::{Adam, Sgd};

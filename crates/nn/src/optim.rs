@@ -132,8 +132,7 @@ impl Adam {
             p.v.as_mut_slice()[i] = v;
             let m_hat = m / bc1;
             let v_hat = v / bc2;
-            p.value.as_mut_slice()[i] -=
-                self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            p.value.as_mut_slice()[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
         }
     }
 }

@@ -122,7 +122,10 @@ impl Tensor {
     ///
     /// Panics if the indices are out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -132,7 +135,10 @@ impl Tensor {
     ///
     /// Panics if the indices are out of bounds.
     pub fn set(&mut self, r: usize, c: usize, value: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = value;
     }
 
@@ -187,14 +193,24 @@ impl Tensor {
     ///
     /// Panics if any index is out of bounds.
     pub fn select_rows(&self, indices: &[usize]) -> Tensor {
-        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        let mut out = Tensor::zeros(0, 0);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Like [`Tensor::select_rows`], but reuses `out`'s buffer instead of
+    /// allocating — the training loop calls this once per minibatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Tensor) {
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
         for &i in indices {
-            data.extend_from_slice(self.row(i));
-        }
-        Tensor {
-            rows: indices.len(),
-            cols: self.cols,
-            data,
+            out.data.extend_from_slice(self.row(i));
         }
     }
 
@@ -236,6 +252,40 @@ impl Tensor {
         self.zip(other, "add", |a, b| a + b)
     }
 
+    /// Elementwise sum in place (`self += other`), avoiding the fresh
+    /// allocation of [`Tensor::add`] on gradient-accumulation paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_assign: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Reshapes to `rows x cols`, reusing the backing buffer when possible.
+    ///
+    /// Element values after the call are unspecified; callers are expected to
+    /// overwrite the whole tensor (e.g. [`crate::randn_into`]).
+    pub fn resize_uninit(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Elementwise difference.
     ///
     /// # Panics
@@ -259,7 +309,13 @@ impl Tensor {
         self.map(|v| v * k)
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other`, using a cache-blocked, B-packed
+    /// kernel that parallelizes over output rows for large products.
+    ///
+    /// The inner dimension is processed in fixed panels of
+    /// [`KERNEL_PANEL`] with a pinned accumulation order, so results are
+    /// bit-identical for every thread count (see DESIGN.md, "Threading &
+    /// determinism policy").
     ///
     /// # Panics
     ///
@@ -270,20 +326,96 @@ impl Tensor {
             "matmul: inner dimensions differ ({} vs {})",
             self.cols, other.rows
         );
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+        let (m, inner, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        if m == 0 || n == 0 || inner == 0 {
+            return out;
+        }
+        let packed = pack_b_panels(&other.data, inner, n);
+        run_rowwise(&mut out.data, n, m * n * inner, |i, out_row| {
+            let a_row = &self.data[i * inner..(i + 1) * inner];
+            packed_panel_product(a_row, &packed, out_row, n);
+        });
+        out
+    }
+
+    /// Fused product `selfᵀ * other` without materializing the transpose.
+    ///
+    /// `self` is `r x p`, `other` is `r x n`; the result is `p x n` with
+    /// `out[i][j] = Σ_r self[r][i] * other[r][j]`. Accumulation runs over
+    /// `r` in increasing order for every output element, independent of
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_transpose_a(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_transpose_a: shared row counts differ ({} vs {})",
+            self.rows, other.rows
+        );
+        let (r_dim, p, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(p, n);
+        if p == 0 || n == 0 || r_dim == 0 {
+            return out;
+        }
+        run_rowwise(&mut out.data, n, p * n * r_dim, |i, out_row| {
+            for r in 0..r_dim {
+                let coeff = self.data[r * p + i];
+                let b_row = &other.data[r * n..(r + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+                    *o += coeff * b;
                 }
             }
+        });
+        out
+    }
+
+    /// Fused product `self * otherᵀ` without materializing the transpose.
+    ///
+    /// `self` is `m x k`, `other` is `n x k`; the result is `m x n` built
+    /// from contiguous row dot products, accumulated in increasing `k`
+    /// order for every output element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_transpose_b(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b: inner dimensions differ ({} vs {})",
+            self.cols, other.cols
+        );
+        let (m, inner, n) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(m, n);
+        if m == 0 || n == 0 || inner == 0 {
+            return out;
         }
+        run_rowwise(&mut out.data, n, m * n * inner, |i, out_row| {
+            let a_row = &self.data[i * inner..(i + 1) * inner];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * inner..(j + 1) * inner];
+                // Four independent accumulation lanes break the serial FP add
+                // dependency chain; the lane layout (and thus the final value)
+                // is fixed and independent of the thread count.
+                let mut acc = [0.0f64; 4];
+                let a4 = a_row.chunks_exact(4);
+                let b4 = b_row.chunks_exact(4);
+                let (ra, rb) = (a4.remainder(), b4.remainder());
+                for (ca, cb) in a4.zip(b4) {
+                    acc[0] += ca[0] * cb[0];
+                    acc[1] += ca[1] * cb[1];
+                    acc[2] += ca[2] * cb[2];
+                    acc[3] += ca[3] * cb[3];
+                }
+                let mut tail = 0.0;
+                for (&a, &b) in ra.iter().zip(rb) {
+                    tail += a * b;
+                }
+                *o = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
+            }
+        });
         out
     }
 
@@ -351,7 +483,10 @@ impl Tensor {
     ///
     /// Panics if `start > end` or `end > self.cols()`.
     pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
-        assert!(start <= end && end <= self.cols, "invalid column range {start}..{end}");
+        assert!(
+            start <= end && end <= self.cols,
+            "invalid column range {start}..{end}"
+        );
         let width = end - start;
         let mut data = Vec::with_capacity(self.rows * width);
         for r in 0..self.rows {
@@ -370,21 +505,30 @@ impl Tensor {
     ///
     /// Panics if the row counts differ.
     pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(0, 0);
+        self.concat_cols_into(other, &mut out);
+        out
+    }
+
+    /// Like [`Tensor::concat_cols`], but reuses `out`'s buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-count mismatch.
+    pub fn concat_cols_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.rows, other.rows,
             "concat_cols: row counts differ ({} vs {})",
             self.rows, other.rows
         );
         let cols = self.cols + other.cols;
-        let mut data = Vec::with_capacity(self.rows * cols);
+        out.rows = self.rows;
+        out.cols = cols;
+        out.data.clear();
+        out.data.reserve(self.rows * cols);
         for r in 0..self.rows {
-            data.extend_from_slice(self.row(r));
-            data.extend_from_slice(other.row(r));
-        }
-        Tensor {
-            rows: self.rows,
-            cols,
-            data,
+            out.data.extend_from_slice(self.row(r));
+            out.data.extend_from_slice(other.row(r));
         }
     }
 
@@ -402,6 +546,86 @@ impl Tensor {
                 .iter()
                 .zip(&other.data)
                 .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+/// Inner-dimension panel width of the blocked matmul kernel. Four packed
+/// B rows per panel keeps the working set inside L1 while letting the
+/// compiler vectorize the fused per-column accumulation.
+const KERNEL_PANEL: usize = 4;
+
+/// Output rows per parallel work chunk.
+const ROW_BLOCK: usize = 4;
+
+/// Multiply-accumulate count above which a product is worth fanning out
+/// to the worker pool (below it, thread spawn costs dominate).
+const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+
+/// Packs the `inner x n` matrix `b` into zero-padded panels of
+/// [`KERNEL_PANEL`] consecutive inner-dimension rows, interleaved per
+/// column: element `t` of panel `p` for column `j` lands at
+/// `[p * PANEL * n + j * PANEL + t]`. The layout makes the kernel's inner
+/// loop a contiguous stream regardless of `n`.
+fn pack_b_panels(b: &[f64], inner: usize, n: usize) -> Vec<f64> {
+    let panels = inner.div_ceil(KERNEL_PANEL);
+    let mut packed = vec![0.0; panels * KERNEL_PANEL * n];
+    for p in 0..panels {
+        let base = p * KERNEL_PANEL * n;
+        for t in 0..KERNEL_PANEL {
+            let k = p * KERNEL_PANEL + t;
+            if k >= inner {
+                break;
+            }
+            let b_row = &b[k * n..(k + 1) * n];
+            for (j, &v) in b_row.iter().enumerate() {
+                packed[base + j * KERNEL_PANEL + t] = v;
+            }
+        }
+    }
+    packed
+}
+
+/// One output row of the blocked product: `out_row += a_row * B` with `B`
+/// pre-packed by [`pack_b_panels`]. The accumulation order — panels in
+/// increasing `k`, four fused multiply-adds per panel — is fixed, so the
+/// result never depends on how rows were distributed across threads.
+fn packed_panel_product(a_row: &[f64], packed: &[f64], out_row: &mut [f64], n: usize) {
+    let inner = a_row.len();
+    for (p, panel) in packed.chunks_exact(KERNEL_PANEL * n).enumerate() {
+        let k0 = p * KERNEL_PANEL;
+        let a0 = a_row[k0];
+        let a1 = if k0 + 1 < inner { a_row[k0 + 1] } else { 0.0 };
+        let a2 = if k0 + 2 < inner { a_row[k0 + 2] } else { 0.0 };
+        let a3 = if k0 + 3 < inner { a_row[k0 + 3] } else { 0.0 };
+        for (o, col) in out_row.iter_mut().zip(panel.chunks_exact(KERNEL_PANEL)) {
+            *o += a0 * col[0] + a1 * col[1] + a2 * col[2] + a3 * col[3];
+        }
+    }
+}
+
+/// Runs `kernel(row_index, out_row)` over every `n`-wide row of `data`,
+/// fanning out to the worker pool when the product is large enough
+/// (`flops` multiply-accumulates) and a pool exists. Row blocks are fixed
+/// by [`ROW_BLOCK`], never by thread count, so the arithmetic each output
+/// element sees is identical in serial and parallel runs.
+fn run_rowwise(
+    data: &mut [f64],
+    n: usize,
+    flops: usize,
+    kernel: impl Fn(usize, &mut [f64]) + Sync,
+) {
+    debug_assert_eq!(data.len() % n, 0);
+    if flops >= PAR_FLOP_THRESHOLD && vaesa_par::num_threads() > 1 {
+        vaesa_par::par_chunks_mut(data, ROW_BLOCK * n, |_, offset, chunk| {
+            let first_row = offset / n;
+            for (r, out_row) in chunk.chunks_mut(n).enumerate() {
+                kernel(first_row + r, out_row);
+            }
+        });
+    } else {
+        for (i, out_row) in data.chunks_mut(n).enumerate() {
+            kernel(i, out_row);
+        }
     }
 }
 
@@ -504,5 +728,143 @@ mod tests {
     fn display_is_nonempty() {
         let t = Tensor::zeros(1, 1);
         assert!(format!("{t}").contains("1x1"));
+    }
+
+    /// Plain i-k-j triple loop, the pre-blocking semantics (minus the
+    /// removed zero-skip branch): the oracle for the packed kernel.
+    fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.cols(), b.rows());
+        let mut out = Tensor::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let av = a.get(i, k);
+                for j in 0..b.cols() {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + av * b.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic pseudo-random filler (no RNG dependency needed).
+    fn pattern_tensor(rows: usize, cols: usize, salt: u64) -> Tensor {
+        let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Uniform-ish in [-2, 2), plus exact zeros so the removed
+                // zero-skip branch's absence is exercised on sparse data.
+                if state.is_multiple_of(7) {
+                    0.0
+                } else {
+                    ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+                }
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_on_odd_shapes() {
+        // Odd/prime shapes stress the panel tail and row-block tail paths.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (2, 3, 5),
+            (5, 7, 3),
+            (7, 13, 17),
+            (13, 4, 1),
+            (1, 31, 37),
+            (31, 37, 13),
+            (64, 65, 63),
+        ] {
+            let a = pattern_tensor(m, k, (m * 1000 + k) as u64);
+            let b = pattern_tensor(k, n, (k * 1000 + n) as u64);
+            let fast = a.matmul(&b);
+            let slow = matmul_reference(&a, &b);
+            assert!(
+                fast.approx_eq(&slow, 1e-12),
+                "blocked matmul diverged from reference at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_is_deterministic_across_thread_counts() {
+        // Big enough to cross PAR_FLOP_THRESHOLD and actually fan out.
+        let a = pattern_tensor(96, 80, 1);
+        let b = pattern_tensor(80, 96, 2);
+        let baseline = {
+            std::env::set_var("VAESA_THREADS", "1");
+            a.matmul(&b)
+        };
+        for threads in ["2", "3", "8"] {
+            std::env::set_var("VAESA_THREADS", threads);
+            let out = a.matmul(&b);
+            assert_eq!(
+                out.as_slice(),
+                baseline.as_slice(),
+                "thread count {threads} changed matmul bits"
+            );
+        }
+        std::env::remove_var("VAESA_THREADS");
+    }
+
+    #[test]
+    fn transpose_fused_variants_match_materialized_transpose() {
+        for &(m, k, n) in &[(3, 5, 7), (13, 17, 5), (40, 33, 29)] {
+            let a = pattern_tensor(m, k, 11);
+            let b = pattern_tensor(m, n, 12);
+            let fused = a.matmul_transpose_a(&b);
+            let materialized = a.transpose().matmul(&b);
+            assert!(
+                fused.approx_eq(&materialized, 1e-12),
+                "matmul_transpose_a diverged at {m}x{k}x{n}"
+            );
+
+            let c = pattern_tensor(n, k, 13);
+            let fused_b = a.matmul_transpose_b(&c);
+            let materialized_b = a.matmul(&c.transpose());
+            assert!(
+                fused_b.approx_eq(&materialized_b, 1e-12),
+                "matmul_transpose_b diverged at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_products_are_well_formed() {
+        let a = Tensor::zeros(0, 4);
+        let b = Tensor::zeros(4, 3);
+        assert_eq!(a.matmul(&b).shape(), (0, 3));
+        let c = Tensor::zeros(2, 0);
+        let d = Tensor::zeros(3, 0);
+        assert_eq!(c.matmul(&Tensor::zeros(0, 5)).shape(), (2, 5));
+        assert_eq!(c.matmul(&Tensor::zeros(0, 5)).as_slice(), &[0.0; 10]);
+        assert_eq!(c.matmul_transpose_b(&d).shape(), (2, 3));
+    }
+
+    #[test]
+    fn select_rows_into_reuses_buffer() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut out = Tensor::zeros(0, 0);
+        t.select_rows_into(&[2, 0], &mut out);
+        assert_eq!(out.as_slice(), &[5.0, 6.0, 1.0, 2.0]);
+        let ptr = out.as_slice().as_ptr();
+        t.select_rows_into(&[1, 1], &mut out);
+        assert_eq!(out.as_slice(), &[3.0, 4.0, 3.0, 4.0]);
+        assert_eq!(ptr, out.as_slice().as_ptr(), "buffer must be reused");
+    }
+
+    #[test]
+    fn add_assign_and_fill_zero() {
+        let mut a = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[10.0, 20.0]]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[11.0, 22.0]);
+        a.fill_zero();
+        assert_eq!(a.as_slice(), &[0.0, 0.0]);
     }
 }

@@ -128,7 +128,16 @@ impl LineChart {
         };
 
         let mut svg = Svg::new(self.size.0, self.size.1);
-        draw_axes(&mut svg, &sx, &sy, w, h, &self.title, &self.x_label, &self.y_label);
+        draw_axes(
+            &mut svg,
+            &sx,
+            &sy,
+            w,
+            h,
+            &self.title,
+            &self.x_label,
+            &self.y_label,
+        );
 
         for (i, series) in self.series.iter().enumerate() {
             let color = series_color(i);
@@ -254,7 +263,16 @@ impl ScatterChart {
         let span = (c1 - c0).max(1e-300);
 
         let mut svg = Svg::new(self.size.0, self.size.1);
-        draw_axes(&mut svg, &sx, &sy, w, h, &self.title, &self.x_label, &self.y_label);
+        draw_axes(
+            &mut svg,
+            &sx,
+            &sy,
+            w,
+            h,
+            &self.title,
+            &self.x_label,
+            &self.y_label,
+        );
         for &(x, y, v) in &pts {
             let t = (key(v) - c0) / span;
             svg.circle(sx.map(x), sy.map(y), 2.6, &viridis(t));
@@ -268,7 +286,14 @@ impl ScatterChart {
         for i in 0..steps {
             let t = i as f64 / (steps - 1) as f64;
             let y = bar_top + bar_h * (1.0 - t);
-            svg.rect(bar_x, y - bar_h / steps as f64, 10.0, bar_h / steps as f64 + 1.0, &viridis(t), None);
+            svg.rect(
+                bar_x,
+                y - bar_h / steps as f64,
+                10.0,
+                bar_h / steps as f64 + 1.0,
+                &viridis(t),
+                None,
+            );
         }
         svg.vtext(bar_x - 4.0, bar_top + bar_h / 2.0, &self.color_label, 11.0);
         svg.finish()
@@ -297,8 +322,22 @@ fn draw_axes(
     y_label: &str,
 ) {
     let x_axis_y = h - MARGIN_BOTTOM;
-    svg.line(MARGIN_LEFT, x_axis_y, w - MARGIN_RIGHT, x_axis_y, "#444444", 1.0);
-    svg.line(MARGIN_LEFT, MARGIN_TOP, MARGIN_LEFT, x_axis_y, "#444444", 1.0);
+    svg.line(
+        MARGIN_LEFT,
+        x_axis_y,
+        w - MARGIN_RIGHT,
+        x_axis_y,
+        "#444444",
+        1.0,
+    );
+    svg.line(
+        MARGIN_LEFT,
+        MARGIN_TOP,
+        MARGIN_LEFT,
+        x_axis_y,
+        "#444444",
+        1.0,
+    );
     for t in sx.ticks(6) {
         let px = sx.map(t);
         svg.line(px, x_axis_y, px, x_axis_y + 4.0, "#444444", 1.0);
@@ -323,9 +362,7 @@ mod tests {
     fn line_chart_renders_all_series() {
         let mut chart = LineChart::new("t", "x", "y");
         chart.series(Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]));
-        chart.series(
-            Series::new("b", vec![(0.0, 3.0), (1.0, 1.0)]).with_band(vec![0.2, 0.1]),
-        );
+        chart.series(Series::new("b", vec![(0.0, 3.0), (1.0, 1.0)]).with_band(vec![0.2, 0.1]));
         let svg = chart.render();
         assert!(svg.contains("<polyline"));
         assert!(svg.contains("<polygon")); // the band

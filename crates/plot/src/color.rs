@@ -39,7 +39,11 @@ pub fn viridis(t: f64) -> String {
             break;
         }
     }
-    let f = if hi.0 > lo.0 { (t - lo.0) / (hi.0 - lo.0) } else { 0.0 };
+    let f = if hi.0 > lo.0 {
+        (t - lo.0) / (hi.0 - lo.0)
+    } else {
+        0.0
+    };
     let mix = |a: u8, b: u8| (a as f64 + f * (b as f64 - a as f64)).round() as u8;
     format!(
         "#{:02x}{:02x}{:02x}",

@@ -116,7 +116,14 @@ impl Heatmap {
         for i in 0..steps {
             let t = i as f64 / (steps - 1) as f64;
             let y = bar_top + bar_h * (1.0 - t);
-            svg.rect(bar_x, y - bar_h / steps as f64, 10.0, bar_h / steps as f64 + 1.0, &viridis(t), None);
+            svg.rect(
+                bar_x,
+                y - bar_h / steps as f64,
+                10.0,
+                bar_h / steps as f64 + 1.0,
+                &viridis(t),
+                None,
+            );
         }
         svg.vtext(bar_x - 4.0, bar_top + bar_h / 2.0, &self.color_label, 11.0);
         svg.finish()

@@ -108,7 +108,14 @@ impl Histogram {
             let x0 = sx.map(i as f64) + 1.0;
             let x1 = sx.map((i + 1) as f64) - 1.0;
             let y = sy.map(c as f64);
-            svg.rect(x0, y, (x1 - x0).max(0.5), sy.map(0.0) - y, series_color(0), None);
+            svg.rect(
+                x0,
+                y,
+                (x1 - x0).max(0.5),
+                sy.map(0.0) - y,
+                series_color(0),
+                None,
+            );
         }
         // Axis line + a few bin labels.
         svg.line(70.0, h - 52.0, w - 20.0, h - 52.0, "#444444", 1.0);
@@ -119,7 +126,13 @@ impl Histogram {
             } else {
                 counts[i].0
             };
-            svg.text(sx.map(i as f64), h - 38.0, &format_tick(edge), 9.0, "middle");
+            svg.text(
+                sx.map(i as f64),
+                h - 38.0,
+                &format_tick(edge),
+                9.0,
+                "middle",
+            );
         }
         for t in Scale::linear((0.0, max_count as f64), (0.0, 1.0)).ticks(4) {
             let step_t = nice_step(max_count as f64 / 4.0);

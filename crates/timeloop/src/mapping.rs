@@ -154,11 +154,7 @@ impl Mapping {
     /// Returns a [`MappingError`] naming the violated constraint:
     /// spatial factors must fit the hardware, every tile factor must be
     /// positive, and no tile may exceed its layer dimension.
-    pub fn validate(
-        &self,
-        arch: &ArchDescription,
-        layer: &LayerShape,
-    ) -> Result<(), MappingError> {
+    pub fn validate(&self, arch: &ArchDescription, layer: &LayerShape) -> Result<(), MappingError> {
         let fields = [
             ("spatial_k", self.spatial_k),
             ("spatial_c", self.spatial_c),
@@ -279,7 +275,10 @@ impl fmt::Display for MappingError {
                 "spatial factor {field}={requested} exceeds hardware limit {available}"
             ),
             MappingError::TileExceedsDim { field, tile, dim } => {
-                write!(f, "tile {field}={tile} grossly exceeds layer dimension {dim}")
+                write!(
+                    f,
+                    "tile {field}={tile} grossly exceeds layer dimension {dim}"
+                )
             }
         }
     }

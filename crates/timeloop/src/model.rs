@@ -87,8 +87,7 @@ impl CostModel {
             accum_buf_pj: counts.abuf_bytes() * e.sram_pj_per_byte(arch.accum_buf_bytes),
         };
 
-        let compute_cycles =
-            counts.macs / (mapping.spatial_k * mapping.spatial_c) as f64;
+        let compute_cycles = counts.macs / (mapping.spatial_k * mapping.spatial_c) as f64;
         let utilization = (mapping.spatial_k * mapping.spatial_c) as f64
             / (arch.pe_count * arch.macs_per_pe) as f64;
         let dram_cycles = counts.dram_bytes() / e.dram_bytes_per_cycle;
@@ -103,7 +102,10 @@ impl CostModel {
                     mapping.spatial_k,
                     arch.pe_count,
                 );
-                (noc.energy_pj(byte_hops), noc.cycles(byte_hops, arch.pe_count))
+                (
+                    noc.energy_pj(byte_hops),
+                    noc.cycles(byte_hops, arch.pe_count),
+                )
             }
         };
         let latency_cycles = compute_cycles
@@ -218,16 +220,15 @@ impl AccessCounts {
         // DRAM traffic.
         let dram_weight_bytes = weight_elems * WEIGHT_BYTES * (n_p2 * n_q2) as f64;
         let dram_input_bytes = input_elems * INPUT_BYTES * n_k2 as f64;
-        let dram_output_bytes = output_elems * OUTPUT_BYTES
-            + output_elems * PARTIAL_BYTES * 2.0 * (n_c2 - 1) as f64;
+        let dram_output_bytes =
+            output_elems * OUTPUT_BYTES + output_elems * PARTIAL_BYTES * 2.0 * (n_c2 - 1) as f64;
 
         // Global-buffer traffic. Inputs are written once per DRAM fetch and
         // read once per K pass above the PE level; outputs are read-modify-
         // written once per C pass above the PE level. Weights bypass the
         // global buffer and stream directly into the PE weight buffers
         // (Simba's weight path).
-        let gb_input_bytes =
-            dram_input_bytes + input_elems * INPUT_BYTES * n_k_pe as f64;
+        let gb_input_bytes = dram_input_bytes + input_elems * INPUT_BYTES * n_k_pe as f64;
         let gb_output_bytes = output_elems * PARTIAL_BYTES * 2.0 * n_c_pe as f64;
 
         // PE-buffer traffic. Register-level reuse depends on the dataflow:
@@ -320,10 +321,26 @@ impl AccessCounts {
 
     fn check_buffers(&self, arch: &ArchDescription) -> Result<(), EvalError> {
         let checks = [
-            ("weight buffer", self.weight_buf_required, arch.weight_buf_bytes),
-            ("input buffer", self.input_buf_required, arch.input_buf_bytes),
-            ("accum buffer", self.accum_buf_required, arch.accum_buf_bytes),
-            ("global buffer", self.global_buf_required, arch.global_buf_bytes),
+            (
+                "weight buffer",
+                self.weight_buf_required,
+                arch.weight_buf_bytes,
+            ),
+            (
+                "input buffer",
+                self.input_buf_required,
+                arch.input_buf_bytes,
+            ),
+            (
+                "accum buffer",
+                self.accum_buf_required,
+                arch.accum_buf_bytes,
+            ),
+            (
+                "global buffer",
+                self.global_buf_required,
+                arch.global_buf_bytes,
+            ),
         ];
         for (level, required, available) in checks {
             if required > available {
@@ -561,7 +578,10 @@ mod tests {
         m.c0 = 8; // c_gb = 8 < 64 => n_c2 = 8
         let eval = model.evaluate(&arch(), &layer(), &m).unwrap();
         let out_bytes = layer().output_elems() as f64;
-        assert!(eval.counts.dram_output_bytes > out_bytes, "no spill modeled");
+        assert!(
+            eval.counts.dram_output_bytes > out_bytes,
+            "no spill modeled"
+        );
 
         // Full-reduction mapping writes outputs exactly once.
         let mut full = Mapping::unit();
@@ -661,7 +681,10 @@ mod tests {
         let model = CostModel::default();
         let base = good_mapping();
         let eval_with = |df: Dataflow| {
-            let m = Mapping { dataflow: df, ..base };
+            let m = Mapping {
+                dataflow: df,
+                ..base
+            };
             model.evaluate(&arch(), &layer(), &m).unwrap()
         };
         let ws = eval_with(Dataflow::WeightStationary);

@@ -80,7 +80,10 @@ fn latency_components_match_hand_computation() {
         .expect("valid");
     assert_eq!(eval.compute_cycles, 16.0);
     let dram_bytes = 16.0 + 16.0 + 72.0; // weights + inputs + (write & spills)
-    assert_eq!(eval.dram_cycles, dram_bytes / EnergyModel::nm40().dram_bytes_per_cycle);
+    assert_eq!(
+        eval.dram_cycles,
+        dram_bytes / EnergyModel::nm40().dram_bytes_per_cycle
+    );
     assert_eq!(eval.latency_cycles, 16.0); // compute-bound at this size
 }
 

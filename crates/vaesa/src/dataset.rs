@@ -108,8 +108,7 @@ impl Dataset {
         assert!(!new_records.is_empty(), "no records to extend with");
         let mut records = self.records.clone();
         let hw_rows: Vec<Vec<f64>> = new_records.iter().map(|r| r.hw_raw.to_vec()).collect();
-        let layer_rows: Vec<Vec<f64>> =
-            new_records.iter().map(|r| r.layer_raw.to_vec()).collect();
+        let layer_rows: Vec<Vec<f64>> = new_records.iter().map(|r| r.layer_raw.to_vec()).collect();
         let lat_rows: Vec<Vec<f64>> = new_records.iter().map(|r| vec![r.latency]).collect();
         let en_rows: Vec<Vec<f64>> = new_records.iter().map(|r| vec![r.energy]).collect();
         records.extend(new_records);
@@ -142,7 +141,10 @@ impl Dataset {
     ///
     /// Panics if `records` is empty.
     pub fn from_records(records: Vec<Record>) -> Self {
-        assert!(!records.is_empty(), "cannot build a dataset from no records");
+        assert!(
+            !records.is_empty(),
+            "cannot build a dataset from no records"
+        );
         let hw_rows: Vec<Vec<f64>> = records.iter().map(|r| r.hw_raw.to_vec()).collect();
         let layer_rows: Vec<Vec<f64>> = records.iter().map(|r| r.layer_raw.to_vec()).collect();
         let lat_rows: Vec<Vec<f64>> = records.iter().map(|r| vec![r.latency]).collect();
@@ -221,12 +223,7 @@ impl<'a> DatasetBuilder<'a> {
     /// Panics if no valid sample at all could be generated (e.g. an empty
     /// budget).
     pub fn build(&self, scheduler: &CachedScheduler, rng: &mut impl Rng) -> Dataset {
-        let configs = self.sample_configs(rng);
-        let mut records = Vec::new();
-        for config in configs {
-            self.label_config(&config, scheduler, &mut records);
-        }
-        Dataset::from_records(records)
+        self.build_parallel(scheduler, rng, vaesa_par::num_threads())
     }
 
     /// Like [`DatasetBuilder::build`], labeling design points on `threads`
@@ -234,6 +231,12 @@ impl<'a> DatasetBuilder<'a> {
     /// (same RNG stream for sampling, records concatenated in config
     /// order); only wall-clock time changes. Useful for `--full`-scale
     /// datasets with hundreds of thousands of schedules.
+    ///
+    /// RNG sampling happens *before* the fan-out, and the index-preserving
+    /// [`vaesa_par::par_map_threads`] keeps per-config record groups in
+    /// config order, so the concatenation is independent of thread count.
+    /// Per-config work claiming balances the uneven scheduler cost (cache
+    /// hits vs. full mapspace searches) across workers.
     ///
     /// # Panics
     ///
@@ -246,27 +249,13 @@ impl<'a> DatasetBuilder<'a> {
     ) -> Dataset {
         assert!(threads >= 1, "need at least one thread");
         let configs = self.sample_configs(rng);
-        let chunk = configs.len().div_ceil(threads).max(1);
-        let chunks: Vec<&[ArchConfig]> = configs.chunks(chunk).collect();
-        let mut per_chunk: Vec<Vec<Record>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|&chunk| {
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        for config in chunk {
-                            self.label_config(config, scheduler, &mut out);
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                per_chunk.push(h.join().expect("labeling thread panicked"));
-            }
-        });
-        Dataset::from_records(per_chunk.into_iter().flatten().collect())
+        let per_config: Vec<Vec<Record>> =
+            vaesa_par::par_map_threads(&configs, threads, |config| {
+                let mut out = Vec::new();
+                self.label_config(config, scheduler, &mut out);
+                out
+            });
+        Dataset::from_records(per_config.into_iter().flatten().collect())
     }
 
     fn sample_configs(&self, rng: &mut impl Rng) -> Vec<ArchConfig> {
@@ -332,7 +321,10 @@ mod tests {
         assert_eq!(ds.energy.shape(), (ds.len(), 1));
         // Everything normalized into [0, 1].
         for t in [&ds.hw, &ds.layers, &ds.latency, &ds.energy] {
-            assert!(t.as_slice().iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+            assert!(t
+                .as_slice()
+                .iter()
+                .all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
         }
     }
 

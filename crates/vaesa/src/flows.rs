@@ -189,6 +189,44 @@ pub fn run_random(
     RandomSearch::new(BoxSpace::unit(crate::HW_FEATURES)).run(&mut objective, budget, rng)
 }
 
+/// Scores a batch of normalized candidate rows through the evaluator in
+/// parallel (snap + schedule per candidate), preserving input order.
+///
+/// The scheduler queries dominate DSE wall-clock; batch flows hand their
+/// candidate sets here so the snap/schedule/score pipeline fans out across
+/// the [`vaesa_par`] pool. Output slot `i` always belongs to candidate `i`,
+/// so callers can zip scores back onto candidates for any thread count.
+pub fn score_batch(
+    evaluator: &HardwareEvaluator<'_>,
+    hw_norm: &Normalizer,
+    candidates: &[Vec<f64>],
+) -> Vec<Option<f64>> {
+    vaesa_par::par_map(candidates, |x| evaluator.edp_of_normalized(x, hw_norm))
+}
+
+/// [`run_random`] with parallel candidate scoring.
+///
+/// All `budget` points are drawn from `rng` *before* the fan-out (the same
+/// stream, in the same order, as the serial flow), then scored through
+/// [`score_batch`] and recorded in draw order — the returned trace is
+/// identical to [`run_random`]'s for the same seed, at any thread count.
+pub fn run_random_par(
+    evaluator: &HardwareEvaluator<'_>,
+    hw_norm: &Normalizer,
+    budget: usize,
+    rng: &mut dyn RngCore,
+) -> Trace {
+    let space = BoxSpace::unit(crate::HW_FEATURES);
+    let mut rng = rng;
+    let candidates: Vec<Vec<f64>> = (0..budget).map(|_| space.sample(&mut rng)).collect();
+    let scores = score_batch(evaluator, hw_norm, &candidates);
+    let mut trace = Trace::new("random");
+    for (x, v) in candidates.into_iter().zip(scores) {
+        trace.record(x, v);
+    }
+    trace
+}
+
 /// `bo` baseline: Bayesian optimization directly on the normalized input
 /// box (the high-dimensional, effectively discrete space — BO must model a
 /// stepwise-constant objective here, which is the weakness VAESA addresses).
@@ -237,8 +275,11 @@ pub fn run_evo(
     let mut objective = FnObjective::new(crate::HW_FEATURES, |x: &[f64]| {
         evaluator.edp_of_normalized(x, hw_norm)
     });
-    let mut trace = EvolutionarySearch::new(BoxSpace::unit(crate::HW_FEATURES))
-        .run(&mut objective, budget, rng);
+    let mut trace = EvolutionarySearch::new(BoxSpace::unit(crate::HW_FEATURES)).run(
+        &mut objective,
+        budget,
+        rng,
+    );
     relabel(&mut trace, "evo");
     trace
 }
@@ -342,8 +383,11 @@ pub fn run_annealing(
     let mut objective = FnObjective::new(crate::HW_FEATURES, |x: &[f64]| {
         evaluator.edp_of_normalized(x, hw_norm)
     });
-    let mut trace = SimulatedAnnealing::new(BoxSpace::unit(crate::HW_FEATURES))
-        .run(&mut objective, budget, rng);
+    let mut trace = SimulatedAnnealing::new(BoxSpace::unit(crate::HW_FEATURES)).run(
+        &mut objective,
+        budget,
+        rng,
+    );
     relabel(&mut trace, "sa");
     trace
 }
@@ -396,6 +440,45 @@ pub fn run_vae_gd(
         let config = decode_to_config(model, z, &dataset.hw_norm, evaluator);
         let edp = evaluator.edp_of_config(&config);
         trace.record(z.to_vec(), edp);
+    }
+    trace
+}
+
+/// [`run_vae_gd`] with the descents and scheduler scoring fanned out across
+/// the [`vaesa_par`] pool.
+///
+/// The random latent starts are drawn from `rng` *before* the fan-out (same
+/// stream and order as the serial flow); each worker then runs the fully
+/// deterministic descent + decode + schedule pipeline for its starts, and
+/// results are recorded in start order. The returned trace is identical to
+/// [`run_vae_gd`]'s for the same seed, at any thread count.
+pub fn run_vae_gd_par(
+    evaluator: &HardwareEvaluator<'_>,
+    model: &VaesaModel,
+    dataset: &Dataset,
+    layer: &LayerShape,
+    samples: usize,
+    gd: GdConfig,
+    rng: &mut dyn RngCore,
+) -> Trace {
+    let layer_n = dataset.layer_norm.transform_row(&layer.features());
+    let (w_lat, w_en) = proxy_weights(evaluator.metric(), dataset);
+    let space = latent_box(model, dataset);
+    let driver = GradientDescent::new(space.clone(), gd);
+    let mut rng = rng;
+    let starts: Vec<Vec<f64>> = (0..samples).map(|_| space.sample(&mut rng)).collect();
+    let results: Vec<(Vec<f64>, Option<f64>)> = vaesa_par::par_map(&starts, |start| {
+        let mut objective = FnDifferentiable::new(model.latent_dim(), |z: &[f64]| {
+            model.predicted_edp_grad(z, &layer_n, w_lat, w_en)
+        });
+        let path = driver.run(&mut objective, start);
+        let z = path.final_point();
+        let config = decode_to_config(model, z, &dataset.hw_norm, evaluator);
+        (z.to_vec(), evaluator.edp_of_config(&config))
+    });
+    let mut trace = Trace::new("vae_gd");
+    for (z, edp) in results {
+        trace.record(z, edp);
     }
     trace
 }
@@ -546,7 +629,7 @@ fn relabel(trace: &mut Trace, label: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DatasetBuilder, Trainer, TrainConfig, VaesaConfig};
+    use crate::{DatasetBuilder, TrainConfig, Trainer, VaesaConfig};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use vaesa_accel::workloads;
@@ -583,8 +666,7 @@ mod tests {
 
         fn trained_model(&self, ds: &Dataset) -> VaesaModel {
             let mut rng = ChaCha8Rng::seed_from_u64(21);
-            let mut model =
-                VaesaModel::new(VaesaConfig::paper().with_latent_dim(2), &mut rng);
+            let mut model = VaesaModel::new(VaesaConfig::paper().with_latent_dim(2), &mut rng);
             let cfg = TrainConfig {
                 epochs: 25,
                 batch_size: 32,
@@ -626,6 +708,71 @@ mod tests {
     }
 
     #[test]
+    fn parallel_random_flow_matches_serial_trace() {
+        let f = Fixture::new();
+        let ev = f.evaluator();
+        let ds = f.dataset();
+        let serial = run_random(&ev, &ds.hw_norm, 25, &mut ChaCha8Rng::seed_from_u64(60));
+        for threads in ["1", "3", "8"] {
+            std::env::set_var("VAESA_THREADS", threads);
+            let par = run_random_par(&ev, &ds.hw_norm, 25, &mut ChaCha8Rng::seed_from_u64(60));
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+        std::env::remove_var("VAESA_THREADS");
+    }
+
+    #[test]
+    fn parallel_vae_gd_flow_matches_serial_trace() {
+        let f = Fixture::new();
+        let ds = f.dataset();
+        let model = f.trained_model(&ds);
+        let layer = f.layers[0].clone();
+        let single = vec![layer.clone()];
+        let ev = HardwareEvaluator::new(&f.space, &f.scheduler, &single);
+        let gd_cfg = GdConfig {
+            steps: 30,
+            ..GdConfig::default()
+        };
+        let serial = run_vae_gd(
+            &ev,
+            &model,
+            &ds,
+            &layer,
+            4,
+            gd_cfg,
+            &mut ChaCha8Rng::seed_from_u64(61),
+        );
+        for threads in ["1", "4"] {
+            std::env::set_var("VAESA_THREADS", threads);
+            let par = run_vae_gd_par(
+                &ev,
+                &model,
+                &ds,
+                &layer,
+                4,
+                gd_cfg,
+                &mut ChaCha8Rng::seed_from_u64(61),
+            );
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+        std::env::remove_var("VAESA_THREADS");
+    }
+
+    #[test]
+    fn score_batch_preserves_candidate_order() {
+        let f = Fixture::new();
+        let ev = f.evaluator();
+        let ds = f.dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(62);
+        let space = BoxSpace::unit(crate::HW_FEATURES);
+        let candidates: Vec<Vec<f64>> = (0..12).map(|_| space.sample(&mut rng)).collect();
+        let batch = score_batch(&ev, &ds.hw_norm, &candidates);
+        for (x, v) in candidates.iter().zip(&batch) {
+            assert_eq!(*v, ev.edp_of_normalized(x, &ds.hw_norm));
+        }
+    }
+
+    #[test]
     fn vae_bo_finds_competitive_designs() {
         let f = Fixture::new();
         let ev = f.evaluator();
@@ -640,7 +787,10 @@ mod tests {
         // EDP (a loose sanity bound; the experiment binaries measure the
         // real comparison).
         let train_best = ds.records[ds.best_index()].edp();
-        assert!(best < train_best * 100.0, "best {best:.3e} vs {train_best:.3e}");
+        assert!(
+            best < train_best * 100.0,
+            "best {best:.3e} vs {train_best:.3e}"
+        );
     }
 
     #[test]
@@ -668,9 +818,8 @@ mod tests {
         let mut comparisons = 0;
         for _ in 0..5 {
             let start = space.sample(&mut rng);
-            let edps = vae_gd_edp_at_steps(
-                &ev_single, &model, &ds, &layer, &start, &[0, 50], gd_cfg,
-            );
+            let edps =
+                vae_gd_edp_at_steps(&ev_single, &model, &ds, &layer, &start, &[0, 50], gd_cfg);
             if let (Some(e0), Some(e1)) = (edps[0], edps[1]) {
                 comparisons += 1;
                 if e1 <= e0 {
@@ -714,15 +863,11 @@ mod tests {
         let f = Fixture::new();
         let ds = f.dataset();
         let config = ds.records[0].config;
-        let edp_ev = HardwareEvaluator::with_metric(
-            &f.space, &f.scheduler, &f.layers, Metric::Edp,
-        );
-        let lat_ev = HardwareEvaluator::with_metric(
-            &f.space, &f.scheduler, &f.layers, Metric::Latency,
-        );
-        let en_ev = HardwareEvaluator::with_metric(
-            &f.space, &f.scheduler, &f.layers, Metric::Energy,
-        );
+        let edp_ev = HardwareEvaluator::with_metric(&f.space, &f.scheduler, &f.layers, Metric::Edp);
+        let lat_ev =
+            HardwareEvaluator::with_metric(&f.space, &f.scheduler, &f.layers, Metric::Latency);
+        let en_ev =
+            HardwareEvaluator::with_metric(&f.space, &f.scheduler, &f.layers, Metric::Energy);
         let w = edp_ev.workload_eval(&config).expect("valid");
         assert_eq!(edp_ev.edp_of_config(&config), Some(w.edp()));
         assert_eq!(lat_ev.edp_of_config(&config), Some(w.total_latency_cycles));
@@ -740,9 +885,8 @@ mod tests {
         // best latency <= the EDP-metric search's best latency (same seed).
         let f = Fixture::new();
         let ds = f.dataset();
-        let lat_ev = HardwareEvaluator::with_metric(
-            &f.space, &f.scheduler, &f.layers, Metric::Latency,
-        );
+        let lat_ev =
+            HardwareEvaluator::with_metric(&f.space, &f.scheduler, &f.layers, Metric::Latency);
         let edp_ev = HardwareEvaluator::new(&f.space, &f.scheduler, &f.layers);
         let mut r1 = ChaCha8Rng::seed_from_u64(33);
         let lat_trace = run_random(&lat_ev, &ds.hw_norm, 30, &mut r1);
@@ -779,18 +923,15 @@ mod tests {
         let lat_affine = (ds.latency_norm.log_range()[0], ds.latency_norm.log_min()[0]);
         let en_affine = (ds.energy_norm.log_range()[0], ds.energy_norm.log_min()[0]);
         let z = [0.3, -0.2];
-        let (v, grad) =
-            model.predicted_network_edp_grad(&z, &layers_n, lat_affine, en_affine);
+        let (v, grad) = model.predicted_network_edp_grad(&z, &layers_n, lat_affine, en_affine);
         assert!(v.is_finite());
         let eps = 1e-6;
         for i in 0..z.len() {
             let mut zp = z;
             zp[i] += eps;
-            let (vp, _) =
-                model.predicted_network_edp_grad(&zp, &layers_n, lat_affine, en_affine);
+            let (vp, _) = model.predicted_network_edp_grad(&zp, &layers_n, lat_affine, en_affine);
             zp[i] = z[i] - eps;
-            let (vm, _) =
-                model.predicted_network_edp_grad(&zp, &layers_n, lat_affine, en_affine);
+            let (vm, _) = model.predicted_network_edp_grad(&zp, &layers_n, lat_affine, en_affine);
             let numeric = (vp - vm) / (2.0 * eps);
             assert!(
                 (numeric - grad[i]).abs() < 1e-5 * (1.0 + numeric.abs()),

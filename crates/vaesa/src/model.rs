@@ -94,6 +94,10 @@ pub struct TrainStep {
     pub latency_pass: MlpPass,
     /// Energy-head pass.
     pub energy_pass: MlpPass,
+    /// Input leaf ids in `(hw, layer, eps, lat, en)` order; the trainer
+    /// reclaims these buffers via [`Graph::take_value`] to avoid per-batch
+    /// allocations.
+    pub input_leaves: [VarId; 5],
 }
 
 impl VaesaModel {
@@ -111,7 +115,12 @@ impl VaesaModel {
         pred_widths.push(1);
 
         VaesaModel {
-            encoder: Mlp::new(&enc_widths, Activation::LeakyRelu, Activation::Identity, rng),
+            encoder: Mlp::new(
+                &enc_widths,
+                Activation::LeakyRelu,
+                Activation::Identity,
+                rng,
+            ),
             decoder: Mlp::new(&dec_widths, Activation::LeakyRelu, Activation::Sigmoid, rng),
             // Linear regression heads: labels are normalized into [0, 1),
             // but a sigmoid output would saturate (zero gradient) away from
@@ -254,6 +263,7 @@ impl VaesaModel {
             decoder_pass,
             latency_pass,
             energy_pass,
+            input_leaves: [x, layer_id, eps_id, lat_target, en_target],
         }
     }
 

@@ -148,11 +148,7 @@ mod tests {
     use super::*;
 
     fn sample_rows() -> Vec<Vec<f64>> {
-        vec![
-            vec![4.0, 64.0],
-            vec![8.0, 4096.0],
-            vec![64.0, 256.0],
-        ]
+        vec![vec![4.0, 64.0], vec![8.0, 4096.0], vec![64.0, 256.0]]
     }
 
     #[test]

@@ -193,9 +193,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut state = 123456789u64;
         for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = ((state >> 33) % 1000) as f64 + 1.0;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = ((state >> 33) % 1000) as f64 + 1.0;
             pts.push(pt(a, b));
         }

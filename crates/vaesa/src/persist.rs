@@ -187,7 +187,9 @@ mod tests {
         let (restored, norms) = ModelCheckpoint::from_json(&json).unwrap().into_model();
 
         let x = Tensor::fill(3, 6, 0.42);
-        assert!(restored.encode_mean(&x).approx_eq(&model.encode_mean(&x), 0.0));
+        assert!(restored
+            .encode_mean(&x)
+            .approx_eq(&model.encode_mean(&x), 0.0));
         let z = Tensor::fill(3, restored.latent_dim(), 0.1);
         assert!(restored.decode(&z).approx_eq(&model.decode(&z), 0.0));
         let layer = Tensor::fill(3, 8, 0.5);

@@ -133,7 +133,10 @@ impl Comparison {
         for m in &self.methods {
             out.push_str(&format!(
                 "{:<12} {:>12.4e} {:>8.2} {:>8.2} {:>12.0}\n",
-                m.label, m.mean_best, m.search_performance, m.sample_efficiency,
+                m.label,
+                m.mean_best,
+                m.search_performance,
+                m.sample_efficiency,
                 m.mean_samples_to_3pct
             ));
         }

@@ -1,7 +1,7 @@
 use crate::{Dataset, VaesaModel};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use vaesa_nn::{randn, Activation, Adam, Batcher, Graph, Mlp, Tensor};
+use vaesa_nn::{randn_into, Activation, Adam, Batcher, Graph, Mlp, Tensor};
 
 /// Training hyperparameters for the joint VAE + predictor pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -92,17 +92,28 @@ impl Trainer {
         let dz = model.latent_dim();
         let mut history = History::default();
 
+        // Scratch buffers cycled through the graph every batch: selected into
+        // here, moved into graph leaves, and reclaimed via `take_value` after
+        // the optimizer step — no per-batch tensor allocations.
+        let mut g = Graph::new();
+        let empty = || Tensor::zeros(0, 0);
+        let mut bufs = [empty(), empty(), empty(), empty(), empty()];
+
         for _ in 0..self.config.epochs {
             let mut sums = [0.0f64; 5];
             let mut batches = 0usize;
             for batch in batcher.epoch(rng) {
-                let hw = dataset.hw.select_rows(&batch);
-                let layer = dataset.layers.select_rows(&batch);
-                let lat = dataset.latency.select_rows(&batch);
-                let en = dataset.energy.select_rows(&batch);
-                let eps = randn(batch.len(), dz, rng);
+                let [hw_b, layer_b, eps_b, lat_b, en_b] = &mut bufs;
+                dataset.hw.select_rows_into(&batch, hw_b);
+                dataset.layers.select_rows_into(&batch, layer_b);
+                dataset.latency.select_rows_into(&batch, lat_b);
+                dataset.energy.select_rows_into(&batch, en_b);
+                randn_into(batch.len(), dz, rng, eps_b);
 
-                let mut g = Graph::new();
+                g.reset();
+                let [hw, layer, eps, lat, en] = bufs
+                    .each_mut()
+                    .map(|b| std::mem::replace(b, Tensor::zeros(0, 0)));
                 let step = model.train_step(&mut g, hw, layer, eps, lat, en);
                 g.backward(step.total);
 
@@ -129,8 +140,14 @@ impl Trainer {
                 adam.begin_step();
                 model.encoder.visit_params(&mut |p| adam.update(p));
                 model.decoder.visit_params(&mut |p| adam.update(p));
-                model.latency_predictor.visit_params(&mut |p| adam.update(p));
+                model
+                    .latency_predictor
+                    .visit_params(&mut |p| adam.update(p));
                 model.energy_predictor.visit_params(&mut |p| adam.update(p));
+
+                for (buf, &leaf) in bufs.iter_mut().zip(&step.input_leaves) {
+                    *buf = g.take_value(leaf);
+                }
             }
             let n = batches.max(1) as f64;
             history.epochs.push(EpochStats {
@@ -235,31 +252,34 @@ impl InputPredictors {
 
     /// Trains both heads on the dataset; returns the loss history
     /// (`recon`/`kld` fields are zero).
-    pub fn train(
-        &mut self,
-        trainer: &Trainer,
-        dataset: &Dataset,
-        rng: &mut impl Rng,
-    ) -> History {
+    pub fn train(&mut self, trainer: &Trainer, dataset: &Dataset, rng: &mut impl Rng) -> History {
         assert!(!dataset.is_empty(), "cannot train on an empty dataset");
         let mut adam = Adam::new(trainer.config.learning_rate);
         let batcher = Batcher::new(dataset.len(), trainer.config.batch_size);
         let mut history = History::default();
+        // Same buffer-cycling scheme as `Trainer::train_vae`.
+        let mut g = Graph::new();
+        let mut hw_buf = Tensor::zeros(0, 0);
+        let mut layer_buf = Tensor::zeros(0, 0);
+        let mut joined_buf = Tensor::zeros(0, 0);
+        let mut lat_buf = Tensor::zeros(0, 0);
+        let mut en_buf = Tensor::zeros(0, 0);
         for _ in 0..trainer.config.epochs {
             let mut lat_sum = 0.0;
             let mut en_sum = 0.0;
             let mut batches = 0usize;
             for batch in batcher.epoch(rng) {
-                let hw = dataset.hw.select_rows(&batch);
-                let layer = dataset.layers.select_rows(&batch);
-                let lat = dataset.latency.select_rows(&batch);
-                let en = dataset.energy.select_rows(&batch);
-                let joined = hw.concat_cols(&layer);
+                dataset.hw.select_rows_into(&batch, &mut hw_buf);
+                dataset.layers.select_rows_into(&batch, &mut layer_buf);
+                dataset.latency.select_rows_into(&batch, &mut lat_buf);
+                dataset.energy.select_rows_into(&batch, &mut en_buf);
+                hw_buf.concat_cols_into(&layer_buf, &mut joined_buf);
 
-                let mut g = Graph::new();
-                let x = g.leaf(joined);
-                let lat_t = g.leaf(lat);
-                let en_t = g.leaf(en);
+                g.reset();
+                let take = |b: &mut Tensor| std::mem::replace(b, Tensor::zeros(0, 0));
+                let x = g.leaf(take(&mut joined_buf));
+                let lat_t = g.leaf(take(&mut lat_buf));
+                let en_t = g.leaf(take(&mut en_buf));
                 let lat_pass = self.latency.forward(&mut g, x);
                 let en_pass = self.energy.forward(&mut g, x);
                 let lat_loss = g.mse(lat_pass.output, lat_t);
@@ -278,6 +298,10 @@ impl InputPredictors {
                 adam.begin_step();
                 self.latency.visit_params(&mut |p| adam.update(p));
                 self.energy.visit_params(&mut |p| adam.update(p));
+
+                joined_buf = g.take_value(x);
+                lat_buf = g.take_value(lat_t);
+                en_buf = g.take_value(en_t);
             }
             let n = batches.max(1) as f64;
             history.epochs.push(EpochStats {
@@ -397,11 +421,8 @@ mod tests {
         Trainer::new(cfg).train_vae(&mut model, &ds, &mut rng);
         let z = model.encode_mean(&ds.hw);
         let (lat_pred, _) = model.predict(&z, &ds.layers);
-        let corr = vaesa_linalg::stats::pearson(
-            lat_pred.as_slice(),
-            ds.latency.as_slice(),
-        )
-        .expect("non-degenerate");
+        let corr = vaesa_linalg::stats::pearson(lat_pred.as_slice(), ds.latency.as_slice())
+            .expect("non-degenerate");
         assert!(corr > 0.5, "latency prediction correlation only {corr}");
     }
 
@@ -473,6 +494,18 @@ mod tests {
             Trainer::new(cfg).train_vae(&mut model, &ds, &mut rng);
             model.encoder.flatten_params()
         };
-        assert_eq!(run(), run());
+        // Repeat runs must agree bit-for-bit, and the thread count must not
+        // influence the result (fixed accumulation order in the kernels).
+        let baseline = run();
+        assert_eq!(baseline, run());
+        for threads in ["1", "2", "5"] {
+            std::env::set_var("VAESA_THREADS", threads);
+            assert_eq!(
+                baseline,
+                run(),
+                "trained params differ at {threads} threads"
+            );
+        }
+        std::env::remove_var("VAESA_THREADS");
     }
 }

@@ -59,7 +59,10 @@ fn main() {
         ("input buffer", e.input_buf_pj),
         ("accum buffer", e.accum_buf_pj),
     ] {
-        println!("  {name:>14}: {pj:>12.3e} pJ ({:>5.1}%)", 100.0 * pj / total);
+        println!(
+            "  {name:>14}: {pj:>12.3e} pJ ({:>5.1}%)",
+            100.0 * pj / total
+        );
     }
 
     // Whole-network cost.

@@ -1,0 +1,223 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with the same calling convention (`criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, `Bencher::iter`,
+//! `Bencher::iter_batched`).
+//!
+//! Each benchmark is auto-calibrated (iterations per batch sized to
+//! ~`BATCH_TARGET_MS`), run for several batches, and reported as the
+//! *median* ns/iter on stdout. Set `VAESA_BENCH_JSON=<path>` to also
+//! append one JSON line per benchmark — the repo's `BENCH_*.json`
+//! baselines are produced that way. `VAESA_BENCH_MS` overrides the
+//! per-benchmark measurement budget (milliseconds).
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (re-export of the
+/// standard hint; kept for criterion API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; the shim sizes batches itself, so
+/// the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small routine inputs (criterion's default guidance).
+    SmallInput,
+    /// Large routine inputs.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Target wall-clock per timed batch, in milliseconds.
+const BATCH_TARGET_MS: u64 = 25;
+
+/// Timed batches per benchmark (median over these is reported).
+const BATCHES: usize = 9;
+
+/// Measurement driver handed to the benchmark closure.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    fn measurement_budget() -> Duration {
+        let ms = std::env::var("VAESA_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(BATCH_TARGET_MS * BATCHES as u64);
+        Duration::from_millis(ms.max(1))
+    }
+
+    /// Times `f`, auto-calibrating iterations per batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the per-batch iteration count until one batch
+        // costs at least BATCH_TARGET_MS (or a single call already does).
+        let target = Duration::from_millis(BATCH_TARGET_MS);
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || iters >= 1 << 30 {
+                break;
+            }
+            // Aim directly for the target from the observed rate.
+            let scale = (target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+            iters = (iters as f64 * scale.clamp(2.0, 100.0)) as u64;
+        }
+
+        let budget = Self::measurement_budget();
+        let bench_start = Instant::now();
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters as f64);
+            if bench_start.elapsed() >= budget {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2] * 1e9;
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup
+    /// cost from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let target = Duration::from_millis(BATCH_TARGET_MS);
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || iters >= 1 << 24 {
+                break;
+            }
+            let scale = (target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+            iters = (iters as f64 * scale.clamp(2.0, 100.0)) as u64;
+        }
+
+        let budget = Self::measurement_budget();
+        let bench_start = Instant::now();
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters as f64);
+            if bench_start.elapsed() >= budget {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+/// The benchmark registry/driver (shim of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and reports its median ns/iter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { median_ns: f64::NAN };
+        f(&mut bencher);
+        let ns = bencher.median_ns;
+        let human = if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        };
+        println!("bench: {id:<50} {human}/iter");
+        if let Ok(path) = std::env::var("VAESA_BENCH_JSON") {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                // One JSON object per line; ids never contain quotes.
+                let _ = writeln!(file, "{{\"id\":\"{id}\",\"ns_per_iter\":{ns:.1}}}");
+            }
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function that drives each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Match criterion's CLI loosely: `--bench` etc. are accepted
+            // and ignored; `--list` prints nothing and exits.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_finite_median() {
+        std::env::set_var("VAESA_BENCH_MS", "10");
+        let mut c = Criterion::default();
+        let mut observed = f64::NAN;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            observed = b.median_ns;
+        });
+        assert!(observed.is_finite() && observed > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        std::env::set_var("VAESA_BENCH_MS", "10");
+        let mut c = Criterion::default();
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+            assert!(b.median_ns.is_finite());
+        });
+    }
+}

@@ -1,0 +1,270 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! No `syn`/`quote` (the build is offline), so this walks the raw
+//! [`proc_macro::TokenStream`] directly. It supports exactly the shapes
+//! this workspace derives on: non-generic structs with named fields
+//! (honouring `#[serde(default)]`) and enums with unit variants. Anything
+//! else panics with a clear message at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item the derive is attached to.
+enum Item {
+    /// Struct name + (field name, has `#[serde(default)]`) pairs.
+    Struct(String, Vec<(String, bool)>),
+    /// Enum name + unit variant names.
+    Enum(String, Vec<String>),
+}
+
+/// True when the attribute group tokens are `serde ( ... default ... )`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Skips attribute tokens at `i`, returning whether any was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                has_default |= attr_is_serde_default(g);
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    has_default
+}
+
+/// Skips `pub` / `pub(crate)`-style visibility at `i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses the derive input into an [`Item`].
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic type `{name}`");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde shim derive: `{name}` must have a braced body (tuple/unit items unsupported), got {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct(name, parse_fields(body)),
+        "enum" => Item::Enum(name, parse_variants(body)),
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Parses `name: Type,` fields, tracking `#[serde(default)]` markers.
+fn parse_fields(body: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let has_default = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let fname = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde shim derive: expected `:` after field `{fname}` (tuple fields unsupported), got {other:?}"
+            ),
+        }
+        // Skip the type, tracking angle-bracket depth so commas inside
+        // `HashMap<K, V>` don't end the field early.
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push((fname, has_default));
+    }
+    fields
+}
+
+/// Parses unit enum variants, rejecting data-carrying variants.
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let vname = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(_)) => {
+                panic!("serde shim derive: variant `{vname}` carries data (unsupported)")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("serde shim derive: unexpected token after `{vname}`: {other:?}"),
+        }
+        variants.push(vname);
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]` — generates `impl serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|(f, _)| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde shim derive emitted invalid Rust")
+}
+
+/// `#[derive(Deserialize)]` — generates `impl serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|(f, has_default)| {
+                    let missing = if *has_default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(::serde::Error::msg(\
+                             \"missing field `{f}` in {name}\"))"
+                        )
+                    };
+                    format!(
+                        "{f}: match __v.get(\"{f}\") {{\n\
+                             ::std::option::Option::Some(__x) => \
+                                 ::serde::Deserialize::from_value(__x)?,\n\
+                             ::std::option::Option::None => {missing},\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                     ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                             }},\n\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"expected string for {name}, got {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde shim derive emitted invalid Rust")
+}

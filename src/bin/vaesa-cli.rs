@@ -101,7 +101,10 @@ impl Flags {
     }
 
     fn str(&self, name: &str, default: &str) -> String {
-        self.0.get(name).cloned().unwrap_or_else(|| default.to_string())
+        self.0
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     fn required(&self, name: &str) -> Result<String, String> {
@@ -149,7 +152,10 @@ fn cmd_dataset(flags: &Flags) -> Result<(), String> {
     let space = DesignSpace::paper();
     let scheduler = CachedScheduler::default();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    println!("sampling {configs} random configs (+{grid}-per-axis grid) over {} layers...", layers.len());
+    println!(
+        "sampling {configs} random configs (+{grid}-per-axis grid) over {} layers...",
+        layers.len()
+    );
     let dataset = DatasetBuilder::new(&space, layers)
         .random_configs(configs)
         .grid_per_axis(grid)
@@ -163,8 +169,8 @@ fn cmd_dataset(flags: &Flags) -> Result<(), String> {
 }
 
 fn load_dataset(path: &str) -> Result<Dataset, String> {
-    let json = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read dataset {path}: {e}"))?;
+    let json =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read dataset {path}: {e}"))?;
     serde_json::from_str(&json).map_err(|e| format!("cannot parse dataset {path}: {e}"))
 }
 

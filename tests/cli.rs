@@ -43,7 +43,11 @@ fn eval_scores_a_design() {
         .args(["eval", "--workload", "alexnet", "--pe", "16"])
         .output()
         .expect("run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("EDP:"));
     assert!(text.contains("latency:"));
@@ -66,36 +70,71 @@ fn dataset_train_search_pipeline() {
 
     let out = vaesa()
         .args([
-            "dataset", "--configs", "25", "--grid", "0", "--workload", "deepbench",
-            "--seed", "3", "--out",
+            "dataset",
+            "--configs",
+            "25",
+            "--grid",
+            "0",
+            "--workload",
+            "deepbench",
+            "--seed",
+            "3",
+            "--out",
         ])
         .arg(&ds)
         .output()
         .expect("run dataset");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(ds.exists());
 
     let out = vaesa()
         .args([
-            "train", "--latent", "2", "--epochs", "8", "--seed", "3", "--dataset",
+            "train",
+            "--latent",
+            "2",
+            "--epochs",
+            "8",
+            "--seed",
+            "3",
+            "--dataset",
         ])
         .arg(&ds)
         .arg("--out")
         .arg(&model)
         .output()
         .expect("run train");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
 
     let out = vaesa()
-        .args(["search", "--method", "vae_bo", "--budget", "15", "--workload", "deepbench"])
+        .args([
+            "search",
+            "--method",
+            "vae_bo",
+            "--budget",
+            "15",
+            "--workload",
+            "deepbench",
+        ])
         .arg("--model")
         .arg(&model)
         .arg("--dataset")
         .arg(&ds)
         .output()
         .expect("run search");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("best EDP:"), "missing summary: {text}");
     assert!(text.contains("design:"));

@@ -10,10 +10,7 @@ use vaesa_repro::nn::Tensor;
 
 fn arb_positive_rows() -> impl Strategy<Value = Vec<Vec<f64>>> {
     // 3..12 rows of 4 positive values spanning several magnitudes.
-    proptest::collection::vec(
-        proptest::collection::vec(1e-3f64..1e9, 4),
-        3..12,
-    )
+    proptest::collection::vec(proptest::collection::vec(1e-3f64..1e9, 4), 3..12)
 }
 
 proptest! {

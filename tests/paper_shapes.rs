@@ -106,7 +106,15 @@ fn vae_gd_beats_random_at_small_budgets() {
         let ev = HardwareEvaluator::new(&space, &scheduler, &single);
         for seed in 0..3u64 {
             let mut r1 = ChaCha8Rng::seed_from_u64(1000 + 10 * li as u64 + seed);
-            let gd = run_vae_gd(&ev, &model, &ds, layer, samples, GdConfig::default(), &mut r1);
+            let gd = run_vae_gd(
+                &ev,
+                &model,
+                &ds,
+                layer,
+                samples,
+                GdConfig::default(),
+                &mut r1,
+            );
             let mut r2 = ChaCha8Rng::seed_from_u64(1000 + 10 * li as u64 + seed);
             let rnd = run_random_layer(&ev, &ds.hw_norm, samples, &mut r2);
             if let (Some(g), Some(r)) = (gd.best_value(), rnd.best_value()) {

@@ -8,11 +8,7 @@ use vaesa_repro::core::flows::{decode_to_config, run_vae_bo, HardwareEvaluator};
 use vaesa_repro::core::{DatasetBuilder, TrainConfig, Trainer, VaesaConfig, VaesaModel};
 use vaesa_repro::cosa::CachedScheduler;
 
-fn quick_train(
-    dataset: &vaesa_repro::core::Dataset,
-    dz: usize,
-    seed: u64,
-) -> VaesaModel {
+fn quick_train(dataset: &vaesa_repro::core::Dataset, dz: usize, seed: u64) -> VaesaModel {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut model = VaesaModel::new(VaesaConfig::paper().with_latent_dim(dz), &mut rng);
     Trainer::new(TrainConfig {
@@ -50,7 +46,10 @@ fn full_pipeline_finds_valid_competitive_design() {
     let z = trace.best_point().expect("best point");
     let config = decode_to_config(&model, z, &dataset.hw_norm, &evaluator);
     let again = evaluator.edp_of_config(&config).expect("valid design");
-    assert!((again - best).abs() <= 1e-9 * best, "re-evaluation mismatch");
+    assert!(
+        (again - best).abs() <= 1e-9 * best,
+        "re-evaluation mismatch"
+    );
 
     // Competitive: within 10x of the best *workload* EDP among the
     // training configurations, despite only 40 samples. (Per-record EDPs
@@ -104,12 +103,7 @@ fn encoded_training_points_decode_close_to_themselves() {
     for record in dataset.records.iter().take(50) {
         let normalized = dataset.hw_norm.transform_row(&record.hw_raw);
         let z = model.encode_mean(&vaesa_repro::nn::Tensor::row_vector(&normalized));
-        let config = decode_to_config(
-            &model,
-            z.as_slice(),
-            &dataset.hw_norm,
-            &evaluator,
-        );
+        let config = decode_to_config(&model, z.as_slice(), &dataset.hw_norm, &evaluator);
         let rec = space.raw_features(&config);
         for (orig, got) in record.hw_raw.iter().zip(rec) {
             log_errors.push((orig.ln() - got.ln()).abs());

@@ -30,9 +30,7 @@ fn arb_layer() -> impl Strategy<Value = LayerShape> {
         1u64..=2,
         1u64..=2,
     )
-        .prop_map(|(r, s, p, q, c, k, sw, sh)| {
-            LayerShape::new("prop", r, s, p, q, c, k, sw, sh)
-        })
+        .prop_map(|(r, s, p, q, c, k, sw, sh)| LayerShape::new("prop", r, s, p, q, c, k, sw, sh))
 }
 
 proptest! {
