@@ -1,0 +1,55 @@
+//! Batched vs per-candidate GP posterior prediction — the `BayesOpt::propose`
+//! hot path, which scores a 320-candidate EI pool per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use vaesa_dse::GpRegressor;
+
+const DIM: usize = 4;
+const POOL: usize = 320;
+
+fn data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x: &Vec<f64>| x.iter().map(|v| v * v).sum::<f64>() + (x[0] * 3.0).sin())
+        .collect();
+    (xs, ys)
+}
+
+fn pool() -> Vec<Vec<f64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    (0..POOL)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect()
+}
+
+fn bench_predict_pool(c: &mut Criterion) {
+    let candidates = pool();
+    for n in [100usize, 400] {
+        let (xs, ys) = data(n);
+        let gp = GpRegressor::fit(&xs, &ys).expect("fit");
+        c.bench_function(&format!("gp_predict/loop_n{n}_m{POOL}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for x in &candidates {
+                    let (mean, var) = gp.predict(black_box(x));
+                    acc += mean + var;
+                }
+                black_box(acc)
+            })
+        });
+        c.bench_function(&format!("gp_predict/batch_n{n}_m{POOL}"), |b| {
+            b.iter(|| black_box(gp.predict_batch(black_box(&candidates))))
+        });
+    }
+}
+
+criterion_group!(benches, bench_predict_pool);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Batched vs per-start multi-start latent gradient descent — the `vae_gd`
+//! hot path, where every descent step differentiates the predictor heads.
+//!
+//! Uses a freshly initialized paper-config model (dz = 4): the graph work
+//! per step is identical to a trained model's, and no scheduler is needed
+//! because only the descent itself is timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use vaesa::{EdpGradBatch, VaesaConfig, VaesaModel};
+use vaesa_dse::{BoxSpace, FnBatchDifferentiable, FnDifferentiable, GdConfig, GradientDescent};
+
+const DZ: usize = 4;
+const STEPS: usize = 10;
+
+fn bench_multi_start_gd(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let model = VaesaModel::new(VaesaConfig::paper(), &mut rng);
+    let layer = [0.5; 8];
+    let space = BoxSpace::symmetric(DZ, 3.0);
+    let driver = GradientDescent::new(
+        space.clone(),
+        GdConfig {
+            steps: STEPS,
+            ..GdConfig::default()
+        },
+    );
+    for batch in [16usize, 64] {
+        let starts: Vec<Vec<f64>> = (0..batch).map(|_| space.sample(&mut rng)).collect();
+        c.bench_function(&format!("vae_gd/gd_step_per_start_b{batch}"), |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for start in &starts {
+                    let mut objective = FnDifferentiable::new(DZ, |z: &[f64]| {
+                        model.predicted_edp_grad(z, &layer, 1.0, 1.0)
+                    });
+                    total += driver.run(&mut objective, start).final_value();
+                }
+                black_box(total)
+            })
+        });
+        c.bench_function(&format!("vae_gd/gd_step_batch_b{batch}"), |b| {
+            b.iter(|| {
+                let mut scratch = EdpGradBatch::default();
+                let mut objective = FnBatchDifferentiable::new(DZ, |xs: &[f64], n: usize| {
+                    model.predicted_edp_grad_batch(xs, n, &layer, 1.0, 1.0, &mut scratch)
+                });
+                let paths = driver.run_batch(&mut objective, &starts);
+                black_box(paths.iter().map(|p| p.final_value()).sum::<f64>())
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_multi_start_gd);
+criterion_main!(benches);

@@ -87,4 +87,5 @@ fn main() {
     );
     println!("\nwrote {}", path.display());
     println!("expected: each engine improves when moved to the latent space.");
+    vaesa_bench::report_cache_stats(&setup.scheduler);
 }

@@ -191,4 +191,5 @@ fn main() {
     println!(
         "\npaper (2000 samples): vae_bo SP 1.00-1.01, SE 1.27-4.46; bo SP 0.96-1.00, SE 0.31-1.00"
     );
+    vaesa_bench::report_cache_stats(&setup.scheduler);
 }

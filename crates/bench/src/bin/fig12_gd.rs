@@ -192,4 +192,5 @@ fn main() {
         at + 1
     );
     println!("(paper: vae_gd 16% lower EDP than random at 10 samples, ahead of gd throughout)");
+    vaesa_bench::report_cache_stats(&setup.scheduler);
 }

@@ -105,4 +105,5 @@ fn main() {
         "  starts improved after 200 steps: {improved}/{}",
         log_improve_200.len()
     );
+    vaesa_bench::report_cache_stats(&setup.scheduler);
 }

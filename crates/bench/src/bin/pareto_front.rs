@@ -114,4 +114,5 @@ fn main() {
         "front extremes: min latency {:.3e} cyc, min energy {:.3e} pJ",
         lat_best.latency, en_best.energy
     );
+    vaesa_bench::report_cache_stats(&setup.scheduler);
 }

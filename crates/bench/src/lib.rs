@@ -227,6 +227,12 @@ pub fn fmt_mean_std(mean: f64, std: f64) -> String {
     format!("{mean:.3e} ± {std:.2e}")
 }
 
+/// Prints the scheduler cache's hit/miss summary; the DSE flow binaries
+/// call this last so the memoization payoff of each run is visible.
+pub fn report_cache_stats(scheduler: &CachedScheduler) {
+    println!("scheduler cache: {}", scheduler.cache_stats());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

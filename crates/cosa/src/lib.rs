@@ -36,6 +36,7 @@ pub use mapper::{random_mapping, IterativeMapper, MapperConfig};
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use vaesa_accel::{ArchDescription, LayerShape};
 use vaesa_timeloop::{CostModel, Evaluation, Mapping};
@@ -315,6 +316,45 @@ impl Scheduler {
 pub struct CachedScheduler {
     inner: Scheduler,
     cache: Mutex<HashMap<(ArchDescription, LayerShape), Result<Scheduled, ScheduleError>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A point-in-time snapshot of a [`CachedScheduler`]'s effectiveness,
+/// reported by the experiment binaries at the end of each DSE flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that ran the scheduler.
+    pub misses: u64,
+    /// Distinct `(arch, layer)` pairs cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0.0 when none occurred).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate, {} entries)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries
+        )
+    }
 }
 
 impl CachedScheduler {
@@ -323,6 +363,8 @@ impl CachedScheduler {
         CachedScheduler {
             inner,
             cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -338,8 +380,10 @@ impl CachedScheduler {
     ) -> Result<Scheduled, ScheduleError> {
         let key = (*arch, layer.clone());
         if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let result = self.inner.schedule(arch, layer);
         self.cache
             .lock()
@@ -377,6 +421,18 @@ impl CachedScheduler {
     /// Number of distinct `(arch, layer)` pairs cached.
     pub fn cache_len(&self) -> usize {
         self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Hit/miss counters and cache size since construction.
+    ///
+    /// Counters use relaxed atomics: exact under any serial flow, and a
+    /// consistent-enough summary under concurrent lookups.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache_len(),
+        }
     }
 }
 
@@ -490,6 +546,32 @@ mod tests {
         assert_eq!(want.mapping, got1.mapping);
         assert_eq!(got1.mapping, got2.mapping);
         assert_eq!(cached.cache_len(), 1);
+    }
+
+    #[test]
+    fn cache_stats_count_hits_and_misses() {
+        let cached = CachedScheduler::default();
+        assert_eq!(cached.cache_stats().hit_rate(), 0.0);
+        let fc = LayerShape::fully_connected("fc", 128, 64);
+        cached.schedule(&arch(), &conv()).unwrap(); // miss
+        cached.schedule(&arch(), &conv()).unwrap(); // hit
+        cached.schedule(&arch(), &fc).unwrap(); // miss
+        cached.schedule(&arch(), &conv()).unwrap(); // hit
+        let stats = cached.cache_stats();
+        assert_eq!(
+            stats,
+            CacheStats {
+                hits: 2,
+                misses: 2,
+                entries: 2
+            }
+        );
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        let shown = stats.to_string();
+        assert!(
+            shown.contains("2 hits") && shown.contains("50.0%"),
+            "{shown}"
+        );
     }
 
     #[test]

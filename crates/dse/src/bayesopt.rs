@@ -156,6 +156,12 @@ impl BayesOpt {
 
     /// Proposes the next point by maximizing expected improvement over a
     /// candidate pool of random and local samples.
+    ///
+    /// The whole pool is drawn from `rng` *before* any scoring — in the
+    /// same order a draw-then-score loop would use, so the rng stream is
+    /// unchanged — and then scored through one batched GP prediction
+    /// ([`expected_improvement_batch`]). The first maximum wins, exactly as
+    /// the per-candidate loop's strict `>` comparison selected it.
     fn propose(&self, gp: &GpRegressor, trace: &Trace, mut rng: &mut dyn RngCore) -> Vec<f64> {
         let best = trace.best_value().unwrap_or(f64::INFINITY);
         let incumbent: Vec<f64> = trace
@@ -163,35 +169,57 @@ impl BayesOpt {
             .map(<[f64]>::to_vec)
             .unwrap_or_else(|| self.space.sample(&mut rng));
 
-        let mut best_candidate = None;
-        let mut best_ei = f64::NEG_INFINITY;
         let total = self.config.random_candidates + self.config.local_candidates;
+        let mut pool = Vec::with_capacity(total);
         for i in 0..total {
-            let candidate = if i < self.config.random_candidates {
+            pool.push(if i < self.config.random_candidates {
                 self.space.sample(&mut rng)
             } else {
                 perturb(&self.space, &incumbent, self.config.local_sigma, &mut rng)
-            };
-            let ei = expected_improvement(gp, &candidate, best);
+            });
+        }
+        let scores = expected_improvement_batch(gp, &pool, best);
+        let mut best_idx = None;
+        let mut best_ei = f64::NEG_INFINITY;
+        for (i, &ei) in scores.iter().enumerate() {
             if ei > best_ei {
                 best_ei = ei;
-                best_candidate = Some(candidate);
+                best_idx = Some(i);
             }
         }
-        best_candidate.unwrap_or_else(|| self.space.sample(&mut rng))
+        match best_idx {
+            Some(i) => pool.swap_remove(i),
+            None => self.space.sample(&mut rng),
+        }
     }
 }
 
-/// Expected improvement of a candidate over the incumbent `best`, for
-/// minimization.
-pub fn expected_improvement(gp: &GpRegressor, x: &[f64], best: f64) -> f64 {
-    let (mean, var) = gp.predict(x);
+/// Expected improvement from a posterior `(mean, variance)` over the
+/// incumbent `best`, for minimization.
+fn ei_from_moments(mean: f64, var: f64, best: f64) -> f64 {
     let sigma = var.sqrt();
     if sigma < 1e-12 {
         return (best - mean).max(0.0);
     }
     let z = (best - mean) / sigma;
     (best - mean) * normal::cdf(z) + sigma * normal::pdf(z)
+}
+
+/// Expected improvement of a candidate over the incumbent `best`, for
+/// minimization.
+pub fn expected_improvement(gp: &GpRegressor, x: &[f64], best: f64) -> f64 {
+    let (mean, var) = gp.predict(x);
+    ei_from_moments(mean, var, best)
+}
+
+/// Expected improvement for a whole candidate pool in one batched GP
+/// prediction; slot `j` is bit-identical to
+/// `expected_improvement(gp, &xs[j], best)` at any thread count.
+pub fn expected_improvement_batch(gp: &GpRegressor, xs: &[Vec<f64>], best: f64) -> Vec<f64> {
+    gp.predict_batch(xs)
+        .into_iter()
+        .map(|(mean, var)| ei_from_moments(mean, var, best))
+        .collect()
 }
 
 #[cfg(test)]
@@ -288,6 +316,33 @@ mod tests {
         let trace = BayesOpt::with_config(space, config).run(&mut obj, 60, &mut rng);
         // Despite the window, optimization still works.
         assert!(trace.best_value().unwrap() < 0.01);
+    }
+
+    #[test]
+    fn batch_ei_matches_scalar_ei_bitwise_across_threads() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let space = BoxSpace::symmetric(3, 2.0);
+        let xs: Vec<Vec<f64>> = (0..80).map(|_| space.sample(&mut rng)).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x.iter().map(|v| v * v).sum::<f64>())
+            .collect();
+        let gp = GpRegressor::fit(&xs, &ys).unwrap();
+        let pool: Vec<Vec<f64>> = (0..33).map(|_| space.sample(&mut rng)).collect();
+        let best = 0.4;
+        let serial: Vec<f64> = pool
+            .iter()
+            .map(|x| expected_improvement(&gp, x, best))
+            .collect();
+        for threads in ["1", "2", "5"] {
+            std::env::set_var("VAESA_THREADS", threads);
+            let batch = expected_improvement_batch(&gp, &pool, best);
+            std::env::remove_var("VAESA_THREADS");
+            assert_eq!(batch.len(), serial.len());
+            for (b, s) in batch.iter().zip(&serial) {
+                assert_eq!(b.to_bits(), s.to_bits(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

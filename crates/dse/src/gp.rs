@@ -1,4 +1,5 @@
 use crate::{ArdKernel, Kernel, KernelKind};
+use vaesa_linalg::triangular::{packed_row_offset, solve_lower_multi};
 use vaesa_linalg::{Cholesky, LinalgError, Matrix};
 
 /// Observation count below which GP fitting stays serial: thread fan-out
@@ -60,9 +61,12 @@ pub struct GpRegressor {
     ys: Vec<f64>,
     y_mean: f64,
     y_std: f64,
-    /// Lower-triangular Cholesky factor of `K + noise·I`, stored row-major
-    /// as a growing triangle: row i has i+1 entries.
-    l: Vec<Vec<f64>>,
+    /// Lower-triangular Cholesky factor of `K + noise·I`, stored as a
+    /// packed row-major triangle: row `i` starts at `i(i+1)/2` and has
+    /// `i + 1` entries. Packing keeps the factor contiguous, which both the
+    /// incremental extension (append one row) and the multi-RHS batched
+    /// solves want.
+    l: Vec<f64>,
     /// `(K + noise·I)⁻¹ ỹ` for the standardized targets ỹ.
     alpha: Vec<f64>,
 }
@@ -233,9 +237,12 @@ impl GpRegressor {
             }
         }
         let chol = Cholesky::new(&k)?;
-        let l: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..=i).map(|j| chol.factor()[(i, j)]).collect())
-            .collect();
+        let mut l = Vec::with_capacity(n * (n + 1) / 2);
+        for i in 0..n {
+            for j in 0..=i {
+                l.push(chol.factor()[(i, j)]);
+            }
+        }
         let mut gp = GpRegressor {
             kernel,
             noise,
@@ -287,10 +294,9 @@ impl GpRegressor {
         if d2 <= 0.0 || !d2.is_finite() {
             return Err(LinalgError::NotPositiveDefinite { max_jitter: 0.0 });
         }
-        let mut row = b;
-        row.push(d2.sqrt());
-        debug_assert_eq!(row.len(), n + 1);
-        self.l.push(row);
+        debug_assert_eq!(b.len(), n);
+        self.l.extend_from_slice(&b);
+        self.l.push(d2.sqrt());
         self.xs.push(x);
         self.ys.push(y);
         self.recompute_alpha();
@@ -320,6 +326,66 @@ impl GpRegressor {
         )
     }
 
+    /// Posterior means and variances for a whole candidate batch, in
+    /// original target units; slot `j` is bit-identical to
+    /// `self.predict(&xs[j])` at any thread count.
+    ///
+    /// The kernel cross-matrix `K*` (`n x m`) is filled once (in parallel
+    /// for large models), the mean reduction reuses it, and a single
+    /// blocked multi-RHS forward substitution replaces the `m`
+    /// per-candidate vector solves — no per-candidate `k_vec` allocation.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        let n = self.len();
+        let m = xs.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        let mut kstar = Matrix::zeros(n, m);
+        if n >= GP_PAR_MIN_N && vaesa_par::num_threads() > 1 {
+            vaesa_par::par_chunks_mut(kstar.as_mut_slice(), m, |i, _, row| {
+                for (slot, x) in row.iter_mut().zip(xs) {
+                    *slot = self.kernel.eval(&self.xs[i], x);
+                }
+            });
+        } else {
+            for i in 0..n {
+                let row = &mut kstar.as_mut_slice()[i * m..(i + 1) * m];
+                for (slot, x) in row.iter_mut().zip(xs) {
+                    *slot = self.kernel.eval(&self.xs[i], x);
+                }
+            }
+        }
+        // Means: accumulate K*ᵀ·α with the training index outermost — per
+        // candidate this is the same left-to-right sum `predict` computes.
+        let mut mean_std = vec![0.0; m];
+        for i in 0..n {
+            let a = self.alpha[i];
+            let row = &kstar.as_slice()[i * m..(i + 1) * m];
+            for (acc, &k) in mean_std.iter_mut().zip(row) {
+                *acc += k * a;
+            }
+        }
+        // One multi-RHS solve turns column j into v_j = L⁻¹ K*_j in place.
+        solve_lower_multi(&self.l, n, &mut kstar);
+        let mut v_sq = vec![0.0; m];
+        for i in 0..n {
+            let row = &kstar.as_slice()[i * m..(i + 1) * m];
+            for (acc, &v) in v_sq.iter_mut().zip(row) {
+                *acc += v * v;
+            }
+        }
+        xs.iter()
+            .zip(mean_std.iter().zip(&v_sq))
+            .map(|(x, (&mean, &sq))| {
+                let var = (self.kernel.eval(x, x) - sq).max(0.0);
+                (
+                    mean * self.y_std + self.y_mean,
+                    var * self.y_std * self.y_std,
+                )
+            })
+            .collect()
+    }
+
     /// Log marginal likelihood of the standardized targets under the
     /// current kernel.
     pub fn log_marginal_likelihood(&self) -> f64 {
@@ -330,7 +396,9 @@ impl GpRegressor {
             .map(|&y| (y - self.y_mean) / self.y_std)
             .collect();
         let data_fit: f64 = ys_std.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
-        let log_det: f64 = self.l.iter().map(|row| row.last().expect("row").ln()).sum();
+        let log_det: f64 = (0..self.len())
+            .map(|i| self.l[packed_row_offset(i) + i].ln())
+            .sum();
         -0.5 * data_fit - log_det - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
     }
 
@@ -355,11 +423,12 @@ impl GpRegressor {
         debug_assert_eq!(b.len(), n);
         let mut y = vec![0.0; n];
         for i in 0..n {
+            let off = packed_row_offset(i);
             let mut sum = b[i];
             for k in 0..i {
-                sum -= self.l[i][k] * y[k];
+                sum -= self.l[off + k] * y[k];
             }
-            y[i] = sum / self.l[i][i];
+            y[i] = sum / self.l[off + i];
         }
         y
     }
@@ -372,9 +441,9 @@ impl GpRegressor {
         for i in (0..n).rev() {
             let mut sum = y[i];
             for k in (i + 1)..n {
-                sum -= self.l[k][i] * x[k];
+                sum -= self.l[packed_row_offset(k) + i] * x[k];
             }
-            x[i] = sum / self.l[i][i];
+            x[i] = sum / self.l[packed_row_offset(i) + i];
         }
         x
     }
@@ -563,6 +632,61 @@ mod tests {
             }
         }
         std::env::remove_var("VAESA_THREADS");
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_bitwise_across_threads() {
+        // Small model: serial kernel fill. Large model: parallel fill and
+        // the blocked multi-RHS solve. Both must match per-point `predict`
+        // exactly (the ≤1e-12 equivalence bound holds with zero slack).
+        let small: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 2.0, -(i as f64)]).collect();
+        let small_ys: Vec<f64> = small.iter().map(|x| x[0].sin() + 0.1 * x[1]).collect();
+        let large: Vec<Vec<f64>> = (0..90)
+            .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()])
+            .collect();
+        let large_ys: Vec<f64> = large.iter().map(|x| 2.0 * x[0] - x[1]).collect();
+        let candidates: Vec<Vec<f64>> = (0..17)
+            .map(|j| vec![(j as f64 * 0.61).cos() * 2.0, (j as f64 * 0.23).sin() * 2.0])
+            .collect();
+        for (xs, ys) in [(small, small_ys), (large, large_ys)] {
+            let gp = GpRegressor::fit(&xs, &ys).unwrap();
+            let serial: Vec<(f64, f64)> = candidates.iter().map(|x| gp.predict(x)).collect();
+            for threads in ["1", "2", "5"] {
+                std::env::set_var("VAESA_THREADS", threads);
+                let batch = gp.predict_batch(&candidates);
+                assert_eq!(batch.len(), serial.len());
+                for (j, ((bm, bv), (sm, sv))) in batch.iter().zip(&serial).enumerate() {
+                    assert!((bm - sm).abs() <= 1e-12 && (bv - sv).abs() <= 1e-12);
+                    assert_eq!(bm.to_bits(), sm.to_bits(), "mean {j}, threads {threads}");
+                    assert_eq!(bv.to_bits(), sv.to_bits(), "var {j}, threads {threads}");
+                }
+            }
+            std::env::remove_var("VAESA_THREADS");
+        }
+    }
+
+    #[test]
+    fn predict_batch_after_incremental_adds() {
+        let (xs, ys) = training_data();
+        let kernel = Kernel::new(KernelKind::Matern52, 1.0, 1.0);
+        let mut gp = GpRegressor::fit_fixed(&xs[..4], &ys[..4], kernel, 1e-6).unwrap();
+        for i in 4..xs.len() {
+            gp.add(xs[i].clone(), ys[i]).unwrap();
+        }
+        let probes = vec![vec![0.7], vec![3.3], vec![8.0]];
+        let batch = gp.predict_batch(&probes);
+        for (probe, &(bm, bv)) in probes.iter().zip(&batch) {
+            let (sm, sv) = gp.predict(probe);
+            assert_eq!(bm.to_bits(), sm.to_bits());
+            assert_eq!(bv.to_bits(), sv.to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_batch_empty_is_empty() {
+        let (xs, ys) = training_data();
+        let gp = GpRegressor::fit(&xs, &ys).unwrap();
+        assert!(gp.predict_batch(&[]).is_empty());
     }
 
     #[test]

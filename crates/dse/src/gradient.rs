@@ -1,4 +1,4 @@
-use crate::{BoxSpace, DifferentiableObjective};
+use crate::{BatchDifferentiableObjective, BoxSpace, DifferentiableObjective};
 use serde::{Deserialize, Serialize};
 
 /// Configuration for [`GradientDescent`].
@@ -159,6 +159,75 @@ impl GradientDescent {
         }
         GdPath { steps }
     }
+
+    /// Runs descent from every start in lockstep, advancing the whole batch
+    /// with one batched objective evaluation per gradient step.
+    ///
+    /// The per-row update arithmetic (clip, momentum, clamp, value
+    /// re-evaluation) is identical to [`GradientDescent::run`], so as long
+    /// as the batched objective is row-equivalent to its per-point
+    /// counterpart, path `r` is bit-identical to running
+    /// [`GradientDescent::run`] from `starts[r]` alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any start has the wrong dimensionality.
+    pub fn run_batch(
+        &self,
+        objective: &mut dyn BatchDifferentiableObjective,
+        starts: &[Vec<f64>],
+    ) -> Vec<GdPath> {
+        assert_eq!(objective.dim(), self.space.dim(), "dimension mismatch");
+        let dz = self.space.dim();
+        let b = starts.len();
+        if b == 0 {
+            return Vec::new();
+        }
+        let mut xs: Vec<f64> = Vec::with_capacity(b * dz);
+        for start in starts {
+            assert_eq!(start.len(), dz, "start dimension mismatch");
+            xs.extend_from_slice(start);
+        }
+        for row in xs.chunks_mut(dz) {
+            self.space.clamp(row);
+        }
+        let mut velocity = vec![0.0; b * dz];
+        let (v0, _) = objective.evaluate_with_grad_batch(&xs, b);
+        let mut paths: Vec<GdPath> = (0..b)
+            .map(|r| GdPath {
+                steps: vec![GdStep {
+                    step: 0,
+                    x: xs[r * dz..(r + 1) * dz].to_vec(),
+                    value: v0[r],
+                }],
+            })
+            .collect();
+        for step in 1..=self.config.steps {
+            let (_, mut grad) = objective.evaluate_with_grad_batch(&xs, b);
+            if let Some(c) = self.config.clip {
+                for g in &mut grad {
+                    *g = g.clamp(-c, c);
+                }
+            }
+            for i in 0..xs.len() {
+                velocity[i] =
+                    self.config.momentum * velocity[i] - self.config.learning_rate * grad[i];
+                xs[i] += velocity[i];
+            }
+            for row in xs.chunks_mut(dz) {
+                self.space.clamp(row);
+            }
+            let (values, _) = objective.evaluate_with_grad_batch(&xs, b);
+            for (r, path) in paths.iter_mut().enumerate() {
+                path.steps.push(GdStep {
+                    step,
+                    x: xs[r * dz..(r + 1) * dz].to_vec(),
+                    value: values[r],
+                });
+            }
+        }
+        paths
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +301,71 @@ mod tests {
         // clipping it walks steadily down.
         assert!(path.final_value() < path.steps[0].value);
         assert!(path.final_point()[0].abs() < 1.5);
+    }
+
+    #[test]
+    fn run_batch_matches_run_bitwise_per_start() {
+        use crate::FnBatchDifferentiable;
+        let dim = 3;
+        let scalar = |x: &[f64]| {
+            let v = (x[0] - 0.7).powi(2) + (x[1] * x[2]).sin() + x[2] * x[2];
+            let g = vec![
+                2.0 * (x[0] - 0.7),
+                x[2] * (x[1] * x[2]).cos(),
+                x[1] * (x[1] * x[2]).cos() + 2.0 * x[2],
+            ];
+            (v, g)
+        };
+        let starts: Vec<Vec<f64>> = vec![
+            vec![-2.0, 1.5, 0.25],
+            vec![0.0, 0.0, 0.0],
+            vec![3.0, -3.0, 3.0], // clamped into the box before step 0
+            vec![0.4, -0.9, 1.1],
+        ];
+        let config = GdConfig {
+            steps: 25,
+            ..GdConfig::default()
+        };
+        let gd = GradientDescent::new(BoxSpace::symmetric(dim, 2.0), config);
+        let serial: Vec<GdPath> = starts
+            .iter()
+            .map(|s| {
+                let mut obj = FnDifferentiable::new(dim, scalar);
+                gd.run(&mut obj, s)
+            })
+            .collect();
+        let mut batch_obj = FnBatchDifferentiable::new(dim, |xs: &[f64], batch: usize| {
+            let mut values = Vec::with_capacity(batch);
+            let mut grads = Vec::with_capacity(xs.len());
+            for row in xs.chunks(dim) {
+                let (v, g) = scalar(row);
+                values.push(v);
+                grads.extend_from_slice(&g);
+            }
+            (values, grads)
+        });
+        let batched = gd.run_batch(&mut batch_obj, &starts);
+        assert_eq!(batched.len(), serial.len());
+        for (b, s) in batched.iter().zip(&serial) {
+            assert_eq!(b.steps.len(), s.steps.len());
+            for (bs, ss) in b.steps.iter().zip(&s.steps) {
+                assert_eq!(bs.step, ss.step);
+                assert_eq!(bs.value.to_bits(), ss.value.to_bits());
+                for (bx, sx) in bs.x.iter().zip(&ss.x) {
+                    assert_eq!(bx.to_bits(), sx.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_empty_starts_is_empty() {
+        use crate::FnBatchDifferentiable;
+        let gd = GradientDescent::new(BoxSpace::unit(2), GdConfig::default());
+        let mut obj = FnBatchDifferentiable::new(2, |xs: &[f64], _| {
+            (vec![0.0; xs.len() / 2], vec![0.0; xs.len()])
+        });
+        assert!(gd.run_batch(&mut obj, &[]).is_empty());
     }
 
     #[test]

@@ -52,12 +52,15 @@ mod space;
 mod trace;
 
 pub use annealing::{AnnealingConfig, SimulatedAnnealing};
-pub use bayesopt::{expected_improvement, BayesOpt, BayesOptConfig};
+pub use bayesopt::{expected_improvement, expected_improvement_batch, BayesOpt, BayesOptConfig};
 pub use evolutionary::{EvolutionConfig, EvolutionarySearch};
 pub use gp::GpRegressor;
 pub use gradient::{GdConfig, GdPath, GdStep, GradientDescent};
 pub use kernel::{ArdKernel, Kernel, KernelKind};
-pub use objective::{DifferentiableObjective, FnDifferentiable, FnObjective, Objective};
+pub use objective::{
+    BatchDifferentiableObjective, DifferentiableObjective, FnBatchDifferentiable, FnDifferentiable,
+    FnObjective, Objective,
+};
 pub use random::{perturb, GridSearch, RandomSearch};
 pub use space::BoxSpace;
 pub use trace::{Sample, Trace};

@@ -107,6 +107,66 @@ impl<F> std::fmt::Debug for FnDifferentiable<F> {
     }
 }
 
+/// A differentiable objective evaluated over a whole batch of points at
+/// once, used by [`GradientDescent::run_batch`](crate::GradientDescent::run_batch)
+/// to advance every start of a multi-start descent with one forward and one
+/// backward pass.
+///
+/// Row `r` of the batch must produce the same `(value, gradient)` as a
+/// per-point [`DifferentiableObjective`] would on that row alone; the
+/// batched descent driver relies on this to stay trace-identical to the
+/// serial multi-start loop.
+pub trait BatchDifferentiableObjective {
+    /// Dimensionality of each point.
+    fn dim(&self) -> usize;
+
+    /// Evaluates `batch` points stored row-major in `xs`
+    /// (`xs.len() == batch * self.dim()`).
+    ///
+    /// Returns `(values, gradients)` with `values.len() == batch` and
+    /// `gradients.len() == xs.len()`, gradients stored row-major in the
+    /// same layout as `xs`.
+    fn evaluate_with_grad_batch(&mut self, xs: &[f64], batch: usize) -> (Vec<f64>, Vec<f64>);
+}
+
+/// A [`BatchDifferentiableObjective`] defined by a closure.
+pub struct FnBatchDifferentiable<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F> FnBatchDifferentiable<F>
+where
+    F: FnMut(&[f64], usize) -> (Vec<f64>, Vec<f64>),
+{
+    /// Wraps a closure `(xs, batch) -> (values, gradients)`.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnBatchDifferentiable { dim, f }
+    }
+}
+
+impl<F> BatchDifferentiableObjective for FnBatchDifferentiable<F>
+where
+    F: FnMut(&[f64], usize) -> (Vec<f64>, Vec<f64>),
+{
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn evaluate_with_grad_batch(&mut self, xs: &[f64], batch: usize) -> (Vec<f64>, Vec<f64>) {
+        debug_assert_eq!(xs.len(), batch * self.dim, "batch layout mismatch");
+        (self.f)(xs, batch)
+    }
+}
+
+impl<F> std::fmt::Debug for FnBatchDifferentiable<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnBatchDifferentiable")
+            .field("dim", &self.dim)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

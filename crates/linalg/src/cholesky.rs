@@ -159,28 +159,59 @@ impl Cholesky {
         (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
     }
 
-    /// Solves `A X = B` column by column.
+    /// Solves `L Y = B` for every column of `b` in one blocked pass.
+    ///
+    /// Column `j` of the result is bit-identical to
+    /// [`Cholesky::solve_lower`] on column `j` of `b`, at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_lower_multi(&self, b: &Matrix) -> Result<Matrix> {
+        self.check_multi_rhs(b, "solve_lower_multi")?;
+        let mut out = b.clone();
+        crate::triangular::solve_lower_multi_dense(&self.l, &mut out);
+        Ok(out)
+    }
+
+    /// Solves `Lᵀ X = Y` for every column of `b` in one blocked pass.
+    ///
+    /// Column `j` of the result is bit-identical to
+    /// [`Cholesky::solve_upper`] on column `j` of `b`, at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_upper_multi(&self, b: &Matrix) -> Result<Matrix> {
+        self.check_multi_rhs(b, "solve_upper_multi")?;
+        let mut out = b.clone();
+        crate::triangular::solve_upper_multi_dense(&self.l, &mut out);
+        Ok(out)
+    }
+
+    /// Solves `A X = B` via one multi-RHS forward and one multi-RHS back
+    /// substitution (bit-identical to solving column by column).
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        self.check_multi_rhs(b, "solve_matrix")?;
+        let mut out = b.clone();
+        crate::triangular::solve_lower_multi_dense(&self.l, &mut out);
+        crate::triangular::solve_upper_multi_dense(&self.l, &mut out);
+        Ok(out)
+    }
+
+    fn check_multi_rhs(&self, b: &Matrix, op: &'static str) -> Result<()> {
         if b.rows() != self.dim() {
             return Err(LinalgError::ShapeMismatch {
                 left: (self.dim(), self.dim()),
                 right: b.shape(),
-                op: "solve_matrix",
+                op,
             });
         }
-        let mut out = Matrix::zeros(b.rows(), b.cols());
-        for c in 0..b.cols() {
-            let col = b.col(c);
-            let x = self.solve(&col);
-            for (r, v) in x.into_iter().enumerate() {
-                out[(r, c)] = v;
-            }
-        }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -270,6 +301,28 @@ mod tests {
         let inv = chol.solve_matrix(&Matrix::identity(3)).unwrap();
         let prod = a.matmul(&inv).unwrap();
         assert!(prod.approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn multi_rhs_solves_match_single_rhs_bitwise() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[3.0, 0.25, -1.0], &[-0.75, 4.0, 2.0]])
+            .unwrap();
+        let lower = chol.solve_lower_multi(&b).unwrap();
+        let upper = chol.solve_upper_multi(&b).unwrap();
+        let full = chol.solve_matrix(&b).unwrap();
+        for c in 0..3 {
+            let col = b.col(c);
+            let yl = chol.solve_lower(&col);
+            let yu = chol.solve_upper(&col);
+            let ys = chol.solve(&col);
+            for r in 0..3 {
+                assert_eq!(lower[(r, c)].to_bits(), yl[r].to_bits());
+                assert_eq!(upper[(r, c)].to_bits(), yu[r].to_bits());
+                assert_eq!(full[(r, c)].to_bits(), ys[r].to_bits());
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   products, and views.
 //! - [`Cholesky`]: a Cholesky factorization with jitter escalation, used by
 //!   the Gaussian-process regression inside Bayesian optimization.
+//! - [`triangular`]: blocked multi-right-hand-side triangular solves, the
+//!   batched-inference substrate for GP prediction over candidate pools.
 //! - [`stats`]: summary statistics (means, standard deviations, quantiles,
 //!   correlations) used by the experiment harness and tests.
 //!
@@ -30,6 +32,7 @@ mod cholesky;
 mod error;
 mod matrix;
 pub mod stats;
+pub mod triangular;
 
 pub use cholesky::Cholesky;
 pub use error::LinalgError;

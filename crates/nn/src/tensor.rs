@@ -20,7 +20,7 @@ use std::fmt;
 /// let sum = a.add(&b);
 /// assert_eq!(sum.get(1, 1), 5.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
@@ -284,6 +284,28 @@ impl Tensor {
         self.rows = rows;
         self.cols = cols;
         self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes to `rows x cols` and overwrites the contents with `data`
+    /// (row-major), reusing the backing buffer when possible.
+    ///
+    /// This is the batched-inference counterpart of [`Tensor::from_vec`]
+    /// for hot loops that refill the same tensor every iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn copy_from_flat(&mut self, rows: usize, cols: usize, data: &[f64]) {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "copy_from_flat: {} elements cannot fill a {rows}x{cols} tensor",
+            data.len()
+        );
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.extend_from_slice(data);
     }
 
     /// Elementwise difference.
@@ -664,6 +686,21 @@ mod tests {
     #[should_panic(expected = "buffer length")]
     fn from_vec_bad_shape_panics() {
         let _ = Tensor::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn copy_from_flat_reshapes_and_overwrites() {
+        let mut t = Tensor::from_rows(&[&[9.0, 9.0, 9.0], &[9.0, 9.0, 9.0]]);
+        t.copy_from_flat(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_from_flat")]
+    fn copy_from_flat_bad_shape_panics() {
+        let mut t = Tensor::zeros(1, 1);
+        t.copy_from_flat(2, 2, &[1.0]);
     }
 
     #[test]

@@ -7,13 +7,13 @@
 //! or denormalized point is snapped to the nearest legal design (the
 //! "reconstructible" property) before it is scheduled and scored.
 
-use crate::{Dataset, InputPredictors, Normalizer, VaesaModel};
+use crate::{Dataset, EdpGradBatch, InputPredictors, Normalizer, VaesaModel};
 use rand::RngCore;
 use vaesa_accel::{ArchConfig, DesignSpace, LayerShape};
 use vaesa_cosa::CachedScheduler;
 use vaesa_dse::{
-    BayesOpt, BoxSpace, EvolutionarySearch, FnDifferentiable, FnObjective, GdConfig,
-    GradientDescent, RandomSearch, SimulatedAnnealing, Trace,
+    BatchDifferentiableObjective, BayesOpt, BoxSpace, EvolutionarySearch, FnDifferentiable,
+    FnObjective, GdConfig, GradientDescent, RandomSearch, SimulatedAnnealing, Trace,
 };
 use vaesa_nn::Tensor;
 
@@ -140,6 +140,27 @@ pub fn decode_to_config(
 ) -> ArchConfig {
     let decoded = model.decode(&Tensor::row_vector(z));
     evaluator.snap(decoded.row(0), hw_norm)
+}
+
+/// Decodes a batch of latent points to legal design points through one
+/// decoder forward pass.
+///
+/// The decoder graph is row-independent, so entry `r` is identical to
+/// [`decode_to_config`] on `zs[r]` alone.
+pub fn decode_to_configs(
+    model: &VaesaModel,
+    zs: &[Vec<f64>],
+    hw_norm: &Normalizer,
+    evaluator: &HardwareEvaluator<'_>,
+) -> Vec<ArchConfig> {
+    if zs.is_empty() {
+        return Vec::new();
+    }
+    let refs: Vec<&[f64]> = zs.iter().map(Vec::as_slice).collect();
+    let decoded = model.decode(&Tensor::from_rows(&refs));
+    (0..zs.len())
+        .map(|r| evaluator.snap(decoded.row(r), hw_norm))
+        .collect()
 }
 
 /// Fallback half-width of the latent search box when no dataset is
@@ -483,6 +504,94 @@ pub fn run_vae_gd_par(
     trace
 }
 
+/// The batched `vae_gd` descent objective: one call produces proxy values
+/// and z-gradients for a whole batch of latent points under a fixed layer,
+/// reusing graph and leaf buffers across descent steps
+/// ([`VaesaModel::predicted_edp_grad_batch`]).
+///
+/// Public so the benchmark harness can drive
+/// [`GradientDescent::run_batch`] with the exact objective the flow uses.
+#[derive(Debug)]
+pub struct BatchEdpObjective<'a> {
+    model: &'a VaesaModel,
+    layer_n: Vec<f64>,
+    w_lat: f64,
+    w_en: f64,
+    scratch: EdpGradBatch,
+}
+
+impl<'a> BatchEdpObjective<'a> {
+    /// Builds the objective for one layer under the evaluator's metric.
+    pub fn new(
+        model: &'a VaesaModel,
+        dataset: &Dataset,
+        layer: &LayerShape,
+        metric: Metric,
+    ) -> Self {
+        let layer_n = dataset.layer_norm.transform_row(&layer.features());
+        let (w_lat, w_en) = proxy_weights(metric, dataset);
+        BatchEdpObjective {
+            model,
+            layer_n,
+            w_lat,
+            w_en,
+            scratch: EdpGradBatch::default(),
+        }
+    }
+}
+
+impl BatchDifferentiableObjective for BatchEdpObjective<'_> {
+    fn dim(&self) -> usize {
+        self.model.latent_dim()
+    }
+
+    fn evaluate_with_grad_batch(&mut self, xs: &[f64], batch: usize) -> (Vec<f64>, Vec<f64>) {
+        self.model.predicted_edp_grad_batch(
+            xs,
+            batch,
+            &self.layer_n,
+            self.w_lat,
+            self.w_en,
+            &mut self.scratch,
+        )
+    }
+}
+
+/// [`run_vae_gd`] with every start advanced in lockstep: each descent step
+/// is one `B x dz` forward and one backward pass through the predictor
+/// graph instead of `B` single-row graph builds, and the final decoded
+/// designs are scheduled through the parallel pool.
+///
+/// The random latent starts are drawn from `rng` *before* the descent (same
+/// stream and order as the serial flow), the batched objective is
+/// row-equivalent to the per-start one, and results are recorded in start
+/// order — so the returned trace is identical to [`run_vae_gd`]'s for the
+/// same seed, at any thread count.
+pub fn run_vae_gd_batch(
+    evaluator: &HardwareEvaluator<'_>,
+    model: &VaesaModel,
+    dataset: &Dataset,
+    layer: &LayerShape,
+    samples: usize,
+    gd: GdConfig,
+    rng: &mut dyn RngCore,
+) -> Trace {
+    let space = latent_box(model, dataset);
+    let driver = GradientDescent::new(space.clone(), gd);
+    let mut rng = rng;
+    let starts: Vec<Vec<f64>> = (0..samples).map(|_| space.sample(&mut rng)).collect();
+    let mut objective = BatchEdpObjective::new(model, dataset, layer, evaluator.metric());
+    let paths = driver.run_batch(&mut objective, &starts);
+    let finals: Vec<Vec<f64>> = paths.iter().map(|p| p.final_point().to_vec()).collect();
+    let configs = decode_to_configs(model, &finals, &dataset.hw_norm, evaluator);
+    let scores: Vec<Option<f64>> = vaesa_par::par_map(&configs, |c| evaluator.edp_of_config(c));
+    let mut trace = Trace::new("vae_gd");
+    for (z, edp) in finals.into_iter().zip(scores) {
+        trace.record(z, edp);
+    }
+    trace
+}
+
 /// `vae_gd` for a whole network (the paper's §IV-D outlook): descends the
 /// differentiable *sum-over-layers* EDP proxy of
 /// [`VaesaModel::predicted_network_edp_grad`] and scores the decoded design
@@ -756,6 +865,59 @@ mod tests {
             assert_eq!(serial, par, "threads = {threads}");
         }
         std::env::remove_var("VAESA_THREADS");
+    }
+
+    #[test]
+    fn batched_vae_gd_flow_matches_serial_trace() {
+        let f = Fixture::new();
+        let ds = f.dataset();
+        let model = f.trained_model(&ds);
+        let layer = f.layers[0].clone();
+        let single = vec![layer.clone()];
+        let ev = HardwareEvaluator::new(&f.space, &f.scheduler, &single);
+        let gd_cfg = GdConfig {
+            steps: 30,
+            ..GdConfig::default()
+        };
+        let serial = run_vae_gd(
+            &ev,
+            &model,
+            &ds,
+            &layer,
+            4,
+            gd_cfg,
+            &mut ChaCha8Rng::seed_from_u64(61),
+        );
+        for threads in ["1", "2", "5"] {
+            std::env::set_var("VAESA_THREADS", threads);
+            let batched = run_vae_gd_batch(
+                &ev,
+                &model,
+                &ds,
+                &layer,
+                4,
+                gd_cfg,
+                &mut ChaCha8Rng::seed_from_u64(61),
+            );
+            assert_eq!(serial, batched, "threads = {threads}");
+        }
+        std::env::remove_var("VAESA_THREADS");
+    }
+
+    #[test]
+    fn batched_decode_matches_single_decode() {
+        let f = Fixture::new();
+        let ds = f.dataset();
+        let model = f.trained_model(&ds);
+        let ev = f.evaluator();
+        let mut rng = ChaCha8Rng::seed_from_u64(63);
+        let space = latent_box(&model, &ds);
+        let zs: Vec<Vec<f64>> = (0..9).map(|_| space.sample(&mut rng)).collect();
+        let batched = decode_to_configs(&model, &zs, &ds.hw_norm, &ev);
+        for (z, b) in zs.iter().zip(&batched) {
+            assert_eq!(*b, decode_to_config(&model, z, &ds.hw_norm, &ev));
+        }
+        assert!(decode_to_configs(&model, &[], &ds.hw_norm, &ev).is_empty());
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod report;
 mod trainer;
 
 pub use dataset::{Dataset, DatasetBuilder, Record};
-pub use model::{TrainStep, VaesaConfig, VaesaModel, HW_FEATURES, LAYER_FEATURES};
+pub use model::{EdpGradBatch, TrainStep, VaesaConfig, VaesaModel, HW_FEATURES, LAYER_FEATURES};
 pub use normalize::Normalizer;
 pub use persist::{CheckpointNormalizers, ModelCheckpoint, PersistError};
 pub use trainer::{Convergence, EpochStats, History, InputPredictors, TrainConfig, Trainer};

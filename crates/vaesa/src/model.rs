@@ -100,6 +100,16 @@ pub struct TrainStep {
     pub input_leaves: [VarId; 5],
 }
 
+/// Reusable buffers for [`VaesaModel::predicted_edp_grad_batch`]: the graph
+/// tape and the two input leaf tensors survive across calls, so the batched
+/// gradient-descent hot loop performs no per-step graph or leaf allocations.
+#[derive(Debug, Default)]
+pub struct EdpGradBatch {
+    g: Graph,
+    zs: Tensor,
+    layer_rep: Tensor,
+}
+
 impl VaesaModel {
     /// Builds a model with freshly initialized weights.
     pub fn new(config: VaesaConfig, rng: &mut impl Rng) -> Self {
@@ -340,6 +350,67 @@ impl VaesaModel {
         (value, grad)
     }
 
+    /// Batched [`VaesaModel::predicted_edp_grad`]: proxy values and
+    /// z-gradients for `batch` latent points stored row-major in `zs`
+    /// (`zs.len() == batch * dz`), all under the same `layer` features.
+    ///
+    /// One `B x dz` forward and one backward pass replace `B` single-row
+    /// graph builds. Every op on the predictor path is row-independent, so
+    /// row `r` of both outputs is bit-identical to
+    /// `predicted_edp_grad(&zs[r*dz..], ...)` at any thread count. The
+    /// `scratch` buffers (graph tape and leaf tensors) are reclaimed after
+    /// every call, so a descent loop allocates nothing per step.
+    pub fn predicted_edp_grad_batch(
+        &self,
+        zs: &[f64],
+        batch: usize,
+        layer: &[f64],
+        w_lat: f64,
+        w_en: f64,
+        scratch: &mut EdpGradBatch,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let dz = self.config.latent_dim;
+        assert_eq!(zs.len(), batch * dz, "latent batch layout mismatch");
+        assert_eq!(layer.len(), LAYER_FEATURES, "layer feature count mismatch");
+        if batch == 0 {
+            return (Vec::new(), Vec::new());
+        }
+
+        scratch.zs.copy_from_flat(batch, dz, zs);
+        scratch.layer_rep.resize_uninit(batch, LAYER_FEATURES);
+        for row in scratch.layer_rep.as_mut_slice().chunks_mut(LAYER_FEATURES) {
+            row.copy_from_slice(layer);
+        }
+
+        let g = &mut scratch.g;
+        g.reset();
+        let zi = g.leaf(std::mem::replace(&mut scratch.zs, Tensor::zeros(0, 0)));
+        let li = g.leaf(std::mem::replace(
+            &mut scratch.layer_rep,
+            Tensor::zeros(0, 0),
+        ));
+        let joined = g.concat_cols(zi, li);
+        let lat = self.latency_predictor.forward(g, joined);
+        let en = self.energy_predictor.forward(g, joined);
+        let lat_w = g.scale(lat.output, w_lat);
+        let en_w = g.scale(en.output, w_en);
+        let sum = g.add(lat_w, en_w);
+        let loss = g.sum_all(sum);
+        // Per-row proxy values: `loss` sums the B x 1 column, so reading the
+        // column itself gives each row's scalar (for B = 1 this is exactly
+        // the single-row path's `loss` value).
+        let values = g.value(sum).as_slice().to_vec();
+        g.backward(loss);
+        let grads = g
+            .grad(zi)
+            .expect("z receives a gradient")
+            .as_slice()
+            .to_vec();
+        scratch.zs = g.take_value(zi);
+        scratch.layer_rep = g.take_value(li);
+        (values, grads)
+    }
+
     /// Draws `n` latent samples from the prior `N(0, I)`.
     pub fn sample_prior(&self, n: usize, rng: &mut impl Rng) -> Tensor {
         randn(n, self.config.latent_dim, rng)
@@ -530,6 +601,43 @@ mod tests {
                 grad[i]
             );
         }
+    }
+
+    #[test]
+    fn predicted_edp_grad_batch_matches_single_row_bitwise() {
+        let m = model(3);
+        let layer = [0.5; 8];
+        let zs: Vec<Vec<f64>> = vec![
+            vec![0.2, -0.4, 0.1],
+            vec![-1.3, 0.0, 0.7],
+            vec![0.0, 0.0, 0.0],
+            vec![2.0, -2.0, 0.5],
+            vec![0.31, 0.77, -0.09],
+        ];
+        let flat: Vec<f64> = zs.iter().flatten().copied().collect();
+        let mut scratch = EdpGradBatch::default();
+        // Run twice through the same scratch to exercise buffer reclaim.
+        for _ in 0..2 {
+            let (values, grads) =
+                m.predicted_edp_grad_batch(&flat, zs.len(), &layer, 2.0, 3.0, &mut scratch);
+            assert_eq!(values.len(), zs.len());
+            assert_eq!(grads.len(), flat.len());
+            for (r, z) in zs.iter().enumerate() {
+                let (v, g) = m.predicted_edp_grad(z, &layer, 2.0, 3.0);
+                assert_eq!(values[r].to_bits(), v.to_bits(), "row {r} value");
+                for (d, (bg, sg)) in grads[r * 3..(r + 1) * 3].iter().zip(&g).enumerate() {
+                    assert_eq!(bg.to_bits(), sg.to_bits(), "row {r} grad dim {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_edp_grad_batch_empty_batch() {
+        let m = model(2);
+        let mut scratch = EdpGradBatch::default();
+        let (v, g) = m.predicted_edp_grad_batch(&[], 0, &[0.5; 8], 1.0, 1.0, &mut scratch);
+        assert!(v.is_empty() && g.is_empty());
     }
 
     #[test]

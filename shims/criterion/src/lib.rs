@@ -10,7 +10,6 @@
 //! baselines are produced that way. `VAESA_BENCH_MS` overrides the
 //! per-benchmark measurement budget (milliseconds).
 
-use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Prevents the optimizer from discarding a value (re-export of the
@@ -152,17 +151,30 @@ impl Criterion {
         };
         println!("bench: {id:<50} {human}/iter");
         if let Ok(path) = std::env::var("VAESA_BENCH_JSON") {
-            if let Ok(mut file) = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&path)
-            {
-                // One JSON object per line; ids never contain quotes.
-                let _ = writeln!(file, "{{\"id\":\"{id}\",\"ns_per_iter\":{ns:.1}}}");
-            }
+            upsert_json_line(&path, id, ns);
         }
         self
     }
+}
+
+/// Writes one `{"id": ..., "ns_per_iter": ...}` line for `id`, replacing
+/// any earlier line for the same id so re-running a benchmark updates its
+/// baseline instead of accumulating conflicting entries.
+fn upsert_json_line(path: &str, id: &str, ns: f64) {
+    // Ids never contain quotes, so the quoted form matches exactly.
+    let needle = format!("\"id\":\"{id}\"");
+    let mut lines: Vec<String> = std::fs::read_to_string(path)
+        .map(|s| {
+            s.lines()
+                .filter(|l| !l.trim().is_empty() && !l.contains(&needle))
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    lines.push(format!("{{\"id\":\"{id}\",\"ns_per_iter\":{ns:.1}}}"));
+    let mut out = lines.join("\n");
+    out.push('\n');
+    let _ = std::fs::write(path, out);
 }
 
 /// Declares a benchmark group function that drives each target.
@@ -205,6 +217,30 @@ mod tests {
             observed = b.median_ns;
         });
         assert!(observed.is_finite() && observed > 0.0);
+    }
+
+    #[test]
+    fn json_upsert_keeps_one_line_per_id() {
+        let path = std::env::temp_dir().join("criterion_shim_upsert_test.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        upsert_json_line(path, "grp/alpha", 10.0);
+        upsert_json_line(path, "grp/beta", 20.0);
+        upsert_json_line(path, "grp/alpha", 30.0); // re-run: overwrite, not append
+        let content = std::fs::read_to_string(path).unwrap();
+        let alpha: Vec<&str> = content
+            .lines()
+            .filter(|l| l.contains("\"id\":\"grp/alpha\""))
+            .collect();
+        assert_eq!(alpha, vec!["{\"id\":\"grp/alpha\",\"ns_per_iter\":30.0}"]);
+        assert_eq!(
+            content
+                .lines()
+                .filter(|l| l.contains("\"id\":\"grp/beta\""))
+                .count(),
+            1
+        );
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

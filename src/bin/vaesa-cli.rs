@@ -20,13 +20,14 @@ use std::process::ExitCode;
 use vaesa_repro::accel::{workloads, ArchDescription, DesignSpace, LayerShape, Network};
 use vaesa_repro::core::flows::{
     decode_to_config, run_annealing, run_bo, run_coordinate_descent, run_evo, run_random,
-    run_vae_annealing, run_vae_bo, run_vae_evo, HardwareEvaluator,
+    run_vae_annealing, run_vae_bo, run_vae_evo, run_vae_gd_batch, HardwareEvaluator,
 };
 use vaesa_repro::core::{
     Convergence, Dataset, DatasetBuilder, ModelCheckpoint, TrainConfig, Trainer, VaesaConfig,
     VaesaModel,
 };
 use vaesa_repro::cosa::CachedScheduler;
+use vaesa_repro::dse::GdConfig;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,7 +70,7 @@ commands:
   train     train the VAE + predictors       --dataset PATH --latent N --alpha F
                                              (--epochs N | --converge) --seed S --out PATH
   search    explore the design space         --model PATH --dataset PATH --workload W
-                                             --method (vae_bo|vae_evo|vae_sa|bo|evo|sa|cd|random)
+                                             --method (vae_bo|vae_gd|vae_evo|vae_sa|bo|evo|sa|cd|random)
                                              --budget N --seed S
   eval      score one design on a workload   --pe N --macs N --accum B --weight B
                                              --input B --global B --workload W
@@ -235,6 +236,17 @@ fn cmd_search(flags: &Flags) -> Result<(), String> {
     println!("running {method} for {budget} samples (seed {seed})...");
     let trace = match method.as_str() {
         "vae_bo" => run_vae_bo(&evaluator, &model, &dataset, budget, &mut rng),
+        // Batched multi-start descent; the first workload layer drives the
+        // differentiable proxy, the evaluator scores the full workload.
+        "vae_gd" => run_vae_gd_batch(
+            &evaluator,
+            &model,
+            &dataset,
+            &layers[0],
+            budget,
+            GdConfig::default(),
+            &mut rng,
+        ),
         "vae_evo" => run_vae_evo(&evaluator, &model, &dataset, budget, &mut rng),
         "vae_sa" => run_vae_annealing(&evaluator, &model, &dataset, budget, &mut rng),
         "bo" => run_bo(&evaluator, &dataset.hw_norm, budget, &mut rng),
