@@ -10,7 +10,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
 use vaesa::{EdpGradBatch, VaesaConfig, VaesaModel};
-use vaesa_dse::{BoxSpace, FnBatchDifferentiable, FnDifferentiable, GdConfig, GradientDescent};
+use vaesa_dse::{
+    BatchDifferentiableObjective, BoxSpace, FnBatchDifferentiable, FnDifferentiable, GdConfig,
+    GdEngine, GradientDescent, Objective, SearchEngine, SearchObjective,
+};
 
 const DZ: usize = 4;
 const STEPS: usize = 10;
@@ -51,6 +54,57 @@ fn bench_multi_start_gd(c: &mut Criterion) {
                 black_box(paths.iter().map(|p| p.final_value()).sum::<f64>())
             })
         });
+        // Same batched descent, but entered through the SearchEngine trait
+        // (as `DseDriver` does) — measures the unified driver's overhead on
+        // top of the raw `run_batch` call above.
+        let engine = GdEngine {
+            config: GdConfig {
+                steps: STEPS,
+                ..GdConfig::default()
+            },
+        };
+        c.bench_function(&format!("vae_gd/gd_step_engine_b{batch}"), |b| {
+            b.iter(|| {
+                let mut scratch = EdpGradBatch::default();
+                let mut objective = ProxyOnly {
+                    proxy: FnBatchDifferentiable::new(DZ, |xs: &[f64], n: usize| {
+                        model.predicted_edp_grad_batch(xs, n, &layer, 1.0, 1.0, &mut scratch)
+                    }),
+                };
+                let mut rng = ChaCha8Rng::seed_from_u64(9 + batch as u64);
+                let trace = engine.run(&space, &mut objective, batch, &mut rng);
+                black_box(trace.best_value())
+            })
+        });
+    }
+}
+
+/// A [`SearchObjective`] whose final-point scoring reuses the proxy's value
+/// — isolates the engine/trace plumbing from any evaluator cost.
+struct ProxyOnly<F: FnMut(&[f64], usize) -> (Vec<f64>, Vec<f64>)> {
+    proxy: FnBatchDifferentiable<F>,
+}
+
+impl<F: FnMut(&[f64], usize) -> (Vec<f64>, Vec<f64>)> Objective for ProxyOnly<F> {
+    fn dim(&self) -> usize {
+        DZ
+    }
+
+    fn evaluate(&mut self, x: &[f64]) -> Option<f64> {
+        let (values, _) = self.proxy.evaluate_with_grad_batch(x, 1);
+        Some(values[0])
+    }
+}
+
+impl<F: FnMut(&[f64], usize) -> (Vec<f64>, Vec<f64>)> SearchObjective for ProxyOnly<F> {
+    fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<Option<f64>> {
+        let flat: Vec<f64> = xs.iter().flatten().copied().collect();
+        let (values, _) = self.proxy.evaluate_with_grad_batch(&flat, xs.len());
+        values.into_iter().map(Some).collect()
+    }
+
+    fn proxy(&mut self) -> Option<&mut dyn BatchDifferentiableObjective> {
+        Some(&mut self.proxy)
     }
 }
 

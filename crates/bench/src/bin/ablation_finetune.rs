@@ -7,44 +7,38 @@
 //! normalizers so the model stays valid), fine-tune for a few epochs, and
 //! compare a second search round against continuing with the frozen model.
 
-use vaesa::flows::{decode_to_config, run_vae_bo, HardwareEvaluator};
+use vaesa::flows::{decode_to_config, run_vae_bo};
 use vaesa::{Record, TrainConfig, Trainer};
 use vaesa_accel::workloads;
-use vaesa_bench::{write_labeled_csv, Args, Setup};
+use vaesa_bench::{write_labeled_csv, Args, ExperimentContext};
 use vaesa_linalg::stats;
 
 fn main() {
-    let args = Args::parse();
-    let setup = Setup::new();
-    let pool = workloads::training_layers();
+    let ctx = ExperimentContext::build(Args::parse());
+    let args = &ctx.args;
     let resnet = workloads::resnet50();
 
     let round = args.budget.unwrap_or(args.pick(40, 150, 500));
     let seeds = args.pick(2, 3, 5);
-    let n_configs = args.pick(60, 400, 1200);
-    let epochs = args.pick(10, 40, 80);
 
-    println!("building dataset ({n_configs} configs) and training 4-D VAESA...");
-    let dataset = setup.dataset(&pool, n_configs, &args);
-    let (model, _) = setup.train(&dataset, 4, 1e-4, epochs, &args);
-    let evaluator = HardwareEvaluator::new(&setup.space, &setup.scheduler, &resnet);
+    let evaluator = ctx.evaluator_for(&resnet);
 
     let mut frozen_bests = Vec::new();
     let mut finetuned_bests = Vec::new();
     for seed in 0..seeds {
         // Round 1 (shared): explore with the freshly trained model.
         let mut rng = args.rng(70_000 + seed as u64);
-        let round1 = run_vae_bo(&evaluator, &model, &dataset, round, &mut rng);
+        let round1 = run_vae_bo(&evaluator, &ctx.model, &ctx.dataset, round, &mut rng);
 
         // Fold the evaluated designs back into the dataset as per-layer
         // records (exactly what the scheduler + cost model already computed).
         let mut new_records = Vec::new();
         for sample in round1.samples() {
-            let config = decode_to_config(&model, &sample.x, &dataset.hw_norm, &evaluator);
+            let config = decode_to_config(&ctx.model, &sample.x, &ctx.dataset.hw_norm, &evaluator);
             let Some(w) = evaluator.workload_eval(&config) else {
                 continue;
             };
-            let hw_raw = setup.space.raw_features(&config);
+            let hw_raw = ctx.setup.space.raw_features(&config);
             for (layer, sched) in resnet.iter().zip(&w.layers) {
                 new_records.push(Record {
                     config,
@@ -63,7 +57,7 @@ fn main() {
 
         // Branch A: continue with the frozen model.
         let mut rng = args.rng(71_000 + seed as u64);
-        let frozen = run_vae_bo(&evaluator, &model, &dataset, round, &mut rng);
+        let frozen = run_vae_bo(&evaluator, &ctx.model, &ctx.dataset, round, &mut rng);
         frozen_bests.push(
             frozen
                 .best_value()
@@ -72,11 +66,11 @@ fn main() {
         );
 
         // Branch B: extend + fine-tune (low LR, few epochs), then search.
-        let extended = dataset.extended(new_records);
-        let mut tuned = model.clone();
+        let extended = ctx.dataset.extended(new_records);
+        let mut tuned = ctx.model.clone();
         let mut rng = args.rng(72_000 + seed as u64);
         Trainer::new(TrainConfig {
-            epochs: epochs / 4,
+            epochs: ctx.epochs / 4,
             batch_size: 64,
             learning_rate: 2e-4,
         })
@@ -115,4 +109,5 @@ fn main() {
         &rows,
     );
     println!("wrote {}", path.display());
+    ctx.report_cache_stats();
 }

@@ -7,29 +7,22 @@
 //! small (α = 1e-4), encodings spread well beyond the prior, so a fixed box
 //! can clip the region the decoder actually covers.
 
-use vaesa::flows::{decode_to_config, latent_box, HardwareEvaluator};
+use vaesa::flows::{decode_to_config, latent_box};
 use vaesa_accel::workloads;
-use vaesa_bench::{write_labeled_csv, Args, Setup};
+use vaesa_bench::{write_labeled_csv, Args, ExperimentContext};
 use vaesa_dse::{BayesOpt, BoxSpace, FnObjective};
 use vaesa_linalg::stats;
 
 fn main() {
-    let args = Args::parse();
-    let setup = Setup::new();
-    let pool = workloads::training_layers();
+    let ctx = ExperimentContext::build(Args::parse());
+    let args = &ctx.args;
     let resnet = workloads::resnet50();
 
     let budget = args.budget.unwrap_or(args.pick(60, 300, 1000));
     let seeds = args.pick(2, 3, 5);
-    let n_configs = args.pick(60, 400, 1200);
-    let epochs = args.pick(10, 40, 80);
 
-    println!("building dataset and training 4-D VAESA...");
-    let dataset = setup.dataset(&pool, n_configs, &args);
-    let (model, _) = setup.train(&dataset, 4, 1e-4, epochs, &args);
-    let evaluator = HardwareEvaluator::new(&setup.space, &setup.scheduler, &resnet);
-
-    let data_box = latent_box(&model, &dataset);
+    let evaluator = ctx.evaluator_for(&resnet);
+    let data_box = latent_box(&ctx.model, &ctx.dataset);
     println!(
         "data-derived box: lo {:?}, hi {:?}",
         data_box.lower(),
@@ -49,7 +42,7 @@ fn main() {
         let mut bests = Vec::new();
         for seed in 0..seeds {
             let mut objective = FnObjective::new(4, |z: &[f64]| {
-                let config = decode_to_config(&model, z, &dataset.hw_norm, &evaluator);
+                let config = decode_to_config(&ctx.model, z, &ctx.dataset.hw_norm, &evaluator);
                 evaluator.edp_of_config(&config)
             });
             let mut rng = args.rng(40_000 + seed as u64 * 17);
@@ -70,4 +63,5 @@ fn main() {
     );
     println!("\nwrote {}", path.display());
     println!("expected: the data-derived box matches or beats every fixed prior box.");
+    ctx.report_cache_stats();
 }

@@ -5,72 +5,43 @@
 //! This ablation runs random / BO / evolutionary, each on both the
 //! original input space and the VAESA latent space, on ResNet-50.
 
-use vaesa::flows::{
-    run_annealing, run_bo, run_coordinate_descent, run_evo, run_random, run_vae_annealing,
-    run_vae_bo, run_vae_evo, HardwareEvaluator,
-};
+use vaesa::SpaceMode;
 use vaesa_accel::workloads;
-use vaesa_bench::{write_labeled_csv, Args, Setup};
+use vaesa_bench::{write_labeled_csv, Args, ExperimentContext};
+use vaesa_dse::engine_by_name;
 use vaesa_linalg::stats;
 
 fn main() {
-    let args = Args::parse();
-    let setup = Setup::new();
-    let pool = workloads::training_layers();
+    let ctx = ExperimentContext::build(Args::parse());
+    let args = &ctx.args;
     let resnet = workloads::resnet50();
 
     let budget = args.budget.unwrap_or(args.pick(60, 300, 1000));
     let seeds = args.pick(2, 3, 5);
-    let n_configs = args.pick(60, 400, 1200);
-    let epochs = args.pick(10, 40, 80);
 
-    println!("building dataset and training 4-D VAESA...");
-    let dataset = setup.dataset(&pool, n_configs, &args);
-    let (model, _) = setup.train(&dataset, 4, 1e-4, epochs, &args);
-    let evaluator = HardwareEvaluator::new(&setup.space, &setup.scheduler, &resnet);
+    let evaluator = ctx.evaluator_for(&resnet);
+    let driver = ctx.driver(&evaluator);
 
     println!("{budget} samples x {seeds} seeds per engine on ResNet-50:\n");
     let mut rows = Vec::new();
-    type Runner<'a> = Box<dyn Fn(u64) -> vaesa_dse::Trace + 'a>;
-    let engines: Vec<(&str, Runner)> = vec![
-        (
-            "random",
-            Box::new(|s| run_random(&evaluator, &dataset.hw_norm, budget, &mut args.rng(s))),
-        ),
-        (
-            "bo",
-            Box::new(|s| run_bo(&evaluator, &dataset.hw_norm, budget, &mut args.rng(s))),
-        ),
-        (
-            "evo",
-            Box::new(|s| run_evo(&evaluator, &dataset.hw_norm, budget, &mut args.rng(s))),
-        ),
-        (
-            "sa",
-            Box::new(|s| run_annealing(&evaluator, &dataset.hw_norm, budget, &mut args.rng(s))),
-        ),
-        (
-            "cd",
-            Box::new(|s| run_coordinate_descent(&evaluator, budget, &mut args.rng(s))),
-        ),
-        (
-            "vae_bo",
-            Box::new(|s| run_vae_bo(&evaluator, &model, &dataset, budget, &mut args.rng(s))),
-        ),
-        (
-            "vae_evo",
-            Box::new(|s| run_vae_evo(&evaluator, &model, &dataset, budget, &mut args.rng(s))),
-        ),
-        (
-            "vae_sa",
-            Box::new(|s| run_vae_annealing(&evaluator, &model, &dataset, budget, &mut args.rng(s))),
-        ),
+    // (label, engine, space) — every run goes through the one DSE driver.
+    let engines = [
+        ("random", "random", SpaceMode::Direct),
+        ("bo", "bo", SpaceMode::Direct),
+        ("evo", "evo", SpaceMode::Direct),
+        ("sa", "sa", SpaceMode::Direct),
+        ("cd", "cd", SpaceMode::Direct),
+        ("vae_bo", "bo", SpaceMode::Latent),
+        ("vae_evo", "evo", SpaceMode::Latent),
+        ("vae_sa", "sa", SpaceMode::Latent),
     ];
 
-    for (name, run) in &engines {
+    for (name, engine_name, mode) in engines {
+        let engine = engine_by_name(engine_name).expect("known engine");
         let mut bests = Vec::new();
         for seed in 0..seeds {
-            let trace = run(60_000 + seed as u64 * 13);
+            let mut rng = args.rng(60_000 + seed as u64 * 13);
+            let trace = driver.run(engine.as_ref(), mode, budget, &mut rng);
             bests.push(trace.best_value().unwrap_or(f64::NAN));
         }
         let mean = stats::mean(&bests).unwrap_or(f64::NAN);
@@ -87,5 +58,5 @@ fn main() {
     );
     println!("\nwrote {}", path.display());
     println!("expected: each engine improves when moved to the latent space.");
-    vaesa_bench::report_cache_stats(&setup.scheduler);
+    ctx.report_cache_stats();
 }

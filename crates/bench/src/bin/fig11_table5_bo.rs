@@ -10,10 +10,10 @@
 //!   result; higher is better) and sample efficiency (rate of reaching
 //!   within 3% of the best-known EDP, relative to random).
 
-use vaesa::flows::{run_bo, run_random, run_vae_bo, HardwareEvaluator};
+use vaesa::flows::{run_bo, run_random, run_vae_bo};
 use vaesa::report::{Comparison, MethodRuns};
-use vaesa_accel::{workloads, Network};
-use vaesa_bench::{write_csv, write_svg, Args, Setup};
+use vaesa_accel::Network;
+use vaesa_bench::{write_csv, write_svg, Args, ExperimentContext};
 use vaesa_dse::Trace;
 use vaesa_linalg::stats;
 use vaesa_plot::{LineChart, Series};
@@ -34,18 +34,11 @@ fn curve_filled(trace: &Trace, len: usize) -> Vec<f64> {
 }
 
 fn main() {
-    let args = Args::parse();
-    let setup = Setup::new();
-    let pool = workloads::training_layers();
+    let ctx = ExperimentContext::build(Args::parse());
+    let args = &ctx.args;
 
     let budget = args.budget.unwrap_or(args.pick(60, 400, 2000));
     let seeds = args.pick(2, 3, 3);
-    let n_configs = args.pick(60, 400, 1200);
-    let epochs = args.pick(10, 40, 80);
-
-    println!("building dataset ({n_configs} configs) and training 4-D VAESA...");
-    let dataset = setup.dataset(&pool, n_configs, &args);
-    let (model, _) = setup.train(&dataset, 4, 1e-4, epochs, &args);
 
     println!("budget: {budget} samples, {seeds} seeds per method\n");
 
@@ -56,7 +49,7 @@ fn main() {
 
     for (w, network) in Network::ALL.into_iter().enumerate() {
         let layers = network.layers();
-        let evaluator = HardwareEvaluator::new(&setup.space, &setup.scheduler, &layers);
+        let evaluator = ctx.evaluator_for(&layers);
         println!("=== {network} ({} layers) ===", layers.len());
 
         let mut curves: Vec<Vec<Vec<f64>>> = vec![Vec::new(); 3];
@@ -66,20 +59,20 @@ fn main() {
             let runs = [
                 run_random(
                     &evaluator,
-                    &dataset.hw_norm,
+                    &ctx.dataset.hw_norm,
                     budget,
                     &mut args.rng(stream(0)),
                 ),
                 run_bo(
                     &evaluator,
-                    &dataset.hw_norm,
+                    &ctx.dataset.hw_norm,
                     budget,
                     &mut args.rng(stream(1)),
                 ),
                 run_vae_bo(
                     &evaluator,
-                    &model,
-                    &dataset,
+                    &ctx.model,
+                    &ctx.dataset,
                     budget,
                     &mut args.rng(stream(2)),
                 ),
@@ -191,5 +184,5 @@ fn main() {
     println!(
         "\npaper (2000 samples): vae_bo SP 1.00-1.01, SE 1.27-4.46; bo SP 0.96-1.00, SE 0.31-1.00"
     );
-    vaesa_bench::report_cache_stats(&setup.scheduler);
+    ctx.report_cache_stats();
 }

@@ -7,10 +7,10 @@
 //! wins for small sample counts (≲ 30), e.g. 16% lower EDP than random at
 //! 10 samples.
 
-use vaesa::flows::{run_gd, run_random_layer, run_vae_gd, HardwareEvaluator};
+use vaesa::flows::{run_gd, run_random_layer, run_vae_gd};
 use vaesa::{InputPredictors, TrainConfig, Trainer};
 use vaesa_accel::workloads;
-use vaesa_bench::{write_csv, write_svg, Args, Setup};
+use vaesa_bench::{write_csv, write_svg, Args, ExperimentContext};
 use vaesa_dse::{GdConfig, Trace};
 use vaesa_linalg::stats;
 use vaesa_plot::{LineChart, Series};
@@ -25,28 +25,22 @@ fn filled(trace: &Trace, len: usize) -> Vec<f64> {
 }
 
 fn main() {
-    let args = Args::parse();
-    let setup = Setup::new();
-    let pool = workloads::training_layers();
+    let ctx = ExperimentContext::build(Args::parse());
+    let args = &ctx.args;
     let test_layers = workloads::gd_test_layers();
 
     let samples = args.budget.unwrap_or(args.pick(10, 40, 60));
     let seeds = args.pick(2, 5, 5);
-    let n_configs = args.pick(60, 400, 1200);
-    let epochs = args.pick(10, 40, 80);
 
-    println!("building dataset ({n_configs} configs)...");
-    let dataset = setup.dataset(&pool, n_configs, &args);
-    println!("training 4-D VAESA and input-space predictors ({epochs} epochs)...");
-    let (model, _) = setup.train(&dataset, 4, 1e-4, epochs, &args);
+    println!("training input-space predictors ({} epochs)...", ctx.epochs);
     let mut input_preds = InputPredictors::new(&[64, 32], &mut args.rng(3_000));
     input_preds.train(
         &Trainer::new(TrainConfig {
-            epochs,
+            epochs: ctx.epochs,
             batch_size: 64,
             learning_rate: 1e-3,
         }),
-        &dataset,
+        &ctx.dataset,
         &mut args.rng(3_001),
     );
 
@@ -60,15 +54,15 @@ fn main() {
     let mut pooled: [Vec<Vec<f64>>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for (li, layer) in test_layers.iter().enumerate() {
         let single = vec![layer.clone()];
-        let evaluator = HardwareEvaluator::new(&setup.space, &setup.scheduler, &single);
+        let evaluator = ctx.evaluator_for(&single);
         let mut per_layer: [Vec<Vec<f64>>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         for seed in 0..seeds {
             let stream = |m: u64| 20_000 + (li as u64) * 100 + (seed as u64) * 10 + m;
             let traces = [
                 run_vae_gd(
                     &evaluator,
-                    &model,
-                    &dataset,
+                    &ctx.model,
+                    &ctx.dataset,
                     layer,
                     samples,
                     gd_cfg,
@@ -77,7 +71,7 @@ fn main() {
                 run_gd(
                     &evaluator,
                     &input_preds,
-                    &dataset,
+                    &ctx.dataset,
                     layer,
                     samples,
                     gd_cfg,
@@ -85,7 +79,7 @@ fn main() {
                 ),
                 run_random_layer(
                     &evaluator,
-                    &dataset.hw_norm,
+                    &ctx.dataset.hw_norm,
                     samples,
                     &mut args.rng(stream(2)),
                 ),
@@ -192,5 +186,5 @@ fn main() {
         at + 1
     );
     println!("(paper: vae_gd 16% lower EDP than random at 10 samples, ahead of gd throughout)");
-    vaesa_bench::report_cache_stats(&setup.scheduler);
+    ctx.report_cache_stats();
 }

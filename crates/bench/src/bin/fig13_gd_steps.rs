@@ -6,25 +6,18 @@
 //! after 200) relative to the random starts, before a single simulator
 //! query is spent on intermediate points.
 
-use vaesa::flows::{latent_box, vae_gd_edp_at_steps, HardwareEvaluator};
+use vaesa::flows::{latent_box, vae_gd_edp_at_steps};
 use vaesa_accel::workloads;
-use vaesa_bench::{write_csv, write_svg, Args, Setup};
+use vaesa_bench::{write_csv, write_svg, Args, ExperimentContext};
 use vaesa_dse::GdConfig;
 use vaesa_linalg::stats;
 use vaesa_plot::Histogram;
 
 fn main() {
-    let args = Args::parse();
-    let setup = Setup::new();
-    let pool = workloads::training_layers();
+    let ctx = ExperimentContext::build(Args::parse());
+    let args = &ctx.args;
 
     let starts = args.budget.unwrap_or(args.pick(20, 80, 200));
-    let n_configs = args.pick(60, 400, 1200);
-    let epochs = args.pick(10, 40, 80);
-
-    println!("building dataset ({n_configs} configs) and training 4-D VAESA...");
-    let dataset = setup.dataset(&pool, n_configs, &args);
-    let (model, _) = setup.train(&dataset, 4, 1e-4, epochs, &args);
 
     // A diverse subset of the Table IV test layers.
     let test = workloads::gd_test_layers();
@@ -35,21 +28,21 @@ fn main() {
         steps: 200,
         ..GdConfig::default()
     };
-    let space = latent_box(&model, &dataset);
+    let space = latent_box(&ctx.model, &ctx.dataset);
 
     let mut rows = Vec::new();
     let mut log_improve_100 = Vec::new();
     let mut log_improve_200 = Vec::new();
     for (li, layer) in layers.iter().enumerate() {
         let single = vec![layer.clone()];
-        let evaluator = HardwareEvaluator::new(&setup.space, &setup.scheduler, &single);
+        let evaluator = ctx.evaluator_for(&single);
         let mut rng = args.rng(30_000 + li as u64);
         for s in 0..starts {
             let start = space.sample(&mut rng);
             let edps = vae_gd_edp_at_steps(
                 &evaluator,
-                &model,
-                &dataset,
+                &ctx.model,
+                &ctx.dataset,
                 layer,
                 &start,
                 &step_counts,
@@ -105,5 +98,5 @@ fn main() {
         "  starts improved after 200 steps: {improved}/{}",
         log_improve_200.len()
     );
-    vaesa_bench::report_cache_stats(&setup.scheduler);
+    ctx.report_cache_stats();
 }

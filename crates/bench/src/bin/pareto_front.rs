@@ -7,26 +7,20 @@
 //! latency–energy Pareto front, and reports how the front discovered by
 //! `vae_bo` compares to random's under the same budget.
 
-use vaesa::flows::{decode_to_config, run_random, run_vae_bo, HardwareEvaluator};
+use vaesa::flows::{decode_to_config, run_random, run_vae_bo};
 use vaesa::pareto::{pareto_front, summarize_front, ScoredDesign};
 use vaesa_accel::workloads;
-use vaesa_bench::{write_csv, write_svg, Args, Setup};
+use vaesa_bench::{write_csv, write_svg, Args, ExperimentContext};
 use vaesa_plot::ScatterChart;
 
 fn main() {
-    let args = Args::parse();
-    let setup = Setup::new();
-    let pool = workloads::training_layers();
+    let ctx = ExperimentContext::build(Args::parse());
+    let args = &ctx.args;
     let resnet = workloads::resnet50();
 
     let budget = args.budget.unwrap_or(args.pick(60, 300, 1000));
-    let n_configs = args.pick(60, 400, 1200);
-    let epochs = args.pick(10, 40, 80);
 
-    println!("building dataset and training 4-D VAESA...");
-    let dataset = setup.dataset(&pool, n_configs, &args);
-    let (model, _) = setup.train(&dataset, 4, 1e-4, epochs, &args);
-    let evaluator = HardwareEvaluator::new(&setup.space, &setup.scheduler, &resnet);
+    let evaluator = ctx.evaluator_for(&resnet);
 
     let score = |config: &vaesa_accel::ArchConfig| -> Option<ScoredDesign> {
         evaluator.workload_eval(config).map(|w| ScoredDesign {
@@ -38,19 +32,19 @@ fn main() {
 
     println!("searching ({budget} samples per method)...");
     let mut rng = args.rng(80_000);
-    let random_trace = run_random(&evaluator, &dataset.hw_norm, budget, &mut rng);
+    let random_trace = run_random(&evaluator, &ctx.dataset.hw_norm, budget, &mut rng);
     let mut rng = args.rng(80_001);
-    let vae_trace = run_vae_bo(&evaluator, &model, &dataset, budget, &mut rng);
+    let vae_trace = run_vae_bo(&evaluator, &ctx.model, &ctx.dataset, budget, &mut rng);
 
     let mut scored: Vec<(u8, ScoredDesign)> = Vec::new();
     for s in random_trace.samples() {
-        let config = evaluator.snap(&s.x, &dataset.hw_norm);
+        let config = evaluator.snap(&s.x, &ctx.dataset.hw_norm);
         if let Some(d) = score(&config) {
             scored.push((0, d));
         }
     }
     for s in vae_trace.samples() {
-        let config = decode_to_config(&model, &s.x, &dataset.hw_norm, &evaluator);
+        let config = decode_to_config(&ctx.model, &s.x, &ctx.dataset.hw_norm, &evaluator);
         if let Some(d) = score(&config) {
             scored.push((1, d));
         }
@@ -114,5 +108,5 @@ fn main() {
         "front extremes: min latency {:.3e} cyc, min energy {:.3e} pJ",
         lat_best.latency, en_best.energy
     );
-    vaesa_bench::report_cache_stats(&setup.scheduler);
+    ctx.report_cache_stats();
 }

@@ -17,8 +17,11 @@ use rand_chacha::ChaCha8Rng;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use vaesa::{Dataset, DatasetBuilder, History, TrainConfig, Trainer, VaesaConfig, VaesaModel};
-use vaesa_accel::{DesignSpace, LayerShape};
+use vaesa::flows::HardwareEvaluator;
+use vaesa::{
+    Dataset, DatasetBuilder, DseDriver, History, TrainConfig, Trainer, VaesaConfig, VaesaModel,
+};
+use vaesa_accel::{workloads, DesignSpace, LayerShape};
 use vaesa_cosa::CachedScheduler;
 
 /// Command-line arguments shared by all experiment binaries.
@@ -222,6 +225,84 @@ impl Default for Setup {
     }
 }
 
+/// A fully-built standard experiment: CLI args, the paper design space with
+/// its shared scheduler, the Table III training dataset, and a trained
+/// VAESA model.
+///
+/// Every figure/ablation binary used to open with the same copy-pasted
+/// prologue (parse args, pick sizes, build dataset, train); they now call
+/// [`ExperimentContext::build`] and get the pieces plus ready-made
+/// [`HardwareEvaluator`]/[`DseDriver`] constructors. The builder reproduces
+/// the historical RNG streams exactly (dataset on stream 1 000, training on
+/// stream 2 000 + latent dim), so migrated binaries emit bit-identical
+/// artifacts.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    /// Parsed CLI arguments.
+    pub args: Args,
+    /// Design space + shared memoizing scheduler.
+    pub setup: Setup,
+    /// Number of random configs the dataset was built from.
+    pub n_configs: usize,
+    /// Epochs the model was trained for; binaries reuse this knob for
+    /// auxiliary models (input-space predictors, fine-tuning).
+    pub epochs: usize,
+    /// The labeled training dataset over the Table III layer pool.
+    pub dataset: Dataset,
+    /// The trained VAESA model.
+    pub model: VaesaModel,
+    /// Training history of `model`.
+    pub history: History,
+}
+
+impl ExperimentContext {
+    /// Builds the standard context: 4-D latent space, α = 1e-4, dataset and
+    /// epoch sizes scaled by `--fast`/`--full`.
+    pub fn build(args: Args) -> Self {
+        Self::with_latent(args, 4, 1e-4)
+    }
+
+    /// Like [`ExperimentContext::build`] with an explicit latent dimension
+    /// and KL weight, for the ablations that sweep them.
+    pub fn with_latent(args: Args, latent_dim: usize, alpha: f64) -> Self {
+        let setup = Setup::new();
+        let pool = workloads::training_layers();
+        let n_configs = args.pick(60, 400, 1200);
+        let epochs = args.pick(10, 40, 80);
+        println!(
+            "building dataset ({n_configs} configs) and training {latent_dim}-D VAESA \
+             ({epochs} epochs)..."
+        );
+        let dataset = setup.dataset(&pool, n_configs, &args);
+        let (model, history) = setup.train(&dataset, latent_dim, alpha, epochs, &args);
+        ExperimentContext {
+            args,
+            setup,
+            n_configs,
+            epochs,
+            dataset,
+            model,
+            history,
+        }
+    }
+
+    /// An evaluator scoring `layers` through the shared cached scheduler.
+    pub fn evaluator_for<'a>(&'a self, layers: &'a [LayerShape]) -> HardwareEvaluator<'a> {
+        HardwareEvaluator::new(&self.setup.space, &self.setup.scheduler, layers)
+    }
+
+    /// A DSE driver over `evaluator` with the trained model wired in, ready
+    /// for both [`vaesa::SpaceMode`] variants.
+    pub fn driver<'a>(&'a self, evaluator: &'a HardwareEvaluator<'a>) -> DseDriver<'a> {
+        DseDriver::new(evaluator, &self.dataset).with_model(&self.model)
+    }
+
+    /// Prints the shared scheduler cache's hit/miss summary.
+    pub fn report_cache_stats(&self) {
+        report_cache_stats(&self.setup.scheduler);
+    }
+}
+
 /// Formats a mean ± std pair the way the paper's tables read.
 pub fn fmt_mean_std(mean: f64, std: f64) -> String {
     format!("{mean:.3e} ± {std:.2e}")
@@ -280,6 +361,40 @@ mod tests {
         let p = write_svg(&dir, "t.svg", "<svg></svg>");
         assert_eq!(std::fs::read_to_string(p).unwrap(), "<svg></svg>");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn experiment_context_driver_runs_both_modes() {
+        use vaesa::SpaceMode;
+        use vaesa_dse::RandomEngine;
+
+        // Assemble a tiny context by hand — the standard `build` pipeline is
+        // CI-sized, while this only checks the evaluator/driver wiring.
+        let args = Args {
+            scale: 0,
+            ..Args::default()
+        };
+        let setup = Setup::new();
+        let layers = vec![workloads::alexnet()[2].clone()];
+        let dataset = setup.dataset(&layers, 12, &args);
+        let model = VaesaModel::new(VaesaConfig::paper().with_latent_dim(2), &mut args.rng(9));
+        let ctx = ExperimentContext {
+            args,
+            setup,
+            n_configs: 12,
+            epochs: 0,
+            dataset,
+            model,
+            history: History::default(),
+        };
+        let evaluator = ctx.evaluator_for(&layers);
+        for (mode, stream) in [(SpaceMode::Direct, 10), (SpaceMode::Latent, 11)] {
+            let trace =
+                ctx.driver(&evaluator)
+                    .run(&RandomEngine, mode, 5, &mut ctx.args.rng(stream));
+            assert_eq!(trace.len(), 5);
+        }
+        ctx.report_cache_stats();
     }
 
     #[test]

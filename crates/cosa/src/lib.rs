@@ -34,7 +34,7 @@ mod mapper;
 
 pub use mapper::{random_mapping, IterativeMapper, MapperConfig};
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -306,18 +306,51 @@ impl Scheduler {
     }
 }
 
-/// A scheduler with a memoization cache keyed by `(arch, layer)`.
+type CacheKey = (ArchDescription, LayerShape);
+
+/// One memoized scheduling result plus its second-chance reference bit.
+#[derive(Debug)]
+struct CacheEntry {
+    result: Result<Scheduled, ScheduleError>,
+    referenced: bool,
+}
+
+/// The mutable cache interior: the memo map plus the eviction clock queue
+/// (keys in insertion/recycle order). Both live under one mutex so they can
+/// never disagree.
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<CacheKey, CacheEntry>,
+    queue: VecDeque<CacheKey>,
+}
+
+/// A scheduler with a bounded memoization cache keyed by `(arch, layer)`.
 ///
 /// Design-space exploration evaluates the same layer on thousands of
 /// architectures and frequently revisits architectures (e.g. when BO
 /// re-samples a rounded design point); the cache makes repeats free.
 /// Thread-safe via an internal mutex.
-#[derive(Debug, Default)]
+///
+/// The cache holds at most [`CachedScheduler::DEFAULT_CAPACITY`] entries
+/// (configurable via [`CachedScheduler::with_capacity`]) and evicts with a
+/// second-chance (clock) policy: entries re-hit since they last reached the
+/// front of the queue get recycled to the back once before they can be
+/// evicted, so hot `(arch, layer)` pairs survive long sweeps of one-off
+/// candidates.
+#[derive(Debug)]
 pub struct CachedScheduler {
     inner: Scheduler,
-    cache: Mutex<HashMap<(ArchDescription, LayerShape), Result<Scheduled, ScheduleError>>>,
+    capacity: usize,
+    state: Mutex<CacheState>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for CachedScheduler {
+    fn default() -> Self {
+        CachedScheduler::new(Scheduler::default())
+    }
 }
 
 /// A point-in-time snapshot of a [`CachedScheduler`]'s effectiveness,
@@ -330,6 +363,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct `(arch, layer)` pairs cached.
     pub entries: usize,
+    /// Entries dropped by the second-chance eviction policy.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -348,24 +383,48 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({:.1}% hit rate, {} entries)",
+            "{} hits / {} misses ({:.1}% hit rate, {} entries, {} evictions)",
             self.hits,
             self.misses,
             self.hit_rate() * 100.0,
-            self.entries
+            self.entries,
+            self.evictions
         )
     }
 }
 
 impl CachedScheduler {
-    /// Wraps a scheduler with an empty cache.
+    /// Default cache bound: large enough that even the full-scale figure
+    /// runs rarely evict, small enough to cap memory on long campaigns.
+    pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+    /// Wraps a scheduler with an empty cache of
+    /// [`CachedScheduler::DEFAULT_CAPACITY`] entries.
     pub fn new(inner: Scheduler) -> Self {
+        Self::with_capacity(inner, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Wraps a scheduler with an empty cache bounded to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a cache that can hold nothing would
+    /// turn every lookup into a recompute while still paying the lock).
+    pub fn with_capacity(inner: Scheduler, capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
         CachedScheduler {
             inner,
-            cache: Mutex::new(HashMap::new()),
+            capacity,
+            state: Mutex::new(CacheState::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The maximum number of entries the cache will hold.
+    pub fn cache_capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Cached version of [`Scheduler::schedule`].
@@ -379,16 +438,45 @@ impl CachedScheduler {
         layer: &LayerShape,
     ) -> Result<Scheduled, ScheduleError> {
         let key = (*arch, layer.clone());
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+        {
+            let mut state = self.state.lock().expect("cache lock");
+            if let Some(entry) = state.map.get_mut(&key) {
+                entry.referenced = true;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return entry.result.clone();
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compute outside the lock so concurrent misses schedule in parallel.
         let result = self.inner.schedule(arch, layer);
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .insert(key, result.clone());
+        let mut state = self.state.lock().expect("cache lock");
+        // A concurrent miss on the same key may have inserted first; skip the
+        // insert then, or the queue would carry a duplicate key.
+        if !state.map.contains_key(&key) {
+            while state.map.len() >= self.capacity {
+                let victim = state.queue.pop_front().expect("queue tracks map");
+                let recycled = {
+                    let entry = state.map.get_mut(&victim).expect("queued keys are mapped");
+                    let hit_since = entry.referenced;
+                    entry.referenced = false;
+                    hit_since
+                };
+                if recycled {
+                    state.queue.push_back(victim);
+                } else {
+                    state.map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            state.queue.push_back(key.clone());
+            state.map.insert(
+                key,
+                CacheEntry {
+                    result: result.clone(),
+                    referenced: false,
+                },
+            );
+        }
         result
     }
 
@@ -420,10 +508,10 @@ impl CachedScheduler {
 
     /// Number of distinct `(arch, layer)` pairs cached.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.state.lock().expect("cache lock").map.len()
     }
 
-    /// Hit/miss counters and cache size since construction.
+    /// Hit/miss/eviction counters and cache size since construction.
     ///
     /// Counters use relaxed atomics: exact under any serial flow, and a
     /// consistent-enough summary under concurrent lookups.
@@ -432,6 +520,7 @@ impl CachedScheduler {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.cache_len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -563,15 +652,69 @@ mod tests {
             CacheStats {
                 hits: 2,
                 misses: 2,
-                entries: 2
+                entries: 2,
+                evictions: 0
             }
         );
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
         let shown = stats.to_string();
         assert!(
-            shown.contains("2 hits") && shown.contains("50.0%"),
+            shown.contains("2 hits") && shown.contains("50.0%") && shown.contains("0 evictions"),
             "{shown}"
         );
+    }
+
+    #[test]
+    fn bounded_cache_never_exceeds_capacity() {
+        let cached = CachedScheduler::with_capacity(Scheduler::default(), 3);
+        assert_eq!(cached.cache_capacity(), 3);
+        for i in 1..=8 {
+            let fc = LayerShape::fully_connected("fc", 64 * i, 64);
+            cached.schedule(&arch(), &fc).unwrap();
+            assert!(cached.cache_len() <= 3, "cache grew past its bound");
+        }
+        let stats = cached.cache_stats();
+        assert_eq!(stats.misses, 8);
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 5);
+    }
+
+    #[test]
+    fn second_chance_keeps_rehit_entries_over_cold_ones() {
+        let cached = CachedScheduler::with_capacity(Scheduler::default(), 2);
+        let hot = LayerShape::fully_connected("hot", 128, 64);
+        let cold = LayerShape::fully_connected("cold", 256, 64);
+        let new = LayerShape::fully_connected("new", 512, 64);
+        cached.schedule(&arch(), &hot).unwrap(); // miss, insert
+        cached.schedule(&arch(), &cold).unwrap(); // miss, insert
+        cached.schedule(&arch(), &hot).unwrap(); // hit: marks `hot` referenced
+                                                 // Inserting a third entry must evict `cold`: `hot` is at the front
+                                                 // of the clock queue but referenced, so it gets its second chance.
+        cached.schedule(&arch(), &new).unwrap(); // miss, evicts `cold`
+        let before = cached.cache_stats();
+        cached.schedule(&arch(), &hot).unwrap(); // still cached: a hit
+        assert_eq!(cached.cache_stats().hits, before.hits + 1);
+        cached.schedule(&arch(), &cold).unwrap(); // evicted: a miss
+        assert_eq!(cached.cache_stats().misses, before.misses + 1);
+    }
+
+    #[test]
+    fn evicted_entries_recompute_identically() {
+        let capacity_one = CachedScheduler::with_capacity(Scheduler::default(), 1);
+        let a = conv();
+        let b = LayerShape::fully_connected("fc", 128, 64);
+        let first = capacity_one.schedule(&arch(), &a).unwrap();
+        capacity_one.schedule(&arch(), &b).unwrap(); // evicts `a`
+        let again = capacity_one.schedule(&arch(), &a).unwrap(); // recompute
+        assert_eq!(first.mapping, again.mapping);
+        assert_eq!(first.evaluation.edp(), again.evaluation.edp());
+        assert_eq!(capacity_one.cache_stats().evictions, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_cache_is_rejected() {
+        let _ = CachedScheduler::with_capacity(Scheduler::default(), 0);
     }
 
     #[test]

@@ -1,0 +1,593 @@
+//! The unified search-engine layer: every optimizer in this crate behind
+//! one [`SearchEngine`] trait, driven by a [`SearchObjective`] that bundles
+//! black-box scoring, optional batched scoring, and an optional
+//! differentiable proxy surface.
+//!
+//! The trait splits the search problem the way the VAESA pipeline does:
+//! the *engine* owns proposal logic (where to sample next) and exact
+//! budget accounting, while the *objective* owns evaluation (snap /
+//! decode / schedule in the hardware stack). Engines never see hardware
+//! types; objectives never see proposal state. A caller picks a space
+//! (the normalized input box or the VAE latent box), an engine, and a
+//! budget, and gets back the same [`Trace`] record from every engine.
+
+use crate::{
+    AnnealingConfig, BatchDifferentiableObjective, BayesOpt, BayesOptConfig, BoxSpace,
+    EvolutionConfig, EvolutionarySearch, GdConfig, GradientDescent, Objective, SimulatedAnnealing,
+    Trace,
+};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// The objective handed to a [`SearchEngine`]: a black-box [`Objective`]
+/// plus optional batched scoring and an optional differentiable proxy.
+///
+/// `evaluate_batch` must be slot-equivalent to per-point `evaluate` —
+/// engines rely on this to batch freely without changing their trace.
+/// `proxy` exposes a gradient surface (e.g. the trained predictors) for
+/// engines that descend instead of probing; black-box engines ignore it.
+pub trait SearchObjective: Objective {
+    /// Scores a batch of points; slot `i` must equal `evaluate(&xs[i])`.
+    ///
+    /// The default scores serially; implementations backed by expensive
+    /// evaluators override this to fan out (e.g. across a thread pool) or
+    /// to share one batched forward pass.
+    fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<Option<f64>> {
+        let mut out = Vec::with_capacity(xs.len());
+        for x in xs {
+            out.push(self.evaluate(x));
+        }
+        out
+    }
+
+    /// A differentiable proxy of the objective for gradient-based engines,
+    /// or `None` if the caller provides no trained surrogate.
+    fn proxy(&mut self) -> Option<&mut dyn BatchDifferentiableObjective> {
+        None
+    }
+}
+
+impl<F> SearchObjective for crate::FnObjective<F> where F: FnMut(&[f64]) -> Option<f64> {}
+
+/// Bridges a [`SearchObjective`] to APIs that take `&mut dyn Objective`.
+struct AsObjective<'a>(&'a mut dyn SearchObjective);
+
+impl Objective for AsObjective<'_> {
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+
+    fn evaluate(&mut self, x: &[f64]) -> Option<f64> {
+        self.0.evaluate(x)
+    }
+}
+
+/// A search strategy that spends exactly `budget` objective evaluations
+/// over `space` and records every one of them in the returned [`Trace`].
+///
+/// Budget accounting is exact: the trace has `budget` samples, invalid
+/// points included, and the objective is never evaluated more often. The
+/// trace label is the engine's [`name`](SearchEngine::name).
+pub trait SearchEngine {
+    /// Short lower-case engine name used as the trace label
+    /// (`"random"`, `"bo"`, `"evo"`, `"sa"`, `"cd"`, `"gd"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the search to exhaustion of `budget`.
+    fn run(
+        &self,
+        space: &BoxSpace,
+        objective: &mut dyn SearchObjective,
+        budget: usize,
+        rng: &mut dyn RngCore,
+    ) -> Trace;
+}
+
+/// Summary record of one engine run, shared by every engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The trace label (engine name, possibly mode-prefixed by a driver).
+    pub label: String,
+    /// Samples spent (equals the requested budget).
+    pub budget: usize,
+    /// Best valid objective value, if any sample was valid.
+    pub best_value: Option<f64>,
+    /// The point achieving `best_value`.
+    pub best_point: Option<Vec<f64>>,
+    /// Samples needed to come within 3% of the run's own best.
+    pub samples_to_best_3pct: Option<usize>,
+}
+
+impl SearchOutcome {
+    /// Summarizes a finished trace.
+    pub fn of(trace: &Trace) -> Self {
+        let best_value = trace.best_value();
+        SearchOutcome {
+            label: trace.label().to_string(),
+            budget: trace.len(),
+            best_value,
+            best_point: trace.best_point().map(<[f64]>::to_vec),
+            samples_to_best_3pct: best_value.and_then(|b| trace.samples_to_within(0.03, b)),
+        }
+    }
+}
+
+/// Uniform random search as a [`SearchEngine`].
+///
+/// All `budget` candidates are drawn from `rng` *before* scoring, then
+/// scored through one `evaluate_batch` call — the same stream and order as
+/// a draw-score-repeat loop (scoring consumes no randomness), so the trace
+/// is bit-identical to the serial flow while the objective may fan the
+/// batch out across threads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomEngine;
+
+impl SearchEngine for RandomEngine {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn run(
+        &self,
+        space: &BoxSpace,
+        objective: &mut dyn SearchObjective,
+        budget: usize,
+        mut rng: &mut dyn RngCore,
+    ) -> Trace {
+        let candidates: Vec<Vec<f64>> = (0..budget).map(|_| space.sample(&mut rng)).collect();
+        let scores = objective.evaluate_batch(&candidates);
+        let mut trace = Trace::new(self.name());
+        for (x, v) in candidates.into_iter().zip(scores) {
+            trace.record(x, v);
+        }
+        trace
+    }
+}
+
+/// Gaussian-process Bayesian optimization as a [`SearchEngine`].
+#[derive(Debug, Clone, Default)]
+pub struct BoEngine {
+    /// GP and acquisition settings.
+    pub config: BayesOptConfig,
+}
+
+impl SearchEngine for BoEngine {
+    fn name(&self) -> &'static str {
+        "bo"
+    }
+
+    fn run(
+        &self,
+        space: &BoxSpace,
+        objective: &mut dyn SearchObjective,
+        budget: usize,
+        rng: &mut dyn RngCore,
+    ) -> Trace {
+        BayesOpt::with_config(space.clone(), self.config).run(
+            &mut AsObjective(objective),
+            budget,
+            rng,
+        )
+    }
+}
+
+/// Tournament-selection evolutionary search as a [`SearchEngine`].
+#[derive(Debug, Clone, Default)]
+pub struct EvoEngine {
+    /// Population and variation settings.
+    pub config: EvolutionConfig,
+}
+
+impl SearchEngine for EvoEngine {
+    fn name(&self) -> &'static str {
+        "evo"
+    }
+
+    fn run(
+        &self,
+        space: &BoxSpace,
+        objective: &mut dyn SearchObjective,
+        budget: usize,
+        rng: &mut dyn RngCore,
+    ) -> Trace {
+        let mut trace = EvolutionarySearch::with_config(space.clone(), self.config).run(
+            &mut AsObjective(objective),
+            budget,
+            rng,
+        );
+        trace.set_label(self.name());
+        trace
+    }
+}
+
+/// Simulated annealing as a [`SearchEngine`].
+#[derive(Debug, Clone, Default)]
+pub struct SaEngine {
+    /// Temperature schedule and step settings.
+    pub config: AnnealingConfig,
+}
+
+impl SearchEngine for SaEngine {
+    fn name(&self) -> &'static str {
+        "sa"
+    }
+
+    fn run(
+        &self,
+        space: &BoxSpace,
+        objective: &mut dyn SearchObjective,
+        budget: usize,
+        rng: &mut dyn RngCore,
+    ) -> Trace {
+        let mut trace = SimulatedAnnealing::with_config(space.clone(), self.config).run(
+            &mut AsObjective(objective),
+            budget,
+            rng,
+        );
+        trace.set_label(self.name());
+        trace
+    }
+}
+
+/// Settings for [`CdEngine`] (pattern-search coordinate descent).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdConfig {
+    /// Initial probe step as a fraction of each axis width.
+    pub initial_step: f64,
+    /// Step multiplier applied when no axis probe improves.
+    pub shrink: f64,
+    /// Restart from a fresh random point once the step falls below this.
+    pub min_step: f64,
+}
+
+impl Default for CdConfig {
+    fn default() -> Self {
+        CdConfig {
+            initial_step: 0.25,
+            shrink: 0.5,
+            min_step: 0.02,
+        }
+    }
+}
+
+/// Greedy coordinate descent (compass / pattern search) as a
+/// [`SearchEngine`] — the Table I "heuristics-driven" class, generalized
+/// from the discrete design space to any box so it runs in latent space
+/// too.
+///
+/// From a random start, probe `±step` along each axis, move to the best
+/// improving probe, shrink the step when stuck, and restart from a fresh
+/// random point when the step bottoms out. Probes that clamp back onto the
+/// current point are skipped without spending budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CdEngine {
+    /// Step schedule settings.
+    pub config: CdConfig,
+}
+
+impl SearchEngine for CdEngine {
+    fn name(&self) -> &'static str {
+        "cd"
+    }
+
+    fn run(
+        &self,
+        space: &BoxSpace,
+        objective: &mut dyn SearchObjective,
+        budget: usize,
+        mut rng: &mut dyn RngCore,
+    ) -> Trace {
+        let widths = space.widths();
+        let mut trace = Trace::new(self.name());
+        let mut evaluated = 0usize;
+
+        'outer: while evaluated < budget {
+            // Fresh random start.
+            let mut current = space.sample(&mut rng);
+            let v = objective.evaluate(&current);
+            trace.record(current.clone(), v);
+            evaluated += 1;
+            let mut current_score = match v {
+                Some(s) => s,
+                None => continue 'outer,
+            };
+            let mut step = self.config.initial_step;
+            while step >= self.config.min_step {
+                let mut best_move: Option<(Vec<f64>, f64)> = None;
+                let mut probed = false;
+                for axis in 0..space.dim() {
+                    for delta in [-1.0, 1.0] {
+                        let mut candidate = current.clone();
+                        candidate[axis] += delta * step * widths[axis];
+                        space.clamp(&mut candidate);
+                        if candidate == current {
+                            continue; // clamped onto the incumbent: free skip
+                        }
+                        if evaluated >= budget {
+                            break 'outer;
+                        }
+                        let v = objective.evaluate(&candidate);
+                        trace.record(candidate.clone(), v);
+                        evaluated += 1;
+                        probed = true;
+                        if let Some(score) = v {
+                            if score < current_score
+                                && best_move.as_ref().is_none_or(|(_, b)| score < *b)
+                            {
+                                best_move = Some((candidate, score));
+                            }
+                        }
+                    }
+                }
+                match best_move {
+                    Some((point, score)) => {
+                        current = point;
+                        current_score = score;
+                    }
+                    None => {
+                        if !probed {
+                            break; // degenerate box: nothing to probe, restart
+                        }
+                        step *= self.config.shrink;
+                    }
+                }
+            }
+        }
+        trace
+    }
+}
+
+/// Batched multi-start gradient descent as a [`SearchEngine`].
+///
+/// Each *sample* is one full descent of the objective's differentiable
+/// [`proxy`](SearchObjective::proxy) from a random start; only the final
+/// point of each descent is scored through the black-box objective, so a
+/// sample costs one true evaluation exactly as in the paper. All starts
+/// are drawn up front and advanced in lockstep
+/// ([`GradientDescent::run_batch`]), and the finals are scored through one
+/// `evaluate_batch` call — bit-identical to a serial per-start loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GdEngine {
+    /// Descent hyperparameters.
+    pub config: GdConfig,
+}
+
+impl SearchEngine for GdEngine {
+    fn name(&self) -> &'static str {
+        "gd"
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the objective provides no differentiable proxy.
+    fn run(
+        &self,
+        space: &BoxSpace,
+        objective: &mut dyn SearchObjective,
+        budget: usize,
+        mut rng: &mut dyn RngCore,
+    ) -> Trace {
+        let mut trace = Trace::new(self.name());
+        if budget == 0 {
+            return trace;
+        }
+        let starts: Vec<Vec<f64>> = (0..budget).map(|_| space.sample(&mut rng)).collect();
+        let driver = GradientDescent::new(space.clone(), self.config);
+        let finals: Vec<Vec<f64>> = {
+            let proxy = objective
+                .proxy()
+                .expect("gd engine needs a differentiable proxy on the objective");
+            driver
+                .run_batch(proxy, &starts)
+                .iter()
+                .map(|p| p.final_point().to_vec())
+                .collect()
+        };
+        let scores = objective.evaluate_batch(&finals);
+        for (x, v) in finals.into_iter().zip(scores) {
+            trace.record(x, v);
+        }
+        trace
+    }
+}
+
+/// Looks an engine up by its [`name`](SearchEngine::name) with default
+/// settings, for CLI-style dispatch. Returns `None` for unknown names.
+pub fn engine_by_name(name: &str) -> Option<Box<dyn SearchEngine>> {
+    match name {
+        "random" => Some(Box::new(RandomEngine)),
+        "bo" => Some(Box::<BoEngine>::default()),
+        "evo" | "evolutionary" => Some(Box::<EvoEngine>::default()),
+        "sa" | "annealing" => Some(Box::<SaEngine>::default()),
+        "cd" => Some(Box::<CdEngine>::default()),
+        "gd" => Some(Box::<GdEngine>::default()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnBatchDifferentiable, FnObjective};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    type GradFn = fn(&[f64], usize) -> (Vec<f64>, Vec<f64>);
+
+    /// Counts every true evaluation (scalar and batched) of a quadratic
+    /// bowl, and offers its analytic gradient as the proxy.
+    struct Counting {
+        dim: usize,
+        evals: usize,
+        batch_calls: usize,
+        proxy: FnBatchDifferentiable<GradFn>,
+    }
+
+    fn bowl_grad(xs: &[f64], batch: usize) -> (Vec<f64>, Vec<f64>) {
+        let dim = xs.len() / batch;
+        let mut values = Vec::with_capacity(batch);
+        let mut grads = vec![0.0; xs.len()];
+        for b in 0..batch {
+            let row = &xs[b * dim..(b + 1) * dim];
+            values.push(row.iter().map(|v| v * v).sum());
+            for (d, &v) in row.iter().enumerate() {
+                grads[b * dim + d] = 2.0 * v;
+            }
+        }
+        (values, grads)
+    }
+
+    impl Counting {
+        fn new(dim: usize) -> Self {
+            Counting {
+                dim,
+                evals: 0,
+                batch_calls: 0,
+                proxy: FnBatchDifferentiable::new(dim, bowl_grad),
+            }
+        }
+    }
+
+    impl Objective for Counting {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+
+        fn evaluate(&mut self, x: &[f64]) -> Option<f64> {
+            self.evals += 1;
+            // A pocket of invalid points exercises None-handling.
+            if x[0] > 0.9 {
+                return None;
+            }
+            Some(x.iter().map(|v| v * v).sum())
+        }
+    }
+
+    impl SearchObjective for Counting {
+        fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<Option<f64>> {
+            self.batch_calls += 1;
+            self.evals += xs.len();
+            xs.iter()
+                .map(|x| {
+                    if x[0] > 0.9 {
+                        None
+                    } else {
+                        Some(x.iter().map(|v| v * v).sum())
+                    }
+                })
+                .collect()
+        }
+
+        fn proxy(&mut self) -> Option<&mut dyn BatchDifferentiableObjective> {
+            Some(&mut self.proxy)
+        }
+    }
+
+    fn all_engines() -> Vec<Box<dyn SearchEngine>> {
+        ["random", "bo", "evo", "sa", "cd", "gd"]
+            .iter()
+            .map(|n| engine_by_name(n).expect("known engine"))
+            .collect()
+    }
+
+    #[test]
+    fn every_engine_spends_its_budget_exactly() {
+        let space = BoxSpace::new(vec![-1.0, 0.0], vec![1.0, 2.0]);
+        for engine in all_engines() {
+            for budget in [1usize, 7, 23] {
+                let mut obj = Counting::new(2);
+                let mut rng = ChaCha8Rng::seed_from_u64(11);
+                let trace = engine.run(&space, &mut obj, budget, &mut rng);
+                assert_eq!(
+                    trace.len(),
+                    budget,
+                    "{} trace length at budget {budget}",
+                    engine.name()
+                );
+                assert_eq!(
+                    obj.evals,
+                    budget,
+                    "{} objective calls at budget {budget}",
+                    engine.name()
+                );
+                assert_eq!(trace.label(), engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn engines_are_deterministic_per_seed() {
+        let space = BoxSpace::symmetric(3, 1.5);
+        for engine in all_engines() {
+            let mut o1 = Counting::new(3);
+            let mut o2 = Counting::new(3);
+            let t1 = engine.run(&space, &mut o1, 15, &mut ChaCha8Rng::seed_from_u64(3));
+            let t2 = engine.run(&space, &mut o2, 15, &mut ChaCha8Rng::seed_from_u64(3));
+            assert_eq!(t1, t2, "{} not deterministic", engine.name());
+        }
+    }
+
+    #[test]
+    fn random_engine_scores_through_one_batch_call() {
+        let space = BoxSpace::unit(2);
+        let mut obj = Counting::new(2);
+        let trace = RandomEngine.run(&space, &mut obj, 30, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(trace.len(), 30);
+        assert_eq!(obj.batch_calls, 1);
+    }
+
+    #[test]
+    fn cd_engine_improves_over_its_first_valid_sample() {
+        let space = BoxSpace::symmetric(2, 2.0);
+        let mut obj = Counting::new(2);
+        let trace =
+            CdEngine::default().run(&space, &mut obj, 80, &mut ChaCha8Rng::seed_from_u64(5));
+        let first = trace
+            .samples()
+            .iter()
+            .find_map(|s| s.value)
+            .expect("a valid sample");
+        assert!(trace.best_value().expect("valid best") <= first);
+    }
+
+    #[test]
+    fn gd_engine_descends_the_proxy() {
+        let space = BoxSpace::symmetric(2, 1.0);
+        let mut obj = Counting::new(2);
+        let trace = GdEngine::default().run(&space, &mut obj, 6, &mut ChaCha8Rng::seed_from_u64(9));
+        // The bowl's minimum is at the origin; descended finals must be
+        // far closer to it than uniform draws would be on average.
+        assert!(trace.best_value().expect("valid best") < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "differentiable proxy")]
+    fn gd_engine_without_proxy_panics() {
+        let space = BoxSpace::unit(1);
+        let mut obj = FnObjective::new(1, |x: &[f64]| Some(x[0]));
+        let _ = GdEngine::default().run(&space, &mut obj, 2, &mut ChaCha8Rng::seed_from_u64(1));
+    }
+
+    #[test]
+    fn outcome_summarizes_a_trace() {
+        let mut t = Trace::new("demo");
+        t.record(vec![0.0], Some(5.0));
+        t.record(vec![1.0], None);
+        t.record(vec![2.0], Some(2.0));
+        let o = SearchOutcome::of(&t);
+        assert_eq!(o.label, "demo");
+        assert_eq!(o.budget, 3);
+        assert_eq!(o.best_value, Some(2.0));
+        assert_eq!(o.best_point, Some(vec![2.0]));
+        assert_eq!(o.samples_to_best_3pct, Some(3));
+    }
+
+    #[test]
+    fn engine_by_name_covers_the_six_and_rejects_unknowns() {
+        for name in ["random", "bo", "evo", "sa", "cd", "gd"] {
+            assert_eq!(engine_by_name(name).expect("known").name(), name);
+        }
+        assert_eq!(engine_by_name("annealing").expect("alias").name(), "sa");
+        assert!(engine_by_name("quantum").is_none());
+    }
+}

@@ -20,8 +20,12 @@
 //!   third black-box engine.
 //! - [`GradientDescent`]: projected momentum descent for predictor-based
 //!   search.
-//! - [`Trace`]: per-sample logs with the paper's metrics (best EDP,
-//!   samples-to-within-3%).
+//! - [`SearchEngine`] + [`SearchObjective`]: the unified engine layer —
+//!   every optimizer above behind one `run(space, objective, budget, rng)`
+//!   trait with exact budget accounting ([`RandomEngine`], [`BoEngine`],
+//!   [`EvoEngine`], [`SaEngine`], [`CdEngine`], [`GdEngine`]).
+//! - [`Trace`] / [`SearchOutcome`]: per-sample logs and run summaries with
+//!   the paper's metrics (best EDP, samples-to-within-3%).
 //!
 //! # Examples
 //!
@@ -41,6 +45,7 @@
 
 mod annealing;
 mod bayesopt;
+mod engine;
 mod evolutionary;
 mod gp;
 mod gradient;
@@ -53,6 +58,10 @@ mod trace;
 
 pub use annealing::{AnnealingConfig, SimulatedAnnealing};
 pub use bayesopt::{expected_improvement, expected_improvement_batch, BayesOpt, BayesOptConfig};
+pub use engine::{
+    engine_by_name, BoEngine, CdConfig, CdEngine, EvoEngine, GdEngine, RandomEngine, SaEngine,
+    SearchEngine, SearchObjective, SearchOutcome,
+};
 pub use evolutionary::{EvolutionConfig, EvolutionarySearch};
 pub use gp::GpRegressor;
 pub use gradient::{GdConfig, GdPath, GdStep, GradientDescent};

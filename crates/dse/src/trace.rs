@@ -53,6 +53,11 @@ impl Trace {
         &self.label
     }
 
+    /// Replaces the method label (e.g. a driver prefixing the space mode).
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+
     /// Records one sample.
     pub fn record(&mut self, x: Vec<f64>, value: Option<f64>) {
         let prev_best = self.best_value();

@@ -6,14 +6,23 @@
 //! latent box and decode candidates back through the decoder. Every decoded
 //! or denormalized point is snapped to the nearest legal design (the
 //! "reconstructible" property) before it is scheduled and scored.
+//!
+//! Each `run_*` entry point is a thin shim over
+//! [`DseDriver`](crate::driver::DseDriver): one
+//! [`SearchEngine`](vaesa_dse::SearchEngine) in one
+//! [`SpaceMode`](crate::driver::SpaceMode). The driver owns candidate
+//! evaluation (snap / decode / schedule, batched across the thread pool)
+//! and the `vae_` label prefixing; the shims only pick the engine and wire
+//! the trained artifacts in.
 
-use crate::{Dataset, EdpGradBatch, InputPredictors, Normalizer, VaesaModel};
+use crate::driver::{DseDriver, SpaceMode};
+use crate::{Dataset, InputPredictors, Normalizer, VaesaModel};
 use rand::RngCore;
 use vaesa_accel::{ArchConfig, DesignSpace, LayerShape};
 use vaesa_cosa::CachedScheduler;
 use vaesa_dse::{
-    BatchDifferentiableObjective, BayesOpt, BoxSpace, EvolutionarySearch, FnDifferentiable,
-    FnObjective, GdConfig, GradientDescent, RandomSearch, SimulatedAnnealing, Trace,
+    BoEngine, BoxSpace, CdEngine, EvoEngine, FnDifferentiable, GdConfig, GdEngine, GradientDescent,
+    RandomEngine, SaEngine, Trace,
 };
 use vaesa_nn::Tensor;
 
@@ -197,19 +206,6 @@ pub fn latent_box(model: &VaesaModel, dataset: &Dataset) -> BoxSpace {
     BoxSpace::new(lo, hi)
 }
 
-/// `random` baseline: uniform random search over the normalized input box.
-pub fn run_random(
-    evaluator: &HardwareEvaluator<'_>,
-    hw_norm: &Normalizer,
-    budget: usize,
-    rng: &mut dyn RngCore,
-) -> Trace {
-    let mut objective = FnObjective::new(crate::HW_FEATURES, |x: &[f64]| {
-        evaluator.edp_of_normalized(x, hw_norm)
-    });
-    RandomSearch::new(BoxSpace::unit(crate::HW_FEATURES)).run(&mut objective, budget, rng)
-}
-
 /// Scores a batch of normalized candidate rows through the evaluator in
 /// parallel (snap + schedule per candidate), preserving input order.
 ///
@@ -225,27 +221,16 @@ pub fn score_batch(
     vaesa_par::par_map(candidates, |x| evaluator.edp_of_normalized(x, hw_norm))
 }
 
-/// [`run_random`] with parallel candidate scoring.
-///
-/// All `budget` points are drawn from `rng` *before* the fan-out (the same
-/// stream, in the same order, as the serial flow), then scored through
-/// [`score_batch`] and recorded in draw order — the returned trace is
-/// identical to [`run_random`]'s for the same seed, at any thread count.
-pub fn run_random_par(
+/// `random` baseline: uniform random search over the normalized input box.
+/// Candidates are scored through the parallel pool; the trace is identical
+/// to a serial draw-score loop at any thread count.
+pub fn run_random(
     evaluator: &HardwareEvaluator<'_>,
     hw_norm: &Normalizer,
     budget: usize,
     rng: &mut dyn RngCore,
 ) -> Trace {
-    let space = BoxSpace::unit(crate::HW_FEATURES);
-    let mut rng = rng;
-    let candidates: Vec<Vec<f64>> = (0..budget).map(|_| space.sample(&mut rng)).collect();
-    let scores = score_batch(evaluator, hw_norm, &candidates);
-    let mut trace = Trace::new("random");
-    for (x, v) in candidates.into_iter().zip(scores) {
-        trace.record(x, v);
-    }
-    trace
+    DseDriver::direct(evaluator, hw_norm).run(&RandomEngine, SpaceMode::Direct, budget, rng)
 }
 
 /// `bo` baseline: Bayesian optimization directly on the normalized input
@@ -257,10 +242,7 @@ pub fn run_bo(
     budget: usize,
     rng: &mut dyn RngCore,
 ) -> Trace {
-    let mut objective = FnObjective::new(crate::HW_FEATURES, |x: &[f64]| {
-        evaluator.edp_of_normalized(x, hw_norm)
-    });
-    BayesOpt::new(BoxSpace::unit(crate::HW_FEATURES)).run(&mut objective, budget, rng)
+    DseDriver::direct(evaluator, hw_norm).run(&BoEngine::default(), SpaceMode::Direct, budget, rng)
 }
 
 /// `vae_bo`: Bayesian optimization over the VAE latent space (Figure 6a).
@@ -273,15 +255,12 @@ pub fn run_vae_bo(
     budget: usize,
     rng: &mut dyn RngCore,
 ) -> Trace {
-    let hw_norm = &dataset.hw_norm;
-    let mut objective = FnObjective::new(model.latent_dim(), |z: &[f64]| {
-        let config = decode_to_config(model, z, hw_norm, evaluator);
-        evaluator.edp_of_config(&config)
-    });
-    let space = latent_box(model, dataset);
-    let mut trace = BayesOpt::new(space).run(&mut objective, budget, rng);
-    relabel(&mut trace, "vae_bo");
-    trace
+    DseDriver::new(evaluator, dataset).with_model(model).run(
+        &BoEngine::default(),
+        SpaceMode::Latent,
+        budget,
+        rng,
+    )
 }
 
 /// `evo` baseline: evolutionary (genetic) search on the normalized input
@@ -293,16 +272,7 @@ pub fn run_evo(
     budget: usize,
     rng: &mut dyn RngCore,
 ) -> Trace {
-    let mut objective = FnObjective::new(crate::HW_FEATURES, |x: &[f64]| {
-        evaluator.edp_of_normalized(x, hw_norm)
-    });
-    let mut trace = EvolutionarySearch::new(BoxSpace::unit(crate::HW_FEATURES)).run(
-        &mut objective,
-        budget,
-        rng,
-    );
-    relabel(&mut trace, "evo");
-    trace
+    DseDriver::direct(evaluator, hw_norm).run(&EvoEngine::default(), SpaceMode::Direct, budget, rng)
 }
 
 /// `vae_evo`: evolutionary search over the VAE latent space; like
@@ -314,84 +284,28 @@ pub fn run_vae_evo(
     budget: usize,
     rng: &mut dyn RngCore,
 ) -> Trace {
-    let hw_norm = &dataset.hw_norm;
-    let mut objective = FnObjective::new(model.latent_dim(), |z: &[f64]| {
-        let config = decode_to_config(model, z, hw_norm, evaluator);
-        evaluator.edp_of_config(&config)
-    });
-    let space = latent_box(model, dataset);
-    let mut trace = EvolutionarySearch::new(space).run(&mut objective, budget, rng);
-    relabel(&mut trace, "vae_evo");
-    trace
+    DseDriver::new(evaluator, dataset).with_model(model).run(
+        &EvoEngine::default(),
+        SpaceMode::Latent,
+        budget,
+        rng,
+    )
 }
 
-/// `cd` baseline: greedy coordinate descent directly on the *discrete*
-/// design space — the Table I "heuristics-driven" class. From a random
-/// design point, try moving each parameter one legal value up or down,
-/// take the best improving move, repeat; restart from a fresh random point
-/// when stuck. Every probe costs one scheduler query.
+/// `cd` baseline: greedy coordinate descent (compass search) on the
+/// normalized input box — the Table I "heuristics-driven" class. From a
+/// random point, probe each feature up and down, take the best improving
+/// move, shrink the step when stuck, and restart from a fresh random point
+/// when the step bottoms out. Every probe costs one scheduler query; the
+/// snap to the discrete design space makes the probes move between legal
+/// neighbouring designs.
 pub fn run_coordinate_descent(
     evaluator: &HardwareEvaluator<'_>,
+    hw_norm: &Normalizer,
     budget: usize,
     rng: &mut dyn RngCore,
 ) -> Trace {
-    use vaesa_accel::ArchParam;
-    let space = evaluator.space();
-    let mut trace = Trace::new("cd");
-    let mut rng = rng;
-    let mut evaluated = 0usize;
-
-    'outer: while evaluated < budget {
-        // Fresh random start.
-        let mut current = space.random(&mut rng);
-        let mut current_score = {
-            let v = evaluator.edp_of_config(&current);
-            trace.record(space.raw_features(&current).to_vec(), v);
-            evaluated += 1;
-            match v {
-                Some(s) => s,
-                None => continue 'outer,
-            }
-        };
-        loop {
-            let mut best_move: Option<(ArchConfig, f64)> = None;
-            for axis in 0..ArchParam::ALL.len() {
-                for delta in [-1i64, 1] {
-                    if evaluated >= budget {
-                        break 'outer;
-                    }
-                    let mut indices = current.indices();
-                    let n_values = space.num_values(ArchParam::ALL[axis]);
-                    let next = indices[axis] as i64 + delta;
-                    if next < 0 || next >= n_values as i64 {
-                        continue;
-                    }
-                    indices[axis] = next as usize;
-                    let candidate = space
-                        .config_from_indices(indices)
-                        .expect("bounds checked above");
-                    let v = evaluator.edp_of_config(&candidate);
-                    trace.record(space.raw_features(&candidate).to_vec(), v);
-                    evaluated += 1;
-                    if let Some(score) = v {
-                        if score < current_score
-                            && best_move.as_ref().is_none_or(|(_, b)| score < *b)
-                        {
-                            best_move = Some((candidate, score));
-                        }
-                    }
-                }
-            }
-            match best_move {
-                Some((config, score)) => {
-                    current = config;
-                    current_score = score;
-                }
-                None => continue 'outer, // local minimum: restart
-            }
-        }
-    }
-    trace
+    DseDriver::direct(evaluator, hw_norm).run(&CdEngine::default(), SpaceMode::Direct, budget, rng)
 }
 
 /// `sa` baseline: simulated annealing on the normalized input box.
@@ -401,16 +315,7 @@ pub fn run_annealing(
     budget: usize,
     rng: &mut dyn RngCore,
 ) -> Trace {
-    let mut objective = FnObjective::new(crate::HW_FEATURES, |x: &[f64]| {
-        evaluator.edp_of_normalized(x, hw_norm)
-    });
-    let mut trace = SimulatedAnnealing::new(BoxSpace::unit(crate::HW_FEATURES)).run(
-        &mut objective,
-        budget,
-        rng,
-    );
-    relabel(&mut trace, "sa");
-    trace
+    DseDriver::direct(evaluator, hw_norm).run(&SaEngine::default(), SpaceMode::Direct, budget, rng)
 }
 
 /// `vae_sa`: simulated annealing over the VAE latent space.
@@ -421,21 +326,21 @@ pub fn run_vae_annealing(
     budget: usize,
     rng: &mut dyn RngCore,
 ) -> Trace {
-    let hw_norm = &dataset.hw_norm;
-    let mut objective = FnObjective::new(model.latent_dim(), |z: &[f64]| {
-        let config = decode_to_config(model, z, hw_norm, evaluator);
-        evaluator.edp_of_config(&config)
-    });
-    let space = latent_box(model, dataset);
-    let mut trace = SimulatedAnnealing::new(space).run(&mut objective, budget, rng);
-    relabel(&mut trace, "vae_sa");
-    trace
+    DseDriver::new(evaluator, dataset).with_model(model).run(
+        &SaEngine::default(),
+        SpaceMode::Latent,
+        budget,
+        rng,
+    )
 }
 
 /// `vae_gd`: gradient descent on the predictor surface in latent space
 /// (Figure 6b). Each *sample* is one full descent from a random latent
 /// start; only the final decoded design is scheduled, so a sample costs one
-/// simulator query exactly as in the paper.
+/// simulator query exactly as in the paper. All starts descend in lockstep
+/// (one batched predictor pass per step) and the finals are scored through
+/// the parallel pool — bit-identical to a serial per-start loop at any
+/// thread count.
 pub fn run_vae_gd(
     evaluator: &HardwareEvaluator<'_>,
     model: &VaesaModel,
@@ -445,151 +350,10 @@ pub fn run_vae_gd(
     gd: GdConfig,
     rng: &mut dyn RngCore,
 ) -> Trace {
-    let layer_n = dataset.layer_norm.transform_row(&layer.features());
-    let (w_lat, w_en) = proxy_weights(evaluator.metric(), dataset);
-    let space = latent_box(model, dataset);
-    let driver = GradientDescent::new(space.clone(), gd);
-    let mut trace = Trace::new("vae_gd");
-    let mut rng = rng;
-    for _ in 0..samples {
-        let start = space.sample(&mut rng);
-        let mut objective = FnDifferentiable::new(model.latent_dim(), |z: &[f64]| {
-            model.predicted_edp_grad(z, &layer_n, w_lat, w_en)
-        });
-        let path = driver.run(&mut objective, &start);
-        let z = path.final_point();
-        let config = decode_to_config(model, z, &dataset.hw_norm, evaluator);
-        let edp = evaluator.edp_of_config(&config);
-        trace.record(z.to_vec(), edp);
-    }
-    trace
-}
-
-/// [`run_vae_gd`] with the descents and scheduler scoring fanned out across
-/// the [`vaesa_par`] pool.
-///
-/// The random latent starts are drawn from `rng` *before* the fan-out (same
-/// stream and order as the serial flow); each worker then runs the fully
-/// deterministic descent + decode + schedule pipeline for its starts, and
-/// results are recorded in start order. The returned trace is identical to
-/// [`run_vae_gd`]'s for the same seed, at any thread count.
-pub fn run_vae_gd_par(
-    evaluator: &HardwareEvaluator<'_>,
-    model: &VaesaModel,
-    dataset: &Dataset,
-    layer: &LayerShape,
-    samples: usize,
-    gd: GdConfig,
-    rng: &mut dyn RngCore,
-) -> Trace {
-    let layer_n = dataset.layer_norm.transform_row(&layer.features());
-    let (w_lat, w_en) = proxy_weights(evaluator.metric(), dataset);
-    let space = latent_box(model, dataset);
-    let driver = GradientDescent::new(space.clone(), gd);
-    let mut rng = rng;
-    let starts: Vec<Vec<f64>> = (0..samples).map(|_| space.sample(&mut rng)).collect();
-    let results: Vec<(Vec<f64>, Option<f64>)> = vaesa_par::par_map(&starts, |start| {
-        let mut objective = FnDifferentiable::new(model.latent_dim(), |z: &[f64]| {
-            model.predicted_edp_grad(z, &layer_n, w_lat, w_en)
-        });
-        let path = driver.run(&mut objective, start);
-        let z = path.final_point();
-        let config = decode_to_config(model, z, &dataset.hw_norm, evaluator);
-        (z.to_vec(), evaluator.edp_of_config(&config))
-    });
-    let mut trace = Trace::new("vae_gd");
-    for (z, edp) in results {
-        trace.record(z, edp);
-    }
-    trace
-}
-
-/// The batched `vae_gd` descent objective: one call produces proxy values
-/// and z-gradients for a whole batch of latent points under a fixed layer,
-/// reusing graph and leaf buffers across descent steps
-/// ([`VaesaModel::predicted_edp_grad_batch`]).
-///
-/// Public so the benchmark harness can drive
-/// [`GradientDescent::run_batch`] with the exact objective the flow uses.
-#[derive(Debug)]
-pub struct BatchEdpObjective<'a> {
-    model: &'a VaesaModel,
-    layer_n: Vec<f64>,
-    w_lat: f64,
-    w_en: f64,
-    scratch: EdpGradBatch,
-}
-
-impl<'a> BatchEdpObjective<'a> {
-    /// Builds the objective for one layer under the evaluator's metric.
-    pub fn new(
-        model: &'a VaesaModel,
-        dataset: &Dataset,
-        layer: &LayerShape,
-        metric: Metric,
-    ) -> Self {
-        let layer_n = dataset.layer_norm.transform_row(&layer.features());
-        let (w_lat, w_en) = proxy_weights(metric, dataset);
-        BatchEdpObjective {
-            model,
-            layer_n,
-            w_lat,
-            w_en,
-            scratch: EdpGradBatch::default(),
-        }
-    }
-}
-
-impl BatchDifferentiableObjective for BatchEdpObjective<'_> {
-    fn dim(&self) -> usize {
-        self.model.latent_dim()
-    }
-
-    fn evaluate_with_grad_batch(&mut self, xs: &[f64], batch: usize) -> (Vec<f64>, Vec<f64>) {
-        self.model.predicted_edp_grad_batch(
-            xs,
-            batch,
-            &self.layer_n,
-            self.w_lat,
-            self.w_en,
-            &mut self.scratch,
-        )
-    }
-}
-
-/// [`run_vae_gd`] with every start advanced in lockstep: each descent step
-/// is one `B x dz` forward and one backward pass through the predictor
-/// graph instead of `B` single-row graph builds, and the final decoded
-/// designs are scheduled through the parallel pool.
-///
-/// The random latent starts are drawn from `rng` *before* the descent (same
-/// stream and order as the serial flow), the batched objective is
-/// row-equivalent to the per-start one, and results are recorded in start
-/// order — so the returned trace is identical to [`run_vae_gd`]'s for the
-/// same seed, at any thread count.
-pub fn run_vae_gd_batch(
-    evaluator: &HardwareEvaluator<'_>,
-    model: &VaesaModel,
-    dataset: &Dataset,
-    layer: &LayerShape,
-    samples: usize,
-    gd: GdConfig,
-    rng: &mut dyn RngCore,
-) -> Trace {
-    let space = latent_box(model, dataset);
-    let driver = GradientDescent::new(space.clone(), gd);
-    let mut rng = rng;
-    let starts: Vec<Vec<f64>> = (0..samples).map(|_| space.sample(&mut rng)).collect();
-    let mut objective = BatchEdpObjective::new(model, dataset, layer, evaluator.metric());
-    let paths = driver.run_batch(&mut objective, &starts);
-    let finals: Vec<Vec<f64>> = paths.iter().map(|p| p.final_point().to_vec()).collect();
-    let configs = decode_to_configs(model, &finals, &dataset.hw_norm, evaluator);
-    let scores: Vec<Option<f64>> = vaesa_par::par_map(&configs, |c| evaluator.edp_of_config(c));
-    let mut trace = Trace::new("vae_gd");
-    for (z, edp) in finals.into_iter().zip(scores) {
-        trace.record(z, edp);
-    }
-    trace
+    DseDriver::new(evaluator, dataset)
+        .with_model(model)
+        .with_gd_layer(layer)
+        .run(&GdEngine { config: gd }, SpaceMode::Latent, samples, rng)
 }
 
 /// `vae_gd` for a whole network (the paper's §IV-D outlook): descends the
@@ -649,23 +413,10 @@ pub fn run_gd(
     gd: GdConfig,
     rng: &mut dyn RngCore,
 ) -> Trace {
-    let layer_n = dataset.layer_norm.transform_row(&layer.features());
-    let (w_lat, w_en) = proxy_weights(evaluator.metric(), dataset);
-    let space = BoxSpace::unit(crate::HW_FEATURES);
-    let driver = GradientDescent::new(space.clone(), gd);
-    let mut trace = Trace::new("gd");
-    let mut rng = rng;
-    for _ in 0..samples {
-        let start = space.sample(&mut rng);
-        let mut objective = FnDifferentiable::new(crate::HW_FEATURES, |x: &[f64]| {
-            predictors.predicted_edp_grad(x, &layer_n, w_lat, w_en)
-        });
-        let path = driver.run(&mut objective, &start);
-        let x = path.final_point();
-        let edp = evaluator.edp_of_normalized(x, &dataset.hw_norm);
-        trace.record(x.to_vec(), edp);
-    }
-    trace
+    DseDriver::new(evaluator, dataset)
+        .with_input_predictors(predictors)
+        .with_gd_layer(layer)
+        .run(&GdEngine { config: gd }, SpaceMode::Direct, samples, rng)
 }
 
 /// `random` for the GD study: uniform samples over the input box, scored on
@@ -717,7 +468,7 @@ pub fn vae_gd_edp_at_steps(
 /// monotone in the chosen metric: ln EDP = ln latency + ln energy, so EDP
 /// weights both heads by their log ranges; latency/energy-only metrics zero
 /// out the other head.
-fn proxy_weights(metric: Metric, dataset: &Dataset) -> (f64, f64) {
+pub(crate) fn proxy_weights(metric: Metric, dataset: &Dataset) -> (f64, f64) {
     let w_lat = dataset.latency_norm.log_range()[0];
     let w_en = dataset.energy_norm.log_range()[0];
     match metric {
@@ -727,64 +478,14 @@ fn proxy_weights(metric: Metric, dataset: &Dataset) -> (f64, f64) {
     }
 }
 
-fn relabel(trace: &mut Trace, label: &str) {
-    let mut renamed = Trace::new(label);
-    for s in trace.samples() {
-        renamed.record(s.x.clone(), s.value);
-    }
-    *trace = renamed;
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DatasetBuilder, TrainConfig, Trainer, VaesaConfig};
+    use crate::testutil::Fixture;
+    use proptest::prelude::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
-    use vaesa_accel::workloads;
-
-    struct Fixture {
-        space: DesignSpace,
-        scheduler: CachedScheduler,
-        layers: Vec<LayerShape>,
-    }
-
-    impl Fixture {
-        fn new() -> Self {
-            Fixture {
-                space: DesignSpace::coarse(4),
-                scheduler: CachedScheduler::default(),
-                layers: vec![
-                    workloads::alexnet()[2].clone(),
-                    workloads::resnet50()[5].clone(),
-                ],
-            }
-        }
-
-        fn evaluator(&self) -> HardwareEvaluator<'_> {
-            HardwareEvaluator::new(&self.space, &self.scheduler, &self.layers)
-        }
-
-        fn dataset(&self) -> Dataset {
-            let mut rng = ChaCha8Rng::seed_from_u64(20);
-            DatasetBuilder::new(&self.space, self.layers.clone())
-                .random_configs(50)
-                .grid_per_axis(0)
-                .build(&self.scheduler, &mut rng)
-        }
-
-        fn trained_model(&self, ds: &Dataset) -> VaesaModel {
-            let mut rng = ChaCha8Rng::seed_from_u64(21);
-            let mut model = VaesaModel::new(VaesaConfig::paper().with_latent_dim(2), &mut rng);
-            let cfg = TrainConfig {
-                epochs: 25,
-                batch_size: 32,
-                learning_rate: 3e-3,
-            };
-            Trainer::new(cfg).train_vae(&mut model, ds, &mut rng);
-            model
-        }
-    }
+    use vaesa_accel::ArchParam;
 
     #[test]
     fn evaluator_scores_configs_and_normalized_rows() {
@@ -814,94 +515,6 @@ mod tests {
         let tb = run_bo(&ev, &ds.hw_norm, 20, &mut rng);
         assert_eq!(tb.len(), 20);
         assert!(tb.best_value().is_some());
-    }
-
-    #[test]
-    fn parallel_random_flow_matches_serial_trace() {
-        let f = Fixture::new();
-        let ev = f.evaluator();
-        let ds = f.dataset();
-        let serial = run_random(&ev, &ds.hw_norm, 25, &mut ChaCha8Rng::seed_from_u64(60));
-        for threads in ["1", "3", "8"] {
-            std::env::set_var("VAESA_THREADS", threads);
-            let par = run_random_par(&ev, &ds.hw_norm, 25, &mut ChaCha8Rng::seed_from_u64(60));
-            assert_eq!(serial, par, "threads = {threads}");
-        }
-        std::env::remove_var("VAESA_THREADS");
-    }
-
-    #[test]
-    fn parallel_vae_gd_flow_matches_serial_trace() {
-        let f = Fixture::new();
-        let ds = f.dataset();
-        let model = f.trained_model(&ds);
-        let layer = f.layers[0].clone();
-        let single = vec![layer.clone()];
-        let ev = HardwareEvaluator::new(&f.space, &f.scheduler, &single);
-        let gd_cfg = GdConfig {
-            steps: 30,
-            ..GdConfig::default()
-        };
-        let serial = run_vae_gd(
-            &ev,
-            &model,
-            &ds,
-            &layer,
-            4,
-            gd_cfg,
-            &mut ChaCha8Rng::seed_from_u64(61),
-        );
-        for threads in ["1", "4"] {
-            std::env::set_var("VAESA_THREADS", threads);
-            let par = run_vae_gd_par(
-                &ev,
-                &model,
-                &ds,
-                &layer,
-                4,
-                gd_cfg,
-                &mut ChaCha8Rng::seed_from_u64(61),
-            );
-            assert_eq!(serial, par, "threads = {threads}");
-        }
-        std::env::remove_var("VAESA_THREADS");
-    }
-
-    #[test]
-    fn batched_vae_gd_flow_matches_serial_trace() {
-        let f = Fixture::new();
-        let ds = f.dataset();
-        let model = f.trained_model(&ds);
-        let layer = f.layers[0].clone();
-        let single = vec![layer.clone()];
-        let ev = HardwareEvaluator::new(&f.space, &f.scheduler, &single);
-        let gd_cfg = GdConfig {
-            steps: 30,
-            ..GdConfig::default()
-        };
-        let serial = run_vae_gd(
-            &ev,
-            &model,
-            &ds,
-            &layer,
-            4,
-            gd_cfg,
-            &mut ChaCha8Rng::seed_from_u64(61),
-        );
-        for threads in ["1", "2", "5"] {
-            std::env::set_var("VAESA_THREADS", threads);
-            let batched = run_vae_gd_batch(
-                &ev,
-                &model,
-                &ds,
-                &layer,
-                4,
-                gd_cfg,
-                &mut ChaCha8Rng::seed_from_u64(61),
-            );
-            assert_eq!(serial, batched, "threads = {threads}");
-        }
-        std::env::remove_var("VAESA_THREADS");
     }
 
     #[test]
@@ -970,6 +583,7 @@ mod tests {
             ..GdConfig::default()
         };
         let trace = run_vae_gd(&ev_single, &model, &ds, &layer, 5, gd_cfg, &mut rng);
+        assert_eq!(trace.label(), "vae_gd");
         assert_eq!(trace.len(), 5);
         assert!(trace.best_value().is_some());
 
@@ -1003,17 +617,8 @@ mod tests {
         let layer = f.layers[0].clone();
         let single = vec![layer.clone()];
         let ev = HardwareEvaluator::new(&f.space, &f.scheduler, &single);
-        let mut rng = ChaCha8Rng::seed_from_u64(27);
-        let mut preds = InputPredictors::new(&[32, 16], &mut rng);
-        preds.train(
-            &Trainer::new(TrainConfig {
-                epochs: 20,
-                batch_size: 32,
-                learning_rate: 3e-3,
-            }),
-            &ds,
-            &mut rng,
-        );
+        let preds = f.trained_input_predictors(&ds);
+        let mut rng = ChaCha8Rng::seed_from_u64(29);
         let trace = run_gd(&ev, &preds, &ds, &layer, 4, GdConfig::default(), &mut rng);
         assert_eq!(trace.label(), "gd");
         assert_eq!(trace.len(), 4);
@@ -1130,8 +735,9 @@ mod tests {
     fn coordinate_descent_improves_and_respects_budget() {
         let f = Fixture::new();
         let ev = f.evaluator();
+        let ds = f.dataset();
         let mut rng = ChaCha8Rng::seed_from_u64(49);
-        let trace = run_coordinate_descent(&ev, 60, &mut rng);
+        let trace = run_coordinate_descent(&ev, &ds.hw_norm, 60, &mut rng);
         assert_eq!(trace.label(), "cd");
         assert_eq!(trace.len(), 60);
         let best = trace.best_value().expect("found valid designs");
@@ -1175,6 +781,42 @@ mod tests {
             // Index validity is enforced by construction; describe() must work.
             let arch = f.space.describe(&config);
             assert!(arch.pe_count >= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Snap must return a design inside the space for *any* normalized
+        /// row — including rows far outside `[0, 1]^6`, which search
+        /// engines and the decoder can both produce.
+        #[test]
+        fn snap_always_lands_inside_the_design_space(
+            row in proptest::collection::vec(-4.0f64..5.0, 6usize)
+        ) {
+            let space = DesignSpace::coarse(4);
+            let scheduler = CachedScheduler::default();
+            let layers = vec![vaesa_accel::workloads::alexnet()[2].clone()];
+            let ev = HardwareEvaluator::new(&space, &scheduler, &layers);
+            // A normalizer with a feature-like spread (values spanning
+            // orders of magnitude); fitting it per case is cheap.
+            let hw_norm = Normalizer::fit(&[
+                vec![4.0, 16.0, 1024.0, 65536.0, 2.0, 8.0],
+                vec![1024.0, 4096.0, 1_048_576.0, 33_554_432.0, 64.0, 512.0],
+            ]);
+            let config = ev.snap(&row, &hw_norm);
+            let indices = config.indices();
+            for (axis, &param) in ArchParam::ALL.iter().enumerate() {
+                prop_assert!(
+                    indices[axis] < space.num_values(param),
+                    "axis {} index {} out of range",
+                    axis,
+                    indices[axis]
+                );
+            }
+            // The snapped design is fully describable (all derived fields).
+            let arch = space.describe(&config);
+            prop_assert!(arch.pe_count >= 1);
         }
     }
 }

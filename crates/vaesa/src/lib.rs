@@ -14,12 +14,14 @@
 //!    latency/energy predictor heads conditioned on `(z, layer)` — trains
 //!    end to end via [`Trainer`] with the joint loss
 //!    `L = L_recon + α·L_kld + L_lat + L_en` (Eqs. 1–2).
-//! 3. The [`flows`] module runs design-space exploration: `random`, `bo`
-//!    (input space), `vae_bo` (BO over the latent box, Figure 6a), `gd`
-//!    (input-space predictor descent), and `vae_gd` (latent predictor
-//!    descent, Figure 6b). Every candidate is decoded/snapped back to a
-//!    *legal* hardware configuration before scoring — the
-//!    "reconstructible" property in the paper's title.
+//! 3. The [`driver`] module runs design-space exploration: a single
+//!    [`DseDriver`] evaluates any [`SearchEngine`](vaesa_dse::SearchEngine)
+//!    (`random`, `bo`, `evo`, `sa`, `cd`, `gd`) in either the normalized
+//!    input space or the VAE latent box ([`SpaceMode`]). Every candidate is
+//!    decoded/snapped back to a *legal* hardware configuration before
+//!    scoring — the "reconstructible" property in the paper's title. The
+//!    [`flows`] module keeps the named per-flow entry points (`run_vae_bo`,
+//!    `run_vae_gd`, ...) as thin shims over the driver.
 //! 4. [`interpolate`] probes latent-space smoothness between the worst and
 //!    best designs (Figures 7–8).
 //!
@@ -51,6 +53,7 @@
 //! ```
 
 mod dataset;
+pub mod driver;
 pub mod flows;
 pub mod interpolate;
 mod model;
@@ -58,9 +61,12 @@ mod normalize;
 pub mod pareto;
 mod persist;
 pub mod report;
+#[cfg(test)]
+pub(crate) mod testutil;
 mod trainer;
 
 pub use dataset::{Dataset, DatasetBuilder, Record};
+pub use driver::{BatchEdpObjective, DseDriver, SpaceMode};
 pub use model::{EdpGradBatch, TrainStep, VaesaConfig, VaesaModel, HW_FEATURES, LAYER_FEATURES};
 pub use normalize::Normalizer;
 pub use persist::{CheckpointNormalizers, ModelCheckpoint, PersistError};

@@ -1,0 +1,70 @@
+//! Shared test fixture for the flow and driver tests: a coarse design
+//! space, a cached scheduler, a two-layer workload, and a small trained
+//! 2-D model over a 50-point dataset.
+
+use crate::flows::HardwareEvaluator;
+use crate::{
+    Dataset, DatasetBuilder, InputPredictors, TrainConfig, Trainer, VaesaConfig, VaesaModel,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vaesa_accel::{workloads, DesignSpace, LayerShape};
+use vaesa_cosa::CachedScheduler;
+
+pub(crate) struct Fixture {
+    pub space: DesignSpace,
+    pub scheduler: CachedScheduler,
+    pub layers: Vec<LayerShape>,
+}
+
+impl Fixture {
+    pub fn new() -> Self {
+        Fixture {
+            space: DesignSpace::coarse(4),
+            scheduler: CachedScheduler::default(),
+            layers: vec![
+                workloads::alexnet()[2].clone(),
+                workloads::resnet50()[5].clone(),
+            ],
+        }
+    }
+
+    pub fn evaluator(&self) -> HardwareEvaluator<'_> {
+        HardwareEvaluator::new(&self.space, &self.scheduler, &self.layers)
+    }
+
+    pub fn dataset(&self) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        DatasetBuilder::new(&self.space, self.layers.clone())
+            .random_configs(50)
+            .grid_per_axis(0)
+            .build(&self.scheduler, &mut rng)
+    }
+
+    pub fn trained_model(&self, ds: &Dataset) -> VaesaModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut model = VaesaModel::new(VaesaConfig::paper().with_latent_dim(2), &mut rng);
+        let cfg = TrainConfig {
+            epochs: 25,
+            batch_size: 32,
+            learning_rate: 3e-3,
+        };
+        Trainer::new(cfg).train_vae(&mut model, ds, &mut rng);
+        model
+    }
+
+    pub fn trained_input_predictors(&self, ds: &Dataset) -> InputPredictors {
+        let mut rng = ChaCha8Rng::seed_from_u64(27);
+        let mut preds = InputPredictors::new(&[32, 16], &mut rng);
+        preds.train(
+            &Trainer::new(TrainConfig {
+                epochs: 20,
+                batch_size: 32,
+                learning_rate: 3e-3,
+            }),
+            ds,
+            &mut rng,
+        );
+        preds
+    }
+}

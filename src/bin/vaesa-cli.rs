@@ -18,16 +18,13 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::process::ExitCode;
 use vaesa_repro::accel::{workloads, ArchDescription, DesignSpace, LayerShape, Network};
-use vaesa_repro::core::flows::{
-    decode_to_config, run_annealing, run_bo, run_coordinate_descent, run_evo, run_random,
-    run_vae_annealing, run_vae_bo, run_vae_evo, run_vae_gd_batch, HardwareEvaluator,
-};
+use vaesa_repro::core::flows::{decode_to_config, HardwareEvaluator};
 use vaesa_repro::core::{
-    Convergence, Dataset, DatasetBuilder, ModelCheckpoint, TrainConfig, Trainer, VaesaConfig,
-    VaesaModel,
+    Convergence, Dataset, DatasetBuilder, DseDriver, ModelCheckpoint, SpaceMode, TrainConfig,
+    Trainer, VaesaConfig, VaesaModel,
 };
 use vaesa_repro::cosa::CachedScheduler;
-use vaesa_repro::dse::GdConfig;
+use vaesa_repro::dse::{engine_by_name, SearchOutcome};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -233,43 +230,37 @@ fn cmd_search(flags: &Flags) -> Result<(), String> {
     let evaluator = HardwareEvaluator::new(&space, &scheduler, &layers);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
-    println!("running {method} for {budget} samples (seed {seed})...");
-    let trace = match method.as_str() {
-        "vae_bo" => run_vae_bo(&evaluator, &model, &dataset, budget, &mut rng),
-        // Batched multi-start descent; the first workload layer drives the
-        // differentiable proxy, the evaluator scores the full workload.
-        "vae_gd" => run_vae_gd_batch(
-            &evaluator,
-            &model,
-            &dataset,
-            &layers[0],
-            budget,
-            GdConfig::default(),
-            &mut rng,
-        ),
-        "vae_evo" => run_vae_evo(&evaluator, &model, &dataset, budget, &mut rng),
-        "vae_sa" => run_vae_annealing(&evaluator, &model, &dataset, budget, &mut rng),
-        "bo" => run_bo(&evaluator, &dataset.hw_norm, budget, &mut rng),
-        "evo" => run_evo(&evaluator, &dataset.hw_norm, budget, &mut rng),
-        "sa" => run_annealing(&evaluator, &dataset.hw_norm, budget, &mut rng),
-        "cd" => run_coordinate_descent(&evaluator, budget, &mut rng),
-        "random" => run_random(&evaluator, &dataset.hw_norm, budget, &mut rng),
-        other => return Err(format!("unknown method `{other}`")),
+    // A `vae_` prefix selects the latent space; the rest names the engine.
+    let (engine_name, mode) = match method.strip_prefix("vae_") {
+        Some(rest) => (rest, SpaceMode::Latent),
+        None => (method.as_str(), SpaceMode::Direct),
     };
+    if engine_name == "gd" && mode == SpaceMode::Direct {
+        return Err("method `gd` needs trained input-space predictors; use `vae_gd`".into());
+    }
+    let engine = engine_by_name(engine_name).ok_or_else(|| format!("unknown method `{method}`"))?;
+    // The first workload layer drives the differentiable proxy for `vae_gd`;
+    // the evaluator scores the full workload either way.
+    let driver = DseDriver::new(&evaluator, &dataset)
+        .with_model(&model)
+        .with_gd_layer(&layers[0]);
 
-    let best = trace
-        .best_value()
+    println!("running {method} for {budget} samples (seed {seed})...");
+    let trace = driver.run(engine.as_ref(), mode, budget, &mut rng);
+
+    let outcome = SearchOutcome::of(&trace);
+    let best = outcome
+        .best_value
         .ok_or("no valid design found within the budget")?;
-    let point = trace.best_point().expect("best point recorded");
-    let config = if method.starts_with("vae") {
-        decode_to_config(&model, point, &dataset.hw_norm, &evaluator)
-    } else {
-        evaluator.snap(point, &dataset.hw_norm)
+    let point = outcome.best_point.as_deref().expect("best point recorded");
+    let config = match mode {
+        SpaceMode::Latent => decode_to_config(&model, point, &dataset.hw_norm, &evaluator),
+        SpaceMode::Direct => evaluator.snap(point, &dataset.hw_norm),
     };
     let arch = space.describe(&config);
     println!("\nbest EDP: {best:.4e} cycles*pJ");
     println!("design:   {arch}");
-    if let Some(n) = trace.samples_to_within(0.03, best) {
+    if let Some(n) = outcome.samples_to_best_3pct {
         println!("reached within 3% of its best after {n} samples");
     }
     Ok(())
