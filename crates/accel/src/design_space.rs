@@ -2,6 +2,17 @@ use crate::AccelError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// Counts raw-value → nearest-legal-design snaps (the "reconstructible"
+/// step every decoded candidate passes through). Cached so the per-snap
+/// cost is one relaxed atomic add; the count is exact under parallel
+/// scoring and depends only on how many candidates were decoded, never on
+/// the thread count.
+fn snap_counter() -> &'static Arc<vaesa_obs::Counter> {
+    static C: OnceLock<Arc<vaesa_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| vaesa_obs::counter("accel.snaps"))
+}
 
 /// The six architectural parameters of the Simba-like accelerator template
 /// (Table II of the paper).
@@ -173,6 +184,7 @@ impl DesignSpace {
     /// title): the decoder emits six real numbers, and each is rounded to
     /// the closest entry of the corresponding value list.
     pub fn config_from_raw_nearest(&self, raw: &[f64; 6]) -> ArchConfig {
+        snap_counter().incr();
         let indices = std::array::from_fn(|axis| {
             Self::nearest_index(&self.values[axis], raw[axis], |v| v as f64)
         });
@@ -203,6 +215,7 @@ impl DesignSpace {
     /// training features (§IV-A4): the nearest legal value is the one whose
     /// logarithm is closest.
     pub fn config_from_log_nearest(&self, raw_log: &[f64; 6]) -> ArchConfig {
+        snap_counter().incr();
         let indices = std::array::from_fn(|axis| {
             Self::nearest_index(&self.values[axis], raw_log[axis], |v| (v as f64).ln())
         });

@@ -15,6 +15,7 @@ use vaesa_linalg::stats;
 
 fn main() {
     let args = Args::parse();
+    vaesa_bench::init_run_meta("ablation_dataflow", &args);
     let scheduler = Scheduler::default();
     let arch = ArchDescription {
         pe_count: 16,
@@ -96,5 +97,6 @@ fn main() {
         "workload,geo_gain,ws_wins,os_wins,is_wins",
         &rows,
     );
-    println!("wrote {}", path.display());
+    vaesa_obs::progress!("wrote {}", path.display());
+    vaesa_bench::write_run_manifest(&args.out_dir, None);
 }

@@ -14,7 +14,9 @@ use vaesa_bench::{write_labeled_csv, Args, ExperimentContext};
 use vaesa_linalg::stats;
 
 fn main() {
-    let ctx = ExperimentContext::build(Args::parse());
+    let cli = Args::parse();
+    vaesa_bench::init_run_meta("ablation_finetune", &cli);
+    let ctx = ExperimentContext::build(cli);
     let args = &ctx.args;
     let resnet = workloads::resnet50();
 
@@ -108,6 +110,6 @@ fn main() {
         "strategy,best_edp_mean",
         &rows,
     );
-    println!("wrote {}", path.display());
-    ctx.report_cache_stats();
+    vaesa_obs::progress!("wrote {}", path.display());
+    ctx.finish();
 }

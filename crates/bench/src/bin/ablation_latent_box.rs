@@ -14,7 +14,9 @@ use vaesa_dse::{BayesOpt, BoxSpace, FnObjective};
 use vaesa_linalg::stats;
 
 fn main() {
-    let ctx = ExperimentContext::build(Args::parse());
+    let cli = Args::parse();
+    vaesa_bench::init_run_meta("ablation_latent_box", &cli);
+    let ctx = ExperimentContext::build(cli);
     let args = &ctx.args;
     let resnet = workloads::resnet50();
 
@@ -61,7 +63,7 @@ fn main() {
         "box,best_edp_mean,best_edp_std",
         &rows,
     );
-    println!("\nwrote {}", path.display());
+    vaesa_obs::progress!("wrote {}", path.display());
     println!("expected: the data-derived box matches or beats every fixed prior box.");
-    ctx.report_cache_stats();
+    ctx.finish();
 }

@@ -15,6 +15,7 @@ use vaesa_timeloop::{CostModel, NocModel};
 
 fn main() {
     let args = Args::parse();
+    vaesa_bench::init_run_meta("ablation_noc", &args);
     let space = vaesa_accel::DesignSpace::paper();
     let layers = workloads::resnet50();
 
@@ -56,7 +57,7 @@ fn main() {
         "pe_count,macs_per_pe,edp_base,edp_with_noc",
         &rows,
     );
-    println!("wrote {}", path.display());
+    vaesa_obs::progress!("wrote {}", path.display());
 
     let geo_ratio = stats::mean(&ratio_logs).map(f64::exp).unwrap_or(f64::NAN);
     println!("\n{evaluated} random architectures on ResNet-50:");
@@ -80,4 +81,5 @@ fn main() {
             "changed - wide spatial mappings pay a mesh penalty, shifting the optimum"
         }
     );
+    vaesa_bench::write_run_manifest(&args.out_dir, None);
 }

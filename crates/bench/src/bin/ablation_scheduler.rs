@@ -17,6 +17,7 @@ use vaesa_timeloop::Mapping;
 
 fn main() {
     let args = Args::parse();
+    vaesa_bench::init_run_meta("ablation_scheduler", &args);
     let setup = Setup::new();
     let layers = workloads::resnet50();
     let scheduler = vaesa_cosa::Scheduler::default();
@@ -84,5 +85,6 @@ fn main() {
         "mapper,geomean_edp",
         &rows,
     );
-    println!("wrote {}", path.display());
+    vaesa_obs::progress!("wrote {}", path.display());
+    vaesa_bench::write_run_manifest(&args.out_dir, Some(&setup.scheduler));
 }

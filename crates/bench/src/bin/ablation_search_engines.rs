@@ -12,7 +12,9 @@ use vaesa_dse::engine_by_name;
 use vaesa_linalg::stats;
 
 fn main() {
-    let ctx = ExperimentContext::build(Args::parse());
+    let cli = Args::parse();
+    vaesa_bench::init_run_meta("ablation_search_engines", &cli);
+    let ctx = ExperimentContext::build(cli);
     let args = &ctx.args;
     let resnet = workloads::resnet50();
 
@@ -56,7 +58,7 @@ fn main() {
         "engine,best_edp_mean,best_edp_std",
         &rows,
     );
-    println!("\nwrote {}", path.display());
+    vaesa_obs::progress!("wrote {}", path.display());
     println!("expected: each engine improves when moved to the latent space.");
-    ctx.report_cache_stats();
+    ctx.finish();
 }

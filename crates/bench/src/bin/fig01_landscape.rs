@@ -14,6 +14,7 @@ use vaesa_plot::{LineChart, Series};
 
 fn main() {
     let args = Args::parse();
+    vaesa_bench::init_run_meta("fig01_landscape", &args);
     let scheduler = Scheduler::default();
     let layers = workloads::resnet50();
 
@@ -77,7 +78,7 @@ fn main() {
         "accum_pct,latency_cycles,energy_pj,edp",
         &rows,
     );
-    println!("\nwrote {}", path.display());
+    vaesa_obs::progress!("wrote {}", path.display());
 
     for (col, name, file) in [
         (1usize, "latency (cycles)", "fig01_latency.svg"),
@@ -93,7 +94,7 @@ fn main() {
             rows.iter().map(|r| (r[0], r[col])).collect(),
         ));
         let p = write_svg(&args.out_dir, file, &chart.render());
-        println!("wrote {}", p.display());
+        vaesa_obs::progress!("wrote {}", p.display());
     }
 
     // Quantify the paper's qualitative claim: the landscape is irregular
@@ -105,4 +106,5 @@ fn main() {
         let downs = series.windows(2).filter(|w| w[1] < w[0]).count();
         println!("{name}: {ups} increases, {downs} decreases across the sweep");
     }
+    vaesa_bench::write_run_manifest(&args.out_dir, None);
 }

@@ -15,18 +15,19 @@ use vaesa_plot::ScatterChart;
 
 fn main() {
     let args = Args::parse();
+    vaesa_bench::init_run_meta("fig04_latent_viz", &args);
     let setup = Setup::new();
     let layers = workloads::training_layers();
     let resnet = workloads::resnet50();
 
     let n_configs = args.pick(60, 400, 1200);
     let epochs = args.pick(10, 40, 80);
-    println!(
+    vaesa_obs::progress!(
         "building dataset ({n_configs} random configs x {} layers)...",
         layers.len()
     );
     let dataset = setup.dataset(&layers, n_configs, &args);
-    println!(
+    vaesa_obs::progress!(
         "training 2-D VAESA on {} samples for {epochs} epochs...",
         dataset.len()
     );
@@ -82,7 +83,7 @@ fn main() {
         chart.log_color();
         chart.points(rows.iter().map(|r| (r[0], r[1], r[col])));
         let p = write_svg(&args.out_dir, file, &chart.render());
-        println!("wrote {}", p.display());
+        vaesa_obs::progress!("wrote {}", p.display());
     }
 
     // Quantify "grouped by feature values": each colored quantity should be
@@ -104,4 +105,5 @@ fn main() {
     let edp: Vec<f64> = rows.iter().map(|r| r[4].ln()).collect();
     let corr = stats::spearman(&macs, &edp).unwrap_or(0.0);
     println!("\nSpearman(log MACs, log ResNet-50 EDP) = {corr:.3} (paper: strongly negative)");
+    vaesa_bench::write_run_manifest(&args.out_dir, Some(&setup.scheduler));
 }

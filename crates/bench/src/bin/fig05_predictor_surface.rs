@@ -16,13 +16,14 @@ use vaesa_plot::Heatmap;
 
 fn main() {
     let args = Args::parse();
+    vaesa_bench::init_run_meta("fig05_predictor_surface", &args);
     let setup = Setup::new();
     let pool = workloads::training_layers();
     let resnet = workloads::resnet50();
 
     let n_configs = args.pick(60, 400, 1200);
     let epochs = args.pick(10, 40, 80);
-    println!("building dataset and training 2-D VAESA...");
+    vaesa_obs::progress!("building dataset and training 2-D VAESA...");
     let dataset = setup.dataset(&pool, n_configs, &args);
     let (model, _) = setup.train(&dataset, 2, 1e-4, epochs, &args);
 
@@ -30,7 +31,7 @@ fn main() {
     let grid_n = args.pick(9, 21, 31);
     let half = 2.5;
 
-    println!("probing a {grid_n}x{grid_n} latent grid over [-{half}, {half}]^2 ...");
+    vaesa_obs::progress!("probing a {grid_n}x{grid_n} latent grid over [-{half}, {half}]^2 ...");
     let mut rows = Vec::new();
     for iy in 0..grid_n {
         for ix in 0..grid_n {
@@ -68,7 +69,7 @@ fn main() {
         "z1,z2,pred_latency,pred_energy,real_latency,real_energy",
         &rows,
     );
-    println!("wrote {}", path.display());
+    vaesa_obs::progress!("wrote {}", path.display());
 
     for (col, label, file) in [
         (2usize, "predicted latency", "fig05a_pred_latency.svg"),
@@ -89,7 +90,7 @@ fn main() {
                 .map(|r| (r[0], r[1], r[col])),
         );
         let p = write_svg(&args.out_dir, file, &hm.render());
-        println!("wrote {}", p.display());
+        vaesa_obs::progress!("wrote {}", p.display());
     }
 
     // Quantify surface agreement, inside and outside the data region.
@@ -114,4 +115,5 @@ fn main() {
         );
     }
     println!("(paper: accurate inside the data region, qualitative outside)");
+    vaesa_bench::write_run_manifest(&args.out_dir, Some(&setup.scheduler));
 }

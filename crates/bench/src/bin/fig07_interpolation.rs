@@ -13,12 +13,13 @@ use vaesa_plot::{LineChart, Series};
 
 fn main() {
     let args = Args::parse();
+    vaesa_bench::init_run_meta("fig07_interpolation", &args);
     let setup = Setup::new();
     let pool = workloads::training_layers();
 
     let n_configs = args.pick(60, 400, 1200);
     let epochs = args.pick(10, 40, 80);
-    println!("building dataset ({n_configs} configs)...");
+    vaesa_obs::progress!("building dataset ({n_configs} configs)...");
     let dataset = setup.dataset(&pool, n_configs, &args);
 
     // Probe along the axis for a representative ResNet-50 layer.
@@ -29,7 +30,7 @@ fn main() {
 
     let mut all_rows = Vec::new();
     for dz in [2usize, 4] {
-        println!("\ntraining {dz}-D VAESA ({epochs} epochs)...");
+        vaesa_obs::progress!("training {dz}-D VAESA ({epochs} epochs)...");
         let (model, _) = setup.train(&dataset, dz, 1e-4, epochs, &args);
         let interp = interpolate_worst_best(&model, &dataset, &layer_raw, n_inner, n_beyond);
         println!(
@@ -65,7 +66,7 @@ fn main() {
         "latent_dim,t,predicted_edp",
         &all_rows,
     );
-    println!("\nwrote {}", path.display());
+    vaesa_obs::progress!("wrote {}", path.display());
 
     let mut chart = LineChart::new(
         "predicted EDP along the worst-to-best axis (Figs. 7-8)",
@@ -84,5 +85,6 @@ fn main() {
         ));
     }
     let p = write_svg(&args.out_dir, "fig07_interpolation.svg", &chart.render());
-    println!("wrote {}", p.display());
+    vaesa_obs::progress!("wrote {}", p.display());
+    vaesa_bench::write_run_manifest(&args.out_dir, Some(&setup.scheduler));
 }

@@ -15,19 +15,20 @@ use vaesa_linalg::stats;
 
 fn main() {
     let args = Args::parse();
+    vaesa_bench::init_run_meta("fig09_alpha_ablation", &args);
     let setup = Setup::new();
     let pool = workloads::training_layers();
 
     let n_configs = args.pick(60, 400, 1200);
     let epochs = args.pick(10, 40, 80);
-    println!("building dataset ({n_configs} configs)...");
+    vaesa_obs::progress!("building dataset ({n_configs} configs)...");
     let dataset = setup.dataset(&pool, n_configs, &args);
 
     let alphas = [0.0, 1e-4, 1e-2];
     let mut rows = Vec::new();
     let mut summary = Vec::new();
     for (i, &alpha) in alphas.iter().enumerate() {
-        println!("\ntraining 2-D VAESA with alpha = {alpha:e} ({epochs} epochs)...");
+        vaesa_obs::progress!("training 2-D VAESA with alpha = {alpha:e} ({epochs} epochs)...");
         let (model, history) = setup.train(&dataset, 2, alpha, epochs, &args);
         let z = model.encode_mean(&dataset.hw);
         let z1: Vec<f64> = (0..z.rows()).map(|r| z.get(r, 0)).collect();
@@ -86,4 +87,5 @@ fn main() {
             ">"
         },
     );
+    vaesa_bench::write_run_manifest(&args.out_dir, Some(&setup.scheduler));
 }

@@ -11,19 +11,20 @@ use vaesa_plot::{LineChart, Series};
 
 fn main() {
     let args = Args::parse();
+    vaesa_bench::init_run_meta("fig10_latent_dim", &args);
     let setup = Setup::new();
     let pool = workloads::training_layers();
 
     let n_configs = args.pick(60, 400, 1200);
     let epochs = args.pick(12, 50, 100);
-    println!("building dataset ({n_configs} configs)...");
+    vaesa_obs::progress!("building dataset ({n_configs} configs)...");
     let dataset = setup.dataset(&pool, n_configs, &args);
 
     let dims = [1usize, 2, 3, 4, 6, 8];
     let mut curves = Vec::new();
     let mut finals = Vec::new();
     for &dz in &dims {
-        println!("training {dz}-D VAESA ({epochs} epochs)...");
+        vaesa_obs::progress!("training {dz}-D VAESA ({epochs} epochs)...");
         let (_, history) = setup.train(&dataset, dz, 1e-4, epochs, &args);
         let curve = history.recon_curve();
         println!("  final recon loss: {:.5}", curve.last().expect("epochs"));
@@ -36,7 +37,7 @@ fn main() {
         format!("latent_dim,{}", cols.join(","))
     };
     let path = write_labeled_csv(&args.out_dir, "fig10_latent_dim.csv", &header, &curves);
-    println!("\nwrote {}", path.display());
+    vaesa_obs::progress!("wrote {}", path.display());
 
     let mut chart = LineChart::new(
         "reconstruction loss vs latent dimensionality (Fig. 10)",
@@ -54,7 +55,7 @@ fn main() {
         ));
     }
     let p = write_svg(&args.out_dir, "fig10_latent_dim.svg", &chart.render());
-    println!("wrote {}", p.display());
+    vaesa_obs::progress!("wrote {}", p.display());
 
     println!("\nfinal reconstruction loss by latent dimension:");
     for (dz, l) in &finals {
@@ -74,4 +75,5 @@ fn main() {
             "shape differs from the paper"
         }
     );
+    vaesa_bench::write_run_manifest(&args.out_dir, Some(&setup.scheduler));
 }

@@ -10,7 +10,7 @@
 //!   result; higher is better) and sample efficiency (rate of reaching
 //!   within 3% of the best-known EDP, relative to random).
 
-use vaesa::flows::{run_bo, run_random, run_vae_bo};
+use vaesa::flows::{decode_to_config, run_bo, run_random, run_vae_bo};
 use vaesa::report::{Comparison, MethodRuns};
 use vaesa_accel::Network;
 use vaesa_bench::{write_csv, write_svg, Args, ExperimentContext};
@@ -34,13 +34,21 @@ fn curve_filled(trace: &Trace, len: usize) -> Vec<f64> {
 }
 
 fn main() {
-    let ctx = ExperimentContext::build(Args::parse());
+    let cli = Args::parse();
+    vaesa_bench::init_run_meta("fig11_table5_bo", &cli);
+    let ctx = ExperimentContext::build(cli);
     let args = &ctx.args;
 
     let budget = args.budget.unwrap_or(args.pick(60, 400, 2000));
     let seeds = args.pick(2, 3, 3);
 
-    println!("budget: {budget} samples, {seeds} seeds per method\n");
+    // Every search below funnels through `DseDriver::run`, so the metrics
+    // gate can assert the counter `dse.evals` lands exactly here.
+    vaesa_obs::set_meta(
+        "dse.expected_evals",
+        budget * seeds * 3 * Network::ALL.len(),
+    );
+    vaesa_obs::progress!("budget: {budget} samples, {seeds} seeds per method\n");
 
     let methods = ["random", "bo", "vae_bo"];
     // (workload, [SP, SE] per method in `methods` order).
@@ -111,7 +119,7 @@ fn main() {
             "sample,random_mean,random_std,bo_mean,bo_std,vae_bo_mean,vae_bo_std",
             &rows,
         );
-        println!("wrote {}", path.display());
+        vaesa_obs::progress!("wrote {}", path.display());
 
         let mut chart = LineChart::new(
             format!("{network}: best EDP vs samples (Fig. 11)"),
@@ -134,7 +142,33 @@ fn main() {
         }
         let svg_name = fname.replace(".csv", ".svg");
         let p = write_svg(&args.out_dir, &svg_name, &chart.render());
-        println!("wrote {}", p.display());
+        vaesa_obs::progress!("wrote {}", p.display());
+
+        // Re-score the overall winning design through the shared scheduler.
+        // Decode/snap are deterministic, so this reproduces a config whose
+        // layers were already scheduled during the search — a guaranteed
+        // cache hit (the metrics gate asserts the cache warmed up) — and
+        // names the best architecture found for the network.
+        let winner = traces
+            .iter()
+            .enumerate()
+            .flat_map(|(m, runs)| runs.iter().map(move |t| (m, t)))
+            .filter_map(|(m, t)| t.best_value().map(|v| (m, t, v)))
+            .min_by(|a, b| a.2.total_cmp(&b.2));
+        if let Some((m, t, _)) = winner {
+            let point = t.best_point().expect("best value implies a best point");
+            let config = if m == 2 {
+                decode_to_config(&ctx.model, point, &ctx.dataset.hw_norm, &evaluator)
+            } else {
+                evaluator.snap(point, &ctx.dataset.hw_norm)
+            };
+            let edp = evaluator.edp_of_config(&config).unwrap_or(f64::NAN);
+            println!(
+                "  best design ({}): {} (EDP {edp:.3e})",
+                methods[m],
+                evaluator.space().describe(&config)
+            );
+        }
 
         // Table V metrics via the library's report module.
         let mut it = traces.into_iter();
@@ -184,5 +218,5 @@ fn main() {
     println!(
         "\npaper (2000 samples): vae_bo SP 1.00-1.01, SE 1.27-4.46; bo SP 0.96-1.00, SE 0.31-1.00"
     );
-    ctx.report_cache_stats();
+    ctx.finish();
 }

@@ -25,14 +25,23 @@ fn filled(trace: &Trace, len: usize) -> Vec<f64> {
 }
 
 fn main() {
-    let ctx = ExperimentContext::build(Args::parse());
+    let cli = Args::parse();
+    vaesa_bench::init_run_meta("fig12_gd", &cli);
+    let ctx = ExperimentContext::build(cli);
     let args = &ctx.args;
     let test_layers = workloads::gd_test_layers();
 
     let samples = args.budget.unwrap_or(args.pick(10, 40, 60));
     let seeds = args.pick(2, 5, 5);
 
-    println!("training input-space predictors ({} epochs)...", ctx.epochs);
+    // Every search below funnels through `DseDriver::run`, so the metrics
+    // gate can assert the counter `dse.evals` lands exactly here.
+    vaesa_obs::set_meta(
+        "dse.expected_evals",
+        samples * seeds * 3 * test_layers.len(),
+    );
+
+    vaesa_obs::progress!("training input-space predictors ({} epochs)...", ctx.epochs);
     let mut input_preds = InputPredictors::new(&[64, 32], &mut args.rng(3_000));
     input_preds.train(
         &Trainer::new(TrainConfig {
@@ -45,7 +54,7 @@ fn main() {
     );
 
     let gd_cfg = GdConfig::default();
-    println!(
+    vaesa_obs::progress!(
         "{samples} samples x {seeds} seeds x {} layers\n",
         test_layers.len()
     );
@@ -102,7 +111,7 @@ fn main() {
                 pooled[m].push(curve.iter().map(|v| v / best_known).collect());
             }
         }
-        println!(
+        vaesa_obs::progress!(
             "layer {:>4} done (best known EDP {best_known:.3e})",
             layer.name()
         );
@@ -133,7 +142,7 @@ fn main() {
         "sample,vae_gd_mean,vae_gd_std,gd_mean,gd_std,random_mean,random_std",
         &rows,
     );
-    println!("\nwrote {}", path.display());
+    vaesa_obs::progress!("wrote {}", path.display());
 
     let mut chart = LineChart::new(
         "average normalized best EDP over the 12 unseen layers (Fig. 12)",
@@ -154,7 +163,7 @@ fn main() {
         );
     }
     let p = write_svg(&args.out_dir, "fig12_gd.svg", &chart.render());
-    println!("wrote {}", p.display());
+    vaesa_obs::progress!("wrote {}", p.display());
 
     println!("\nmean normalized best EDP (lower is better):");
     println!(
@@ -186,5 +195,5 @@ fn main() {
         at + 1
     );
     println!("(paper: vae_gd 16% lower EDP than random at 10 samples, ahead of gd throughout)");
-    ctx.report_cache_stats();
+    ctx.finish();
 }

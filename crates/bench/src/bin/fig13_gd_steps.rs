@@ -14,7 +14,9 @@ use vaesa_linalg::stats;
 use vaesa_plot::Histogram;
 
 fn main() {
-    let ctx = ExperimentContext::build(Args::parse());
+    let cli = Args::parse();
+    vaesa_bench::init_run_meta("fig13_gd_steps", &cli);
+    let ctx = ExperimentContext::build(cli);
     let args = &ctx.args;
 
     let starts = args.budget.unwrap_or(args.pick(20, 80, 200));
@@ -67,7 +69,7 @@ fn main() {
         "layer_index,start,edp_step0,edp_step100,edp_step200",
         &rows,
     );
-    println!("wrote {}", path.display());
+    vaesa_obs::progress!("wrote {}", path.display());
 
     let mut hist = Histogram::new(
         "per-start EDP improvement after 200 GD steps (Fig. 13)",
@@ -76,7 +78,7 @@ fn main() {
     hist.log_x();
     hist.values(log_improve_200.iter().map(|l| l.exp()));
     let p = write_svg(&args.out_dir, "fig13_gd_steps.svg", &hist.render());
-    println!("wrote {}", p.display());
+    vaesa_obs::progress!("wrote {}", p.display());
 
     // Geometric-mean improvement factors (EDPs span orders of magnitude).
     let geo = |logs: &[f64]| stats::mean(logs).map(f64::exp).unwrap_or(f64::NAN);
@@ -98,5 +100,5 @@ fn main() {
         "  starts improved after 200 steps: {improved}/{}",
         log_improve_200.len()
     );
-    ctx.report_cache_stats();
+    ctx.finish();
 }

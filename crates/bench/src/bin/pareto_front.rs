@@ -14,7 +14,9 @@ use vaesa_bench::{write_csv, write_svg, Args, ExperimentContext};
 use vaesa_plot::ScatterChart;
 
 fn main() {
-    let ctx = ExperimentContext::build(Args::parse());
+    let cli = Args::parse();
+    vaesa_bench::init_run_meta("pareto_front", &cli);
+    let ctx = ExperimentContext::build(cli);
     let args = &ctx.args;
     let resnet = workloads::resnet50();
 
@@ -30,7 +32,7 @@ fn main() {
         })
     };
 
-    println!("searching ({budget} samples per method)...");
+    vaesa_obs::progress!("searching ({budget} samples per method)...");
     let mut rng = args.rng(80_000);
     let random_trace = run_random(&evaluator, &ctx.dataset.hw_norm, budget, &mut rng);
     let mut rng = args.rng(80_001);
@@ -70,7 +72,7 @@ fn main() {
         "method,latency_cycles,energy_pj,edp,on_front",
         &rows,
     );
-    println!("wrote {}", path.display());
+    vaesa_obs::progress!("wrote {}", path.display());
 
     let mut chart = ScatterChart::new(
         "latency-energy tradeoff of explored ResNet-50 designs",
@@ -81,7 +83,7 @@ fn main() {
     chart.log_color();
     chart.points(rows.iter().map(|r| (r[1], r[2], r[3])));
     let p = write_svg(&args.out_dir, "pareto_front.svg", &chart.render());
-    println!("wrote {}", p.display());
+    vaesa_obs::progress!("wrote {}", p.display());
 
     let from_vae = front.iter().filter(|&&i| scored[i].0 == 1).count();
     println!(
@@ -108,5 +110,5 @@ fn main() {
         "front extremes: min latency {:.3e} cyc, min energy {:.3e} pJ",
         lat_best.latency, en_best.energy
     );
-    ctx.report_cache_stats();
+    ctx.finish();
 }

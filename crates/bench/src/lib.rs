@@ -107,6 +107,46 @@ fn usage(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Seeds the global observability registry with one run's context: the
+/// binary name, a deterministic run id, the RNG seed, scale, budget
+/// override, worker-pool size, and (when available) the git revision.
+///
+/// Every experiment binary calls this first, so the `run` record of the
+/// manifest it writes on exit identifies the run completely.
+pub fn init_run_meta(bin: &str, args: &Args) {
+    vaesa_obs::set_meta("bin", bin);
+    vaesa_obs::set_meta(
+        "run_id",
+        format!("{bin}-seed{}-scale{}", args.seed, args.scale),
+    );
+    vaesa_obs::set_meta("seed", args.seed);
+    vaesa_obs::set_meta("scale", args.scale);
+    if let Some(budget) = args.budget {
+        vaesa_obs::set_meta("budget", budget);
+    }
+    vaesa_obs::set_meta("threads", vaesa_par::num_threads());
+    if let Some(rev) = vaesa_obs::git_rev() {
+        vaesa_obs::set_meta("git_rev", rev);
+    }
+}
+
+/// Writes the global registry's run manifest to `<out_dir>/manifest.jsonl`,
+/// publishing `scheduler` gauges first when a scheduler is given. Binaries
+/// not built on [`ExperimentContext`] call this directly as their last
+/// step; context binaries use [`ExperimentContext::finish`].
+///
+/// # Panics
+///
+/// Panics on I/O failure — experiment binaries should fail loudly.
+pub fn write_run_manifest(out_dir: &Path, scheduler: Option<&CachedScheduler>) -> PathBuf {
+    if let Some(scheduler) = scheduler {
+        scheduler.publish_stats(vaesa_obs::global(), "scheduler");
+    }
+    let path = out_dir.join("manifest.jsonl");
+    vaesa_obs::write_manifest(vaesa_obs::global(), &path).expect("write manifest");
+    path
+}
+
 /// Writes a CSV file into the output directory, creating it if needed.
 ///
 /// # Panics
@@ -269,12 +309,18 @@ impl ExperimentContext {
         let pool = workloads::training_layers();
         let n_configs = args.pick(60, 400, 1200);
         let epochs = args.pick(10, 40, 80);
-        println!(
+        vaesa_obs::progress!(
             "building dataset ({n_configs} configs) and training {latent_dim}-D VAESA \
              ({epochs} epochs)..."
         );
-        let dataset = setup.dataset(&pool, n_configs, &args);
-        let (model, history) = setup.train(&dataset, latent_dim, alpha, epochs, &args);
+        let dataset = {
+            let _span = vaesa_obs::span("bench/dataset");
+            setup.dataset(&pool, n_configs, &args)
+        };
+        let (model, history) = {
+            let _span = vaesa_obs::span("bench/train");
+            setup.train(&dataset, latent_dim, alpha, epochs, &args)
+        };
         ExperimentContext {
             args,
             setup,
@@ -301,6 +347,17 @@ impl ExperimentContext {
     pub fn report_cache_stats(&self) {
         report_cache_stats(&self.setup.scheduler);
     }
+
+    /// Ends the run: reports the scheduler cache summary and writes the run
+    /// manifest (scheduler gauges included) to `<out>/manifest.jsonl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure.
+    pub fn finish(&self) -> PathBuf {
+        self.report_cache_stats();
+        write_run_manifest(&self.args.out_dir, Some(&self.setup.scheduler))
+    }
 }
 
 /// Formats a mean ± std pair the way the paper's tables read.
@@ -308,10 +365,11 @@ pub fn fmt_mean_std(mean: f64, std: f64) -> String {
     format!("{mean:.3e} ± {std:.2e}")
 }
 
-/// Prints the scheduler cache's hit/miss summary; the DSE flow binaries
-/// call this last so the memoization payoff of each run is visible.
+/// Reports the scheduler cache's hit/miss summary (stderr + manifest
+/// event); the DSE flow binaries call this last so the memoization payoff
+/// of each run is visible.
 pub fn report_cache_stats(scheduler: &CachedScheduler) {
-    println!("scheduler cache: {}", scheduler.cache_stats());
+    vaesa_obs::progress!("scheduler cache: {}", scheduler.cache_stats());
 }
 
 #[cfg(test)]

@@ -523,6 +523,34 @@ impl CachedScheduler {
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
+
+    /// Publishes a [`CachedScheduler::cache_stats`] snapshot as gauges
+    /// `{prefix}.hits`, `{prefix}.misses`, `{prefix}.entries`,
+    /// `{prefix}.evictions`, and `{prefix}.hit_rate` on `registry`.
+    ///
+    /// Intended to be called once at the end of a run (the experiment
+    /// harness uses prefix `scheduler`); nothing in the lookup path touches
+    /// the registry. Note the counts are *not* thread-count-invariant:
+    /// concurrent misses on one key may both run the scheduler, so the
+    /// determinism gate excludes `scheduler.`-prefixed metrics.
+    pub fn publish_stats(&self, registry: &vaesa_obs::Registry, prefix: &str) {
+        let stats = self.cache_stats();
+        registry
+            .gauge(&format!("{prefix}.hits"))
+            .set(stats.hits as f64);
+        registry
+            .gauge(&format!("{prefix}.misses"))
+            .set(stats.misses as f64);
+        registry
+            .gauge(&format!("{prefix}.entries"))
+            .set(stats.entries as f64);
+        registry
+            .gauge(&format!("{prefix}.evictions"))
+            .set(stats.evictions as f64);
+        registry
+            .gauge(&format!("{prefix}.hit_rate"))
+            .set(stats.hit_rate());
+    }
 }
 
 #[cfg(test)]
@@ -662,6 +690,29 @@ mod tests {
             shown.contains("2 hits") && shown.contains("50.0%") && shown.contains("0 evictions"),
             "{shown}"
         );
+    }
+
+    /// The published gauges are exactly the [`CacheStats`] counters — the
+    /// observability layer must never drift from the scheduler's own
+    /// accounting.
+    #[test]
+    fn published_gauges_equal_cache_stats_counters() {
+        let cached = CachedScheduler::default();
+        let fc = LayerShape::fully_connected("fc", 128, 64);
+        cached.schedule(&arch(), &conv()).unwrap(); // miss
+        cached.schedule(&arch(), &conv()).unwrap(); // hit
+        cached.schedule(&arch(), &fc).unwrap(); // miss
+
+        let registry = vaesa_obs::Registry::new();
+        cached.publish_stats(&registry, "scheduler");
+        let stats = cached.cache_stats();
+        let gauge = |name: &str| registry.gauge(name).get();
+        assert_eq!(gauge("scheduler.hits"), stats.hits as f64);
+        assert_eq!(gauge("scheduler.misses"), stats.misses as f64);
+        assert_eq!(gauge("scheduler.entries"), stats.entries as f64);
+        assert_eq!(gauge("scheduler.evictions"), stats.evictions as f64);
+        assert_eq!(gauge("scheduler.hit_rate"), stats.hit_rate());
+        assert!(gauge("scheduler.hit_rate") > 0.0);
     }
 
     #[test]

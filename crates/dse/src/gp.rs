@@ -102,6 +102,21 @@ impl GpRegressor {
         if xs.is_empty() || xs.len() != ys.len() {
             return Err(LinalgError::Empty);
         }
+        // One sample per hyperparameter-searched fit (the BO refit cadence);
+        // the six candidate factorizations inside dominate the cost.
+        let timer = std::time::Instant::now();
+        let result = Self::fit_with_timed(xs, ys, kind, noise);
+        vaesa_obs::histogram("dse.gp.fit_ns").record(timer.elapsed().as_nanos() as f64);
+        vaesa_obs::counter("dse.gp.fits").incr();
+        result
+    }
+
+    fn fit_with_timed(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        kind: KernelKind,
+        noise: f64,
+    ) -> Result<Self, LinalgError> {
         // Candidate lengthscales relative to the data's coordinate spread.
         // Each candidate costs a full O(n³) factorization, so the grid fans
         // out across the pool; the reduction walks candidates in grid order,

@@ -72,4 +72,4 @@ pub use objective::{
 };
 pub use random::{perturb, GridSearch, RandomSearch};
 pub use space::BoxSpace;
-pub use trace::{Sample, Trace};
+pub use trace::{record_trace, Sample, Trace};

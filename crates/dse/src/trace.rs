@@ -1,5 +1,28 @@
 use serde::{Deserialize, Serialize};
 
+/// Records a finished search trace on the global observability registry:
+///
+/// - counter `dse.evals` — incremented by the trace length (every DSE flow
+///   funnels through one driver call, so this totals the true-evaluation
+///   budget actually spent);
+/// - series `dse.<label>.best_edp` — the best-so-far trajectory, replaced
+///   per run so a manifest keeps the most recent run's curve (invalid
+///   samples before the first valid one render as `null`);
+/// - gauge `dse.<label>.best` — the best value across *all* runs with this
+///   label (running minimum).
+pub fn record_trace(trace: &Trace) {
+    vaesa_obs::counter("dse.evals").add(trace.len() as u64);
+    let curve: Vec<f64> = trace
+        .samples()
+        .iter()
+        .map(|s| s.best_so_far.unwrap_or(f64::NAN))
+        .collect();
+    vaesa_obs::series(&format!("dse.{}.best_edp", trace.label())).set(curve);
+    if let Some(best) = trace.best_value() {
+        vaesa_obs::gauge(&format!("dse.{}.best", trace.label())).set_min(best);
+    }
+}
+
 /// One evaluated sample in a search run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Sample {

@@ -43,6 +43,15 @@ impl Cholesky {
         if n == 0 {
             return Err(LinalgError::Empty);
         }
+        // One histogram sample per factorization (jitter retries included):
+        // an O(n³) operation, so the sample itself is noise.
+        let timer = std::time::Instant::now();
+        let result = Self::new_timed(a, n);
+        vaesa_obs::histogram("linalg.cholesky.factor_ns").record(timer.elapsed().as_nanos() as f64);
+        result
+    }
+
+    fn new_timed(a: &Matrix, n: usize) -> Result<Self> {
         let mean_diag = (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64;
         let scale = if mean_diag > 0.0 { mean_diag } else { 1.0 };
         let mut jitter = 0.0;
@@ -169,8 +178,10 @@ impl Cholesky {
     /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
     pub fn solve_lower_multi(&self, b: &Matrix) -> Result<Matrix> {
         self.check_multi_rhs(b, "solve_lower_multi")?;
+        let timer = std::time::Instant::now();
         let mut out = b.clone();
         crate::triangular::solve_lower_multi_dense(&self.l, &mut out);
+        vaesa_obs::histogram("linalg.cholesky.solve_ns").record(timer.elapsed().as_nanos() as f64);
         Ok(out)
     }
 
@@ -184,8 +195,10 @@ impl Cholesky {
     /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
     pub fn solve_upper_multi(&self, b: &Matrix) -> Result<Matrix> {
         self.check_multi_rhs(b, "solve_upper_multi")?;
+        let timer = std::time::Instant::now();
         let mut out = b.clone();
         crate::triangular::solve_upper_multi_dense(&self.l, &mut out);
+        vaesa_obs::histogram("linalg.cholesky.solve_ns").record(timer.elapsed().as_nanos() as f64);
         Ok(out)
     }
 

@@ -1,5 +1,13 @@
 use crate::Param;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
+
+/// Global optimizer-step counter, cached so the per-batch increment is one
+/// relaxed atomic add (no registry lookup) after first use.
+fn adam_steps() -> &'static Arc<vaesa_obs::Counter> {
+    static C: OnceLock<Arc<vaesa_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| vaesa_obs::counter("nn.adam.steps"))
+}
 
 /// Plain stochastic gradient descent with optional gradient clipping.
 ///
@@ -106,6 +114,7 @@ impl Adam {
     /// any [`Adam::update`] calls for that step.
     pub fn begin_step(&mut self) {
         self.t += 1;
+        adam_steps().incr();
     }
 
     /// Applies the current step's update to a single parameter.

@@ -1,0 +1,144 @@
+//! A tiny hand-rolled JSON object writer, so the crate stays
+//! dependency-free. Only what manifests need: flat objects with string /
+//! integer / float / float-array / nested-object fields, written in
+//! insertion order (callers insert in sorted order for determinism).
+
+/// Escapes `s` into `out` as JSON string *contents* (no surrounding
+/// quotes).
+pub(crate) fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats one `f64` as a JSON token: shortest round-trip representation
+/// for finite values, `null` for NaN/infinities (JSON has no spelling for
+/// them).
+pub(crate) fn float_token(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An in-progress JSON object literal.
+#[derive(Debug)]
+pub(crate) struct Obj {
+    buf: String,
+    any: bool,
+}
+
+impl Obj {
+    pub(crate) fn new() -> Self {
+        Obj {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        escape_into(k, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+
+    pub(crate) fn str_field(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(v, &mut self.buf);
+        self.buf.push('"');
+        self
+    }
+
+    pub(crate) fn u64_field(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    pub(crate) fn f64_field(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&float_token(v));
+        self
+    }
+
+    pub(crate) fn f64_array_field(&mut self, k: &str, vs: &[f64]) -> &mut Self {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&float_token(*v));
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Inserts `v`, an already-serialized JSON value, verbatim.
+    pub(crate) fn raw_field(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    pub(crate) fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_newlines_and_control_chars() {
+        let mut out = String::new();
+        escape_into("a\"b\\c\nd\te\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn floats_render_shortest_and_non_finite_as_null() {
+        assert_eq!(float_token(0.1), "0.1");
+        assert_eq!(float_token(2.0), "2");
+        assert_eq!(float_token(f64::NAN), "null");
+        assert_eq!(float_token(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn objects_assemble_in_insertion_order() {
+        let mut o = Obj::new();
+        o.str_field("record", "demo")
+            .u64_field("count", 3)
+            .f64_field("value", 1.5)
+            .f64_array_field("values", &[1.0, 2.5])
+            .raw_field("nested", "{\"a\":1}");
+        assert_eq!(
+            o.finish(),
+            "{\"record\":\"demo\",\"count\":3,\"value\":1.5,\
+             \"values\":[1,2.5],\"nested\":{\"a\":1}}"
+        );
+    }
+
+    #[test]
+    fn empty_object_is_braces() {
+        assert_eq!(Obj::new().finish(), "{}");
+    }
+}

@@ -1,0 +1,763 @@
+#![deny(missing_docs)]
+//! Zero-dependency structured observability for the VAESA stack.
+//!
+//! Every crate in the workspace reports state through ad-hoc prints or
+//! bespoke counters; this crate replaces that with one small, machine-first
+//! vocabulary:
+//!
+//! - [`Counter`] — monotonically increasing `u64` (relaxed atomic);
+//! - [`Gauge`] — last-written `f64` (e.g. a cache hit rate snapshot);
+//! - [`Histogram`] — recorded `f64` samples with exact percentiles
+//!   (Cholesky timings, solve timings, ...);
+//! - [`Series`] — an ordered `f64` trajectory (per-epoch losses,
+//!   best-EDP-so-far curves);
+//! - spans — hierarchical wall/CPU timing scopes ([`Registry::span`],
+//!   [`Span::child`]) aggregated per path;
+//! - meta / events — run-level key-value context and progress messages.
+//!
+//! All of it lives in a [`Registry`] (usually the process-wide
+//! [`global()`] one) and serializes to a JSON-lines *run manifest*
+//! ([`write_manifest`]): one self-describing record per line, in a fixed
+//! record-type order with names sorted lexicographically, so two manifests
+//! of the same experiment diff cleanly — only values that genuinely
+//! changed produce diff hunks. The CI gates (`xtask metrics-gate`,
+//! `xtask determinism`) and the `vaesa-cli obs-report` subcommand are all
+//! readers of this format; see `DESIGN.md` §2.10.
+//!
+//! # Examples
+//!
+//! ```
+//! let reg = vaesa_obs::Registry::new();
+//! {
+//!     let fit = reg.span("gp/fit");
+//!     let _chol = fit.child("cholesky");
+//!     reg.counter("gp.fits").incr();
+//! } // spans record on drop
+//! reg.histogram("gp.fit_ns").record(1.25e6);
+//! reg.series("dse.best_edp").push(3.2e9);
+//! let lines = vaesa_obs::manifest_lines(&reg);
+//! assert!(lines.iter().any(|l| l.contains("\"record\":\"span\"")));
+//! ```
+
+mod json;
+mod manifest;
+
+pub use manifest::{manifest_lines, manifest_string, write_manifest};
+
+use std::collections::BTreeMap;
+use std::fmt::Display;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A monotonically increasing event count.
+///
+/// Increments are relaxed atomics: exact under serial flows, and a
+/// consistent-enough total under concurrent ones (same contract as the
+/// scheduler cache counters).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero, usable in `static` position.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins `f64` measurement (stored as atomic bits).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+impl Gauge {
+    /// A gauge starting at `0.0`, usable in `static` position.
+    pub const fn new() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrites the gauge value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Lowers the gauge to `v` if `v` is smaller than the current value
+    /// (running-minimum semantics, e.g. for a best-EDP-so-far gauge).
+    /// A NaN argument is ignored.
+    pub fn set_min(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let cur = f64::from_bits(current);
+            if !cur.is_nan() && cur <= v && cur != 0.0 {
+                return;
+            }
+            // A zero gauge is "unset": the first observation always lands.
+            let candidate = if cur == 0.0 || cur.is_nan() || v < cur {
+                v
+            } else {
+                return;
+            };
+            match self.bits.compare_exchange_weak(
+                current,
+                candidate.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The current gauge value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Exact-sample histogram: every recorded value is kept, and percentiles
+/// are computed by nearest-rank over the sorted samples.
+///
+/// Intended for coarse-grained measurements (per-factorization timings,
+/// per-fit timings) where sample counts stay in the thousands; it is not a
+/// streaming sketch.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    samples: Mutex<Vec<f64>>,
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (50th percentile, nearest-rank).
+    pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample. Non-finite samples are dropped.
+    pub fn record(&self, v: f64) {
+        if v.is_finite() {
+            self.samples.lock().expect("histogram lock").push(v);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.samples.lock().expect("histogram lock").len() as u64
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by nearest rank, or `None` if the
+    /// histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let mut xs = self.samples.lock().expect("histogram lock").clone();
+        if xs.is_empty() {
+            return None;
+        }
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+        Some(xs[rank - 1])
+    }
+
+    /// Count, mean, extrema, and standard percentiles, or `None` if empty.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        let mut xs = self.samples.lock().expect("histogram lock").clone();
+        if xs.is_empty() {
+            return None;
+        }
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let n = xs.len();
+        let rank = |q: f64| xs[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        Some(HistogramSummary {
+            count: n as u64,
+            mean: xs.iter().sum::<f64>() / n as f64,
+            min: xs[0],
+            max: xs[n - 1],
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+        })
+    }
+}
+
+/// An append-only ordered `f64` trajectory (loss curves, best-so-far
+/// curves). Unlike a histogram, order is meaningful and preserved.
+#[derive(Debug, Default)]
+pub struct Series {
+    values: Mutex<Vec<f64>>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new() -> Self {
+        Series::default()
+    }
+
+    /// Appends one value.
+    pub fn push(&self, v: f64) {
+        self.values.lock().expect("series lock").push(v);
+    }
+
+    /// Replaces the whole series (used when a run re-records a trajectory:
+    /// the manifest keeps the most recent run's curve).
+    pub fn set(&self, values: Vec<f64>) {
+        *self.values.lock().expect("series lock") = values;
+    }
+
+    /// A copy of the recorded values, in order.
+    pub fn values(&self) -> Vec<f64> {
+        self.values.lock().expect("series lock").clone()
+    }
+
+    /// Number of recorded values.
+    pub fn len(&self) -> usize {
+        self.values.lock().expect("series lock").len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Aggregated timing statistics for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed spans on this path.
+    pub count: u64,
+    /// Total wall-clock time, nanoseconds.
+    pub wall_ns_total: u64,
+    /// Fastest single span, nanoseconds.
+    pub wall_ns_min: u64,
+    /// Slowest single span, nanoseconds.
+    pub wall_ns_max: u64,
+    /// Total process CPU time, nanoseconds (0 where unsupported; Linux
+    /// granularity is one scheduler tick, see [`process_cpu_ns`]).
+    pub cpu_ns_total: u64,
+}
+
+/// The collection point for one run's metrics.
+///
+/// Cheap to share (`&Registry` everywhere); the process-wide instance is
+/// [`global()`]. All interior mutability is `Mutex`/atomic, so a registry
+/// is freely usable from the parallel sections of the stack.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    series: Mutex<BTreeMap<String, Arc<Series>>>,
+    spans: Mutex<BTreeMap<String, SpanStats>>,
+    meta: Mutex<BTreeMap<String, String>>,
+    events: Mutex<Vec<String>>,
+}
+
+macro_rules! get_or_create {
+    ($map:expr, $name:expr) => {{
+        let mut map = $map.lock().expect("registry lock");
+        if let Some(existing) = map.get($name) {
+            Arc::clone(existing)
+        } else {
+            let fresh = Arc::new(Default::default());
+            map.insert($name.to_string(), Arc::clone(&fresh));
+            fresh
+        }
+    }};
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create!(self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create!(self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create!(self.histograms, name)
+    }
+
+    /// The series named `name`, created on first use.
+    pub fn series(&self, name: &str) -> Arc<Series> {
+        get_or_create!(self.series, name)
+    }
+
+    /// Sets a run-level metadata key (seed, git revision, thread count,
+    /// ...). Rendered in the manifest's leading `run` record.
+    pub fn set_meta(&self, key: &str, value: impl Display) {
+        self.meta
+            .lock()
+            .expect("registry lock")
+            .insert(key.to_string(), value.to_string());
+    }
+
+    /// The metadata value for `key`, if set.
+    pub fn meta(&self, key: &str) -> Option<String> {
+        self.meta.lock().expect("registry lock").get(key).cloned()
+    }
+
+    /// Appends a progress event message (machine copy of what
+    /// [`progress!`](crate::progress) printed to stderr).
+    pub fn event(&self, message: &str) {
+        self.events
+            .lock()
+            .expect("registry lock")
+            .push(message.to_string());
+    }
+
+    /// Opens a root timing span; time is recorded under `name` when the
+    /// returned guard drops. Nest with [`Span::child`].
+    pub fn span(&self, name: &str) -> Span<'_> {
+        Span::open(self, name.to_string())
+    }
+
+    /// Folds one completed span measurement into the stats for `path`.
+    /// Usually called via [`Span`]'s drop, but public so tests and
+    /// manifest replays can drive it directly.
+    pub fn record_span(&self, path: &str, wall_ns: u64, cpu_ns: u64) {
+        let mut spans = self.spans.lock().expect("registry lock");
+        let stats = spans.entry(path.to_string()).or_default();
+        stats.count += 1;
+        stats.wall_ns_total += wall_ns;
+        stats.cpu_ns_total += cpu_ns;
+        stats.wall_ns_max = stats.wall_ns_max.max(wall_ns);
+        stats.wall_ns_min = if stats.count == 1 {
+            wall_ns
+        } else {
+            stats.wall_ns_min.min(wall_ns)
+        };
+    }
+
+    /// The aggregated stats for one span path, if any span completed there.
+    pub fn span_stats(&self, path: &str) -> Option<SpanStats> {
+        self.spans.lock().expect("registry lock").get(path).copied()
+    }
+
+    /// Snapshot accessors used by the manifest writer (sorted by name).
+    pub(crate) fn snapshot(&self) -> manifest::Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .filter_map(|(k, v)| v.summary().map(|s| (k.clone(), s)))
+            .collect();
+        let series = self
+            .series
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.values()))
+            .collect();
+        let spans = self.spans.lock().expect("registry lock").clone();
+        let meta = self.meta.lock().expect("registry lock").clone();
+        let events = self.events.lock().expect("registry lock").clone();
+        manifest::Snapshot {
+            meta,
+            counters,
+            gauges,
+            histograms,
+            series,
+            spans,
+            events,
+        }
+    }
+
+    /// Clears every metric, span, meta key, and event. Benchmarks and
+    /// tests use this to isolate runs sharing the [`global()`] registry.
+    pub fn reset(&self) {
+        self.counters.lock().expect("registry lock").clear();
+        self.gauges.lock().expect("registry lock").clear();
+        self.histograms.lock().expect("registry lock").clear();
+        self.series.lock().expect("registry lock").clear();
+        self.spans.lock().expect("registry lock").clear();
+        self.meta.lock().expect("registry lock").clear();
+        self.events.lock().expect("registry lock").clear();
+    }
+}
+
+/// An open timing scope. Wall time comes from [`Instant`]; CPU time is the
+/// process total from [`process_cpu_ns`] (best effort). Recorded into its
+/// registry under the span's `/`-separated path when dropped.
+#[derive(Debug)]
+pub struct Span<'a> {
+    registry: &'a Registry,
+    path: String,
+    start: Instant,
+    cpu_start: Option<u64>,
+}
+
+impl<'a> Span<'a> {
+    fn open(registry: &'a Registry, path: String) -> Self {
+        Span {
+            registry,
+            path,
+            start: Instant::now(),
+            cpu_start: process_cpu_ns(),
+        }
+    }
+
+    /// This span's full `/`-separated path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Opens a nested span recorded under `parent_path/name`. Drop the
+    /// child before the parent so the parent's time covers it.
+    pub fn child(&self, name: &str) -> Span<'a> {
+        Span::open(self.registry, format!("{}/{name}", self.path))
+    }
+
+    /// Closes the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let wall_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let cpu_ns = match (self.cpu_start, process_cpu_ns()) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => 0,
+        };
+        self.registry.record_span(&self.path, wall_ns, cpu_ns);
+    }
+}
+
+/// Total process CPU time (user + system) in nanoseconds, read from
+/// `/proc/self/stat`. Granularity is one scheduler tick (assumed 100 Hz,
+/// the Linux default — `_SC_CLK_TCK` is unreachable without libc), so
+/// short spans legitimately report 0 CPU ns. Returns `None` off Linux.
+pub fn process_cpu_ns() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Field 2 (comm) may contain spaces; fields 14/15 (utime/stime, in
+    // clock ticks) are counted after the closing paren.
+    let rest = &stat[stat.rfind(')')? + 1..];
+    let mut fields = rest.split_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    const NS_PER_TICK: u64 = 1_000_000_000 / 100;
+    Some((utime + stime) * NS_PER_TICK)
+}
+
+/// Best-effort current git revision: reads `.git/HEAD` (searching upward
+/// from the working directory) and resolves one level of `ref:`
+/// indirection. Returns `None` outside a git checkout.
+pub fn git_rev() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let head = dir.join(".git/HEAD");
+        if let Ok(contents) = std::fs::read_to_string(&head) {
+            let contents = contents.trim();
+            return match contents.strip_prefix("ref: ") {
+                Some(reference) => {
+                    let resolved = std::fs::read_to_string(dir.join(".git").join(reference))
+                        .ok()?
+                        .trim()
+                        .to_string();
+                    (!resolved.is_empty()).then_some(resolved)
+                }
+                None => (!contents.is_empty()).then(|| contents.to_string()),
+            };
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// The process-wide registry every instrumented crate records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// [`Registry::counter`] on the [`global()`] registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// [`Registry::gauge`] on the [`global()`] registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// [`Registry::histogram`] on the [`global()`] registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// [`Registry::series`] on the [`global()`] registry.
+pub fn series(name: &str) -> Arc<Series> {
+    global().series(name)
+}
+
+/// [`Registry::span`] on the [`global()`] registry.
+pub fn span(name: &str) -> Span<'static> {
+    global().span(name)
+}
+
+/// [`Registry::set_meta`] on the [`global()`] registry.
+pub fn set_meta(key: &str, value: impl Display) {
+    global().set_meta(key, value);
+}
+
+/// [`Registry::event`] on the [`global()`] registry.
+pub fn event(message: &str) {
+    global().event(message);
+}
+
+/// A progress line for humans *and* machines: prints to stderr (keeping
+/// stdout for results) and appends the same text as a manifest `event`
+/// record on the global registry.
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {{
+        let message = format!($($arg)*);
+        eprintln!("{message}");
+        $crate::event(&message);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = Registry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").incr();
+        assert_eq!(reg.counter("a").get(), 3);
+        assert_eq!(reg.counter("b").get(), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite_and_track_minimum() {
+        let g = Gauge::new();
+        g.set(4.5);
+        assert_eq!(g.get(), 4.5);
+        g.set(1.0);
+        assert_eq!(g.get(), 1.0);
+
+        let m = Gauge::new();
+        m.set_min(5.0); // first observation lands even though gauge is 0
+        assert_eq!(m.get(), 5.0);
+        m.set_min(7.0);
+        assert_eq!(m.get(), 5.0);
+        m.set_min(2.0);
+        assert_eq!(m.get(), 2.0);
+        m.set_min(f64::NAN);
+        assert_eq!(m.get(), 2.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_nearest_rank() {
+        let h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(0.50), Some(50.0));
+        assert_eq!(h.percentile(0.90), Some(90.0));
+        assert_eq!(h.percentile(0.99), Some(99.0));
+        assert_eq!(h.percentile(0.0), Some(1.0));
+        assert_eq!(h.percentile(1.0), Some(100.0));
+        let s = h.summary().unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn histogram_drops_non_finite_and_handles_small_counts() {
+        let h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.summary(), None);
+        assert_eq!(h.percentile(0.5), None);
+        h.record(3.0);
+        let s = h.summary().unwrap();
+        assert_eq!((s.count, s.p50, s.p99), (1, 3.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn histogram_rejects_out_of_range_quantile() {
+        let _ = Histogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn series_preserve_order_and_replace() {
+        let reg = Registry::new();
+        let s = reg.series("curve");
+        s.push(3.0);
+        s.push(1.0);
+        s.push(2.0);
+        assert_eq!(s.values(), vec![3.0, 1.0, 2.0]);
+        s.set(vec![9.0]);
+        assert_eq!(reg.series("curve").values(), vec![9.0]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn span_timing_is_monotonic_and_nested_spans_fit_in_parents() {
+        let reg = Registry::new();
+        {
+            let parent = reg.span("outer");
+            {
+                let _child = parent.child("inner");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let outer = reg.span_stats("outer").unwrap();
+        let inner = reg.span_stats("outer/inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Wall clocks are monotonic: a child opened and closed inside its
+        // parent can never out-time it, and both must cover their sleeps.
+        assert!(inner.wall_ns_total >= 2_000_000, "{inner:?}");
+        assert!(outer.wall_ns_total >= inner.wall_ns_total + 1_000_000);
+        assert!(outer.wall_ns_min <= outer.wall_ns_max);
+    }
+
+    #[test]
+    fn span_stats_aggregate_min_max_and_count() {
+        let reg = Registry::new();
+        reg.record_span("s", 10, 1);
+        reg.record_span("s", 30, 2);
+        reg.record_span("s", 20, 3);
+        let s = reg.span_stats("s").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.wall_ns_total, 60);
+        assert_eq!(s.wall_ns_min, 10);
+        assert_eq!(s.wall_ns_max, 30);
+        assert_eq!(s.cpu_ns_total, 6);
+    }
+
+    #[test]
+    fn process_cpu_time_is_monotonic_where_supported() {
+        let Some(a) = process_cpu_ns() else {
+            return; // unsupported platform: nothing to check
+        };
+        // Burn a little CPU; the reading must never go backwards.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let b = process_cpu_ns().unwrap();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn registry_reset_clears_everything() {
+        let reg = Registry::new();
+        reg.counter("c").incr();
+        reg.gauge("g").set(1.0);
+        reg.histogram("h").record(1.0);
+        reg.series("s").push(1.0);
+        reg.record_span("sp", 1, 0);
+        reg.set_meta("k", "v");
+        reg.event("hello");
+        reg.reset();
+        assert_eq!(reg.counter("c").get(), 0);
+        assert_eq!(reg.gauge("g").get(), 0.0);
+        assert_eq!(reg.histogram("h").count(), 0);
+        assert!(reg.series("s").is_empty());
+        assert_eq!(reg.span_stats("sp"), None);
+        assert_eq!(reg.meta("k"), None);
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let reg = Registry::new();
+        reg.set_meta("seed", 42u64);
+        assert_eq!(reg.meta("seed").as_deref(), Some("42"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        counter("obs.test.global").add(5);
+        assert_eq!(global().counter("obs.test.global").get(), 5);
+    }
+}

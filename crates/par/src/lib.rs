@@ -22,6 +22,22 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Pool-usage counters on the global observability registry. Cached in
+/// statics so the hot entry points pay one atomic increment per *call*
+/// (never per element) after first use. Call counts depend only on the
+/// call sites, never on the pool size, so they stay thread-count-invariant
+/// under the determinism policy.
+fn par_map_calls() -> &'static Arc<vaesa_obs::Counter> {
+    static C: OnceLock<Arc<vaesa_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| vaesa_obs::counter("par.par_map_calls"))
+}
+
+fn par_chunks_calls() -> &'static Arc<vaesa_obs::Counter> {
+    static C: OnceLock<Arc<vaesa_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| vaesa_obs::counter("par.par_chunks_calls"))
+}
 
 /// Parses a thread-count override string (the `VAESA_THREADS` format).
 ///
@@ -73,6 +89,7 @@ where
     F: Fn(&T) -> R + Sync,
 {
     assert!(threads >= 1, "need at least one thread");
+    par_map_calls().incr();
     let threads = threads.min(items.len()).max(1);
     if threads == 1 {
         return items.iter().map(f).collect();
@@ -140,6 +157,7 @@ where
 {
     assert!(chunk_len >= 1, "chunk_len must be positive");
     assert!(threads >= 1, "need at least one thread");
+    par_chunks_calls().incr();
     let n_chunks = data.len().div_ceil(chunk_len);
     let threads = threads.min(n_chunks).max(1);
     if threads == 1 {

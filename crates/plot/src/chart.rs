@@ -96,6 +96,7 @@ impl LineChart {
     /// Panics if no series or no finite points were added, or if `log_y`
     /// was requested with non-positive values.
     pub fn render(&self) -> String {
+        vaesa_obs::counter("plot.charts_rendered").incr();
         let pts: Vec<(f64, f64)> = self
             .series
             .iter()
@@ -234,6 +235,7 @@ impl ScatterChart {
     ///
     /// Panics if no finite points were added.
     pub fn render(&self) -> String {
+        vaesa_obs::counter("plot.charts_rendered").incr();
         let pts: Vec<(f64, f64, f64)> = self
             .points
             .iter()

@@ -63,6 +63,7 @@ impl Heatmap {
     /// Panics if fewer than two distinct grid coordinates exist on either
     /// axis, or no finite cells were added.
     pub fn render(&self) -> String {
+        vaesa_obs::counter("plot.charts_rendered").incr();
         let cells: Vec<(f64, f64, f64)> = self
             .cells
             .iter()

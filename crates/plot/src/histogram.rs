@@ -96,6 +96,7 @@ impl Histogram {
     ///
     /// Same conditions as [`Histogram::counts`].
     pub fn render(&self) -> String {
+        vaesa_obs::counter("plot.charts_rendered").incr();
         let counts = self.counts();
         let (w, h) = (self.size.0 as f64, self.size.1 as f64);
         let max_count = counts.iter().map(|c| c.2).max().unwrap_or(1).max(1);

@@ -426,6 +426,31 @@ impl Evaluation {
         }
         self.compute_cycles / self.latency_cycles
     }
+
+    /// Publishes this evaluation as gauges `{prefix}.latency_cycles`,
+    /// `{prefix}.energy_pj`, `{prefix}.edp`, `{prefix}.area_mm2`, and
+    /// `{prefix}.utilization` on `registry`.
+    ///
+    /// This is the cost model's entire observability surface: reporting
+    /// happens at whatever cadence the *caller* chooses (typically once,
+    /// for a run's best design), so [`CostModel::evaluate`](crate::CostModel::evaluate)
+    /// itself — a ~50 ns function invoked millions of times during dataset
+    /// labeling — stays completely uninstrumented.
+    pub fn publish_gauges(&self, registry: &vaesa_obs::Registry, prefix: &str) {
+        registry
+            .gauge(&format!("{prefix}.latency_cycles"))
+            .set(self.latency_cycles);
+        registry
+            .gauge(&format!("{prefix}.energy_pj"))
+            .set(self.energy_pj);
+        registry.gauge(&format!("{prefix}.edp")).set(self.edp());
+        registry
+            .gauge(&format!("{prefix}.area_mm2"))
+            .set(self.area_mm2);
+        registry
+            .gauge(&format!("{prefix}.utilization"))
+            .set(self.utilization);
+    }
 }
 
 impl fmt::Display for Evaluation {

@@ -120,7 +120,11 @@ impl<'a> DseDriver<'a> {
         budget: usize,
         rng: &mut dyn RngCore,
     ) -> Trace {
-        match mode {
+        // One span per driver call (the chokepoint every DSE flow funnels
+        // through), plus the trace's trajectory/budget record — search
+        // itself runs uninstrumented.
+        let run_span = vaesa_obs::global().span("dse/run");
+        let trace = match mode {
             SpaceMode::Direct => {
                 let space = BoxSpace::unit(crate::HW_FEATURES);
                 let proxy = match (self.predictors, self.gd_layer, self.dataset) {
@@ -157,7 +161,10 @@ impl<'a> DseDriver<'a> {
                 trace.set_label(format!("vae_{}", engine.name()));
                 trace
             }
-        }
+        };
+        run_span.finish();
+        vaesa_dse::record_trace(&trace);
+        trace
     }
 }
 

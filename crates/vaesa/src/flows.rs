@@ -147,6 +147,7 @@ pub fn decode_to_config(
     hw_norm: &Normalizer,
     evaluator: &HardwareEvaluator<'_>,
 ) -> ArchConfig {
+    vaesa_obs::counter("dse.decodes").incr();
     let decoded = model.decode(&Tensor::row_vector(z));
     evaluator.snap(decoded.row(0), hw_norm)
 }
@@ -165,6 +166,7 @@ pub fn decode_to_configs(
     if zs.is_empty() {
         return Vec::new();
     }
+    vaesa_obs::counter("dse.decodes").add(zs.len() as u64);
     let refs: Vec<&[f64]> = zs.iter().map(Vec::as_slice).collect();
     let decoded = model.decode(&Tensor::from_rows(&refs));
     (0..zs.len())

@@ -99,7 +99,9 @@ impl Trainer {
         let empty = || Tensor::zeros(0, 0);
         let mut bufs = [empty(), empty(), empty(), empty(), empty()];
 
+        let train_span = vaesa_obs::global().span("train");
         for _ in 0..self.config.epochs {
+            let _epoch_span = train_span.child("epoch");
             let mut sums = [0.0f64; 5];
             let mut batches = 0usize;
             for batch in batcher.epoch(rng) {
@@ -150,14 +152,20 @@ impl Trainer {
                 }
             }
             let n = batches.max(1) as f64;
-            history.epochs.push(EpochStats {
+            let stats = EpochStats {
                 recon: sums[0] / n,
                 kld: sums[1] / n,
                 latency: sums[2] / n,
                 energy: sums[3] / n,
                 total: sums[4] / n,
-            });
+            };
+            vaesa_obs::series("train.recon").push(stats.recon);
+            vaesa_obs::series("train.kld").push(stats.kld);
+            vaesa_obs::series("train.predictor_mse").push(stats.latency + stats.energy);
+            vaesa_obs::series("train.total").push(stats.total);
+            history.epochs.push(stats);
         }
+        train_span.finish();
         history
     }
 }

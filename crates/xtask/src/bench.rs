@@ -1,0 +1,137 @@
+//! Reader for the criterion shim's `VAESA_BENCH_JSON` capture format:
+//! one `{"id":"...","ns_per_iter":...}` line per benchmark.
+//!
+//! Baselines are the checked-in `BENCH_pr*.json` files. Loading several
+//! in PR order upserts by id, so a later PR's re-measurement of the same
+//! benchmark supersedes the earlier baseline — the same replace-don't-
+//! accumulate rule the shim applies within one file.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parses one capture file into id → median ns/iter.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed entries.
+pub fn parse_capture(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut map = BTreeMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = serde_json::parse_value(raw).map_err(|e| format!("line {line}: {e}"))?;
+        let Some(serde::Value::Str(id)) = v.get("id") else {
+            return Err(format!("line {line}: missing string field `id`"));
+        };
+        let ns = v
+            .get("ns_per_iter")
+            .and_then(serde::Value::as_f64)
+            .ok_or_else(|| format!("line {line}: missing numeric field `ns_per_iter`"))?;
+        map.insert(id.clone(), ns);
+    }
+    Ok(map)
+}
+
+/// Loads baseline files in order, later files overriding earlier ids.
+///
+/// # Errors
+///
+/// Propagates read and parse failures, prefixed with the path.
+pub fn load_baselines(paths: &[impl AsRef<Path>]) -> Result<BTreeMap<String, f64>, String> {
+    let mut merged = BTreeMap::new();
+    for path in paths {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let one = parse_capture(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        merged.extend(one);
+    }
+    Ok(merged)
+}
+
+/// One benchmark's baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Benchmark id (`group/name`).
+    pub id: String,
+    /// Baseline median ns/iter.
+    pub baseline_ns: f64,
+    /// Freshly measured median ns/iter.
+    pub current_ns: f64,
+    /// `current / baseline - 1`; positive means slower.
+    pub delta: f64,
+}
+
+impl Comparison {
+    /// Whether this benchmark regressed past `tolerance` (e.g. `0.25`).
+    pub fn regressed(&self, tolerance: f64) -> bool {
+        self.delta > tolerance
+    }
+}
+
+/// Compares every current benchmark that has a baseline, sorted by id.
+///
+/// Ids present only in `current` are new benchmarks (no baseline yet) and
+/// are skipped; the caller reports them separately.
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+) -> Vec<Comparison> {
+    current
+        .iter()
+        .filter_map(|(id, &current_ns)| {
+            let &baseline_ns = baseline.get(id)?;
+            Some(Comparison {
+                id: id.clone(),
+                baseline_ns,
+                current_ns,
+                delta: current_ns / baseline_ns - 1.0,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shim_capture_lines() {
+        let map = parse_capture(
+            "{\"id\":\"vae_gd/b16\",\"ns_per_iter\":1823572.3}\n\
+             {\"id\":\"nn/matmul\",\"ns_per_iter\":100.0}\n",
+        )
+        .unwrap();
+        assert_eq!(map["vae_gd/b16"], 1823572.3);
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn later_baselines_override_earlier_ids() {
+        let a: BTreeMap<_, _> = parse_capture("{\"id\":\"x\",\"ns_per_iter\":100}").unwrap();
+        let b: BTreeMap<_, _> = parse_capture("{\"id\":\"x\",\"ns_per_iter\":80}").unwrap();
+        let mut merged = a;
+        merged.extend(b);
+        assert_eq!(merged["x"], 80.0);
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_past_tolerance() {
+        let baseline: BTreeMap<_, _> = [("x".to_string(), 100.0), ("y".to_string(), 100.0)]
+            .into_iter()
+            .collect();
+        let current: BTreeMap<_, _> = [
+            ("x".to_string(), 120.0),
+            ("y".to_string(), 130.0),
+            ("z".to_string(), 1.0), // no baseline: skipped
+        ]
+        .into_iter()
+        .collect();
+        let cmps = compare(&baseline, &current);
+        assert_eq!(cmps.len(), 2);
+        assert!(!cmps[0].regressed(0.25), "20% slower is within 25%");
+        assert!(cmps[1].regressed(0.25), "30% slower breaches 25%");
+    }
+}

@@ -1,0 +1,415 @@
+//! The three CI gates: metrics, perf-regression, and determinism.
+//!
+//! Each gate returns `Ok(report)` with a human-readable pass summary or
+//! `Err(report)` describing every violation found (gates keep checking
+//! after the first failure so CI logs show the full picture).
+
+use crate::bench;
+use crate::manifest::Manifest;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Metric-name prefixes whose counters/gauges/series are required to be
+/// identical across `VAESA_THREADS` settings.
+///
+/// Scheduler cache metrics (`scheduler.*`) are deliberately absent:
+/// concurrent misses on the same key may double-compute, so hit/miss
+/// totals vary with thread count even though every *returned value* is
+/// bit-identical. Histograms and spans carry timings and are never
+/// compared; events carry formatted progress text (including cache-stats
+/// strings) and are skipped for the same reason.
+pub const DETERMINISTIC_PREFIXES: &[&str] = &["dse.", "train.", "accel.", "nn.", "plot."];
+
+fn deterministic(name: &str) -> bool {
+    DETERMINISTIC_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Checks the structural invariants of one figure-run manifest.
+///
+/// Invariants: the `dse.evals` counter equals the `dse.expected_evals`
+/// meta entry the binary declared up front (exact budget accounting —
+/// every search funnels through `DseDriver::run`); the scheduler cache
+/// saw at least one hit; and every recorded `dse.<label>.best_edp`
+/// trajectory is non-empty (with at least one present).
+///
+/// # Errors
+///
+/// Returns the full list of violated invariants.
+pub fn metrics_gate(path: &Path) -> Result<String, String> {
+    let m = Manifest::load(path)?;
+    let mut report = String::new();
+    let mut failures = String::new();
+
+    match (m.counter("dse.evals"), m.meta_u64("dse.expected_evals")) {
+        (Some(got), Some(want)) if got == want => {
+            let _ = writeln!(report, "dse.evals = {got} (matches dse.expected_evals)");
+        }
+        (got, want) => {
+            let _ = writeln!(
+                failures,
+                "budget accounting broken: counter dse.evals = {got:?}, \
+                 meta dse.expected_evals = {want:?}"
+            );
+        }
+    }
+
+    match m.gauge("scheduler.hit_rate") {
+        Some(rate) if rate > 0.0 => {
+            let _ = writeln!(report, "scheduler.hit_rate = {rate:.4} (> 0)");
+        }
+        other => {
+            let _ = writeln!(
+                failures,
+                "scheduler cache never hit: scheduler.hit_rate = {other:?}"
+            );
+        }
+    }
+
+    let trajectories: Vec<_> = m
+        .series
+        .iter()
+        .filter(|(name, _)| name.starts_with("dse.") && name.ends_with(".best_edp"))
+        .collect();
+    if trajectories.is_empty() {
+        let _ = writeln!(failures, "no dse.<label>.best_edp trajectory recorded");
+    }
+    for (name, values) in &trajectories {
+        if values.is_empty() {
+            let _ = writeln!(failures, "trajectory {name} is empty");
+        } else {
+            let _ = writeln!(report, "{name}: {} samples", values.len());
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
+/// Compares a fresh bench capture against merged baselines.
+///
+/// `baseline_paths` are loaded in order with later files overriding
+/// earlier ids (pass `BENCH_pr*.json` oldest-first). A benchmark fails
+/// when its median exceeds baseline × (1 + `tolerance`).
+///
+/// # Errors
+///
+/// Returns the list of regressed benchmarks, or a parse/IO failure.
+pub fn perf_gate(
+    current_path: &Path,
+    baseline_paths: &[impl AsRef<Path>],
+    tolerance: f64,
+) -> Result<String, String> {
+    let baseline = bench::load_baselines(baseline_paths)?;
+    let text = std::fs::read_to_string(current_path)
+        .map_err(|e| format!("cannot read {}: {e}", current_path.display()))?;
+    let current =
+        bench::parse_capture(&text).map_err(|e| format!("{}: {e}", current_path.display()))?;
+    if current.is_empty() {
+        return Err(format!(
+            "{}: no benchmarks captured",
+            current_path.display()
+        ));
+    }
+
+    let comparisons = bench::compare(&baseline, &current);
+    let mut report = String::new();
+    let mut failures = String::new();
+    for c in &comparisons {
+        let verdict = if c.regressed(tolerance) { "FAIL" } else { "ok" };
+        let line = format!(
+            "{verdict:>4}  {:<50} {:>12.1} -> {:>12.1} ns/iter ({:+.1}%)",
+            c.id,
+            c.baseline_ns,
+            c.current_ns,
+            c.delta * 100.0
+        );
+        let _ = writeln!(report, "{line}");
+        if c.regressed(tolerance) {
+            let _ = writeln!(failures, "{line}");
+        }
+    }
+    for id in current.keys().filter(|id| !baseline.contains_key(*id)) {
+        let _ = writeln!(report, " new  {id:<50} (no baseline)");
+    }
+
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!(
+            "{} benchmark(s) regressed more than {:.0}%:\n{failures}\nfull comparison:\n{report}",
+            failures.lines().count(),
+            tolerance * 100.0
+        ))
+    }
+}
+
+fn sorted_files(dir: &Path) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        if entry
+            .file_type()
+            .map_err(|e| format!("cannot stat {}: {e}", entry.path().display()))?
+            .is_file()
+        {
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Diffs two output directories of the same figure run at different
+/// thread counts.
+///
+/// Every non-manifest file (CSV, SVG, ...) must be byte-identical — the
+/// workspace's parallel runtime promises bit-identical results. The
+/// manifests are compared only on the [`DETERMINISTIC_PREFIXES`] slice of
+/// counters, gauges (bit-exact), and series.
+///
+/// # Errors
+///
+/// Returns every differing file or metric.
+pub fn determinism(dir_a: &Path, dir_b: &Path) -> Result<String, String> {
+    let names_a = sorted_files(dir_a)?;
+    let names_b = sorted_files(dir_b)?;
+    let mut report = String::new();
+    let mut failures = String::new();
+
+    if names_a != names_b {
+        let _ = writeln!(
+            failures,
+            "file sets differ: {dir_a:?} has {names_a:?}, {dir_b:?} has {names_b:?}"
+        );
+    }
+
+    for name in names_a.iter().filter(|n| names_b.contains(n)) {
+        let path_a = dir_a.join(name);
+        let path_b = dir_b.join(name);
+        if name == "manifest.jsonl" {
+            match (Manifest::load(&path_a), Manifest::load(&path_b)) {
+                (Ok(a), Ok(b)) => diff_manifests(&a, &b, &mut report, &mut failures),
+                (Err(e), _) | (_, Err(e)) => {
+                    let _ = writeln!(failures, "{e}");
+                }
+            }
+            continue;
+        }
+        let bytes_a =
+            std::fs::read(&path_a).map_err(|e| format!("cannot read {}: {e}", path_a.display()))?;
+        let bytes_b =
+            std::fs::read(&path_b).map_err(|e| format!("cannot read {}: {e}", path_b.display()))?;
+        if bytes_a == bytes_b {
+            let _ = writeln!(report, "{name}: identical ({} bytes)", bytes_a.len());
+        } else {
+            let _ = writeln!(failures, "{name}: byte contents differ");
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
+fn diff_manifests(a: &Manifest, b: &Manifest, report: &mut String, failures: &mut String) {
+    let mut compared = 0usize;
+
+    let counters_a: Vec<_> = a
+        .counters
+        .iter()
+        .filter(|(n, _)| deterministic(n))
+        .collect();
+    let counters_b: Vec<_> = b
+        .counters
+        .iter()
+        .filter(|(n, _)| deterministic(n))
+        .collect();
+    if counters_a != counters_b {
+        let _ = writeln!(
+            failures,
+            "deterministic counters differ: {counters_a:?} vs {counters_b:?}"
+        );
+    }
+    compared += counters_a.len();
+
+    let gauges_a: Vec<_> = a
+        .gauges
+        .iter()
+        .filter(|(n, _)| deterministic(n))
+        .map(|(n, v)| (n, v.to_bits()))
+        .collect();
+    let gauges_b: Vec<_> = b
+        .gauges
+        .iter()
+        .filter(|(n, _)| deterministic(n))
+        .map(|(n, v)| (n, v.to_bits()))
+        .collect();
+    if gauges_a != gauges_b {
+        let _ = writeln!(
+            failures,
+            "deterministic gauges differ (bit-exact compare): {gauges_a:?} vs {gauges_b:?}"
+        );
+    }
+    compared += gauges_a.len();
+
+    let series_a: Vec<_> = a
+        .series
+        .iter()
+        .filter(|(n, _)| deterministic(n))
+        .map(|(n, v)| (n, v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()))
+        .collect();
+    let series_b: Vec<_> = b
+        .series
+        .iter()
+        .filter(|(n, _)| deterministic(n))
+        .map(|(n, v)| (n, v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()))
+        .collect();
+    for ((name_a, va), (name_b, vb)) in series_a.iter().zip(&series_b) {
+        if name_a != name_b || va != vb {
+            let _ = writeln!(
+                failures,
+                "deterministic series differ: {name_a} vs {name_b}"
+            );
+        }
+    }
+    if series_a.len() != series_b.len() {
+        let _ = writeln!(
+            failures,
+            "deterministic series sets differ: {} vs {} series",
+            series_a.len(),
+            series_b.len()
+        );
+    }
+    compared += series_a.len();
+
+    let _ = writeln!(
+        report,
+        "manifest.jsonl: {compared} deterministic metrics compared \
+         (prefixes {DETERMINISTIC_PREFIXES:?})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vaesa_xtask_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const GOOD_MANIFEST: &str = r#"{"record":"run","meta":{"dse.expected_evals":"288"}}
+{"record":"counter","name":"dse.evals","value":288}
+{"record":"gauge","name":"scheduler.hit_rate","value":0.12}
+{"record":"series","name":"dse.bo.best_edp","values":[3,2,1]}
+"#;
+
+    #[test]
+    fn metrics_gate_accepts_consistent_manifest() {
+        let dir = temp_dir("mg_ok");
+        let path = dir.join("manifest.jsonl");
+        std::fs::write(&path, GOOD_MANIFEST).unwrap();
+        let report = metrics_gate(&path).unwrap();
+        assert!(report.contains("dse.evals = 288"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_gate_rejects_budget_mismatch_and_cold_cache() {
+        let dir = temp_dir("mg_bad");
+        let path = dir.join("manifest.jsonl");
+        let bad = GOOD_MANIFEST
+            .replace("\"value\":288", "\"value\":287")
+            .replace("0.12", "0.0");
+        std::fs::write(&path, bad).unwrap();
+        let err = metrics_gate(&path).unwrap_err();
+        assert!(err.contains("budget accounting broken"), "{err}");
+        assert!(err.contains("scheduler cache never hit"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_gate_requires_a_trajectory() {
+        let dir = temp_dir("mg_traj");
+        let path = dir.join("manifest.jsonl");
+        let no_series: String = GOOD_MANIFEST
+            .lines()
+            .filter(|l| !l.contains("series"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(&path, no_series).unwrap();
+        let err = metrics_gate(&path).unwrap_err();
+        assert!(err.contains("no dse.<label>.best_edp"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn perf_gate_passes_within_tolerance_and_fails_past_it() {
+        let dir = temp_dir("pg");
+        let baseline = dir.join("BENCH_pr1.json");
+        let current = dir.join("current.json");
+        std::fs::write(&baseline, "{\"id\":\"g/a\",\"ns_per_iter\":100}\n").unwrap();
+        std::fs::write(&current, "{\"id\":\"g/a\",\"ns_per_iter\":120}\n").unwrap();
+        assert!(perf_gate(&current, &[&baseline], 0.25).is_ok());
+        std::fs::write(&current, "{\"id\":\"g/a\",\"ns_per_iter\":130}\n").unwrap();
+        let err = perf_gate(&current, &[&baseline], 0.25).unwrap_err();
+        assert!(err.contains("g/a"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn write_run(dir: &Path, csv: &str, evals: u64, hits: f64) {
+        std::fs::write(dir.join("fig.csv"), csv).unwrap();
+        std::fs::write(
+            dir.join("manifest.jsonl"),
+            format!(
+                "{{\"record\":\"run\",\"meta\":{{}}}}\n\
+                 {{\"record\":\"counter\",\"name\":\"dse.evals\",\"value\":{evals}}}\n\
+                 {{\"record\":\"gauge\",\"name\":\"scheduler.hits\",\"value\":{hits}}}\n\
+                 {{\"record\":\"series\",\"name\":\"dse.bo.best_edp\",\"values\":[3,2]}}\n"
+            ),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn determinism_ignores_scheduler_metrics_but_not_dse_metrics() {
+        let a = temp_dir("det_a");
+        let b = temp_dir("det_b");
+        // Same results, different scheduler cache behaviour: passes.
+        write_run(&a, "1,2\n", 288, 10.0);
+        write_run(&b, "1,2\n", 288, 99.0);
+        determinism(&a, &b).unwrap();
+        // A deterministic counter differs: fails.
+        write_run(&b, "1,2\n", 287, 10.0);
+        let err = determinism(&a, &b).unwrap_err();
+        assert!(err.contains("deterministic counters differ"), "{err}");
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn determinism_byte_compares_result_files() {
+        let a = temp_dir("det_csv_a");
+        let b = temp_dir("det_csv_b");
+        write_run(&a, "1,2\n", 288, 10.0);
+        write_run(&b, "1,3\n", 288, 10.0);
+        let err = determinism(&a, &b).unwrap_err();
+        assert!(err.contains("fig.csv: byte contents differ"), "{err}");
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+}

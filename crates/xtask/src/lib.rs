@@ -1,0 +1,21 @@
+//! CI gate checkers and manifest tooling for the vaesa workspace.
+//!
+//! The `xtask` binary wraps three CI gates plus the parsing layer behind
+//! the `vaesa-cli obs-report` subcommand:
+//!
+//! - [`gates::metrics_gate`] — asserts structural invariants on one run
+//!   manifest (exact budget accounting, warm scheduler cache, non-empty
+//!   best-EDP trajectories);
+//! - [`gates::perf_gate`] — compares a fresh `VAESA_BENCH_JSON` capture
+//!   against the checked-in `BENCH_pr*.json` baselines;
+//! - [`gates::determinism`] — diffs two runs of the same figure binary at
+//!   different `VAESA_THREADS`, byte-comparing result files and comparing
+//!   the deterministic slice of their manifests.
+//!
+//! Everything here is a *reader* of `vaesa-obs` output; the obs crate
+//! itself stays write-only (and dependency-free).
+
+pub mod bench;
+pub mod gates;
+pub mod manifest;
+pub mod report;

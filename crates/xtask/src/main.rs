@@ -1,0 +1,121 @@
+//! `xtask` — CI gate checker for the vaesa workspace.
+//!
+//! ```text
+//! xtask metrics-gate <manifest.jsonl>
+//! xtask perf-gate --current <capture.json> --baseline <BENCH.json>... [--tolerance 0.25]
+//! xtask determinism <dir-a> <dir-b>
+//! ```
+//!
+//! Exit status 0 on pass, 1 on gate failure, 2 on usage errors. Reports
+//! go to stdout (pass) or stderr (fail).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use vaesa_xtask::gates;
+
+const USAGE: &str = "\
+usage: xtask <gate> [args]
+
+gates:
+  metrics-gate <manifest.jsonl>
+      assert budget accounting, scheduler warmth, and non-empty
+      best-EDP trajectories on one figure-run manifest
+
+  perf-gate --current <capture.json> --baseline <BENCH.json>...
+            [--tolerance 0.25]
+      fail if any benchmark median regresses past the tolerance vs the
+      merged baselines (pass BENCH_pr*.json oldest-first; later files
+      override earlier ids)
+
+  determinism <dir-a> <dir-b>
+      byte-compare result files and the deterministic manifest slice of
+      the same figure run at two VAESA_THREADS settings";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((gate, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let outcome = match gate.as_str() {
+        "metrics-gate" => match rest {
+            [manifest] => gates::metrics_gate(Path::new(manifest)),
+            _ => return usage_error("metrics-gate takes exactly one manifest path"),
+        },
+        "perf-gate" => match parse_perf_args(rest) {
+            Ok((current, baselines, tolerance)) => {
+                gates::perf_gate(&current, &baselines, tolerance)
+            }
+            Err(e) => return usage_error(&e),
+        },
+        "determinism" => match rest {
+            [a, b] => gates::determinism(Path::new(a), Path::new(b)),
+            _ => return usage_error("determinism takes exactly two directories"),
+        },
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => return usage_error(&format!("unknown gate `{other}`")),
+    };
+    match outcome {
+        Ok(report) => {
+            println!("{gate}: PASS");
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(report) => {
+            eprintln!("{gate}: FAIL");
+            eprint!("{report}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn parse_perf_args(args: &[String]) -> Result<(PathBuf, Vec<PathBuf>, f64), String> {
+    let mut current = None;
+    let mut baselines = Vec::new();
+    let mut tolerance = 0.25;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--current" => {
+                current = Some(PathBuf::from(it.next().ok_or("--current needs a path")?));
+            }
+            "--baseline" => {
+                // Consumes every following non-flag token, so shell globs
+                // like `--baseline BENCH_pr*.json` work unquoted.
+                baselines.push(PathBuf::from(
+                    it.next().ok_or("--baseline needs at least one path")?,
+                ));
+                let remaining = it.as_slice();
+                let extra = remaining
+                    .iter()
+                    .take_while(|a| !a.starts_with("--"))
+                    .count();
+                for path in &remaining[..extra] {
+                    baselines.push(PathBuf::from(path));
+                }
+                it = remaining[extra..].iter();
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .ok_or("--tolerance needs a number")?
+                    .parse()
+                    .map_err(|_| "invalid --tolerance value".to_string())?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let current = current.ok_or("perf-gate needs --current")?;
+    if baselines.is_empty() {
+        return Err("perf-gate needs at least one --baseline".into());
+    }
+    Ok((current, baselines, tolerance))
+}

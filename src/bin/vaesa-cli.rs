@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "search" => cmd_search(&flags),
         "eval" => cmd_eval(&flags),
+        "obs-report" => cmd_obs_report(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -71,6 +72,7 @@ commands:
                                              --budget N --seed S
   eval      score one design on a workload   --pe N --macs N --accum B --weight B
                                              --input B --global B --workload W
+  obs-report  summarize or diff run manifests  --manifest PATH [--diff PATH]
 
 workloads: alexnet, resnet50, resnext50, deepbench, vgg16, mobilenet,
            bert, all (the Table III training pool)";
@@ -262,6 +264,25 @@ fn cmd_search(flags: &Flags) -> Result<(), String> {
     println!("design:   {arch}");
     if let Some(n) = outcome.samples_to_best_3pct {
         println!("reached within 3% of its best after {n} samples");
+    }
+    Ok(())
+}
+
+fn cmd_obs_report(flags: &Flags) -> Result<(), String> {
+    use std::path::Path;
+    use vaesa_xtask::manifest::Manifest;
+    use vaesa_xtask::report;
+
+    let manifest = Manifest::load(Path::new(&flags.required("manifest")?))?;
+    match flags.0.get("diff") {
+        None => print!("{}", report::summarize(&manifest)),
+        Some(other_path) => {
+            let other = Manifest::load(Path::new(other_path))?;
+            match report::diff(&manifest, &other) {
+                None => println!("manifests are identical"),
+                Some(d) => print!("{d}"),
+            }
+        }
     }
     Ok(())
 }
