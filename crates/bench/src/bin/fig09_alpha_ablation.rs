@@ -10,8 +10,9 @@
 //!   destroying structure.
 
 use vaesa_accel::workloads;
-use vaesa_bench::{write_csv, Args, Setup};
+use vaesa_bench::{write_csv, write_svg, Args, Setup};
 use vaesa_linalg::stats;
+use vaesa_plot::ScatterChart;
 
 fn main() {
     let args = Args::parse();
@@ -63,6 +64,18 @@ fn main() {
         "\nwrote {} (alpha_index: 0 => 0, 1 => 1e-4, 2 => 1e-2)",
         path.display()
     );
+
+    // All three encodings on one chart, colored by α index, so the
+    // spread ordering (α=0 widest, α=1e-2 collapsed) reads directly.
+    let mut chart = ScatterChart::new(
+        "2-D latent encodings by KL weight (Fig. 9; color: 0 => alpha 0, 1 => 1e-4, 2 => 1e-2)",
+        "latent dim 1",
+        "latent dim 2",
+        "alpha index",
+    );
+    chart.points(rows.iter().map(|r| (r[1], r[2], r[0])));
+    let p = write_svg(&args.out_dir, "fig09_alpha_ablation.svg", &chart.render());
+    vaesa_obs::progress!("wrote {}", p.display());
 
     println!("\nsummary (alpha, max encoding std, final recon loss):");
     for (alpha, spread, recon) in &summary {

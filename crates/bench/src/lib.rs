@@ -135,15 +135,45 @@ pub fn init_run_meta(bin: &str, args: &Args) {
 /// not built on [`ExperimentContext`] call this directly as their last
 /// step; context binaries use [`ExperimentContext::finish`].
 ///
+/// Also publishes the process's peak RSS as the `process.peak_rss_bytes`
+/// gauge, and — when tracing is enabled (`VAESA_TRACE=1`) — exports the
+/// recorded timeline as `<out_dir>/trace.json` (Chrome `trace_event`
+/// JSON) and its flamegraph as `<out_dir>/flame.svg`.
+///
 /// # Panics
 ///
 /// Panics on I/O failure — experiment binaries should fail loudly.
 pub fn write_run_manifest(out_dir: &Path, scheduler: Option<&CachedScheduler>) -> PathBuf {
+    let registry = vaesa_obs::global();
     if let Some(scheduler) = scheduler {
-        scheduler.publish_stats(vaesa_obs::global(), "scheduler");
+        scheduler.publish_stats(registry, "scheduler");
+    }
+    if let Some(rss) = vaesa_obs::peak_rss_bytes() {
+        registry.gauge("process.peak_rss_bytes").set(rss as f64);
     }
     let path = out_dir.join("manifest.jsonl");
-    vaesa_obs::write_manifest(vaesa_obs::global(), &path).expect("write manifest");
+    vaesa_obs::write_manifest(registry, &path).expect("write manifest");
+    if registry.tracing_enabled() {
+        // The manifest is already on disk, so these notices go straight to
+        // stderr instead of through `progress!` (whose event would be lost).
+        let trace_path = out_dir.join("trace.json");
+        vaesa_obs::write_chrome_trace(registry, &trace_path).expect("write trace");
+        eprintln!("wrote {}", trace_path.display());
+        let title = registry
+            .meta("run_id")
+            .or_else(|| registry.meta("bin"))
+            .unwrap_or_else(|| "trace".to_string());
+        let mut flame = vaesa_plot::FlameGraph::new(format!("{title} spans"));
+        for event in registry.trace_events() {
+            flame.add(&event.path, event.dur_ns);
+        }
+        if flame.is_empty() {
+            eprintln!("tracing enabled but no spans recorded; skipping flame.svg");
+        } else {
+            let flame_path = write_svg(out_dir, "flame.svg", &flame.render());
+            eprintln!("wrote {}", flame_path.display());
+        }
+    }
     path
 }
 

@@ -13,7 +13,10 @@
 //!   best-EDP-so-far curves);
 //! - spans — hierarchical wall/CPU timing scopes ([`Registry::span`],
 //!   [`Span::child`]) aggregated per path;
-//! - meta / events — run-level key-value context and progress messages.
+//! - meta / events — run-level key-value context and progress messages;
+//! - traces — optional per-event span timelines (off by default; see
+//!   [`Registry::enable_tracing`] and the Chrome `trace_event` exporter
+//!   [`chrome_trace_string`]/[`write_chrome_trace`]).
 //!
 //! All of it lives in a [`Registry`] (usually the process-wide
 //! [`global()`] one) and serializes to a JSON-lines *run manifest*
@@ -41,12 +44,14 @@
 
 mod json;
 mod manifest;
+mod trace;
 
 pub use manifest::{manifest_lines, manifest_string, write_manifest};
+pub use trace::{chrome_trace_string, write_chrome_trace, TraceEvent, DEFAULT_TRACE_CAPACITY};
 
 use std::collections::BTreeMap;
 use std::fmt::Display;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -293,7 +298,7 @@ pub struct SpanStats {
 /// Cheap to share (`&Registry` everywhere); the process-wide instance is
 /// [`global()`]. All interior mutability is `Mutex`/atomic, so a registry
 /// is freely usable from the parallel sections of the stack.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
@@ -302,6 +307,17 @@ pub struct Registry {
     spans: Mutex<BTreeMap<String, SpanStats>>,
     meta: Mutex<BTreeMap<String, String>>,
     events: Mutex<Vec<String>>,
+    /// Origin of trace-event timestamps (set when the registry is built,
+    /// so every span begin/end offset is non-negative and monotonic).
+    epoch: Instant,
+    tracing: AtomicBool,
+    trace: Mutex<trace::TraceBuffer>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
 }
 
 macro_rules! get_or_create {
@@ -318,9 +334,20 @@ macro_rules! get_or_create {
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty registry (tracing off, default trace capacity).
     pub fn new() -> Self {
-        Registry::default()
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            series: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            meta: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+            tracing: AtomicBool::new(false),
+            trace: Mutex::new(trace::TraceBuffer::new(DEFAULT_TRACE_CAPACITY)),
+        }
     }
 
     /// The counter named `name`, created on first use.
@@ -394,6 +421,56 @@ impl Registry {
         self.spans.lock().expect("registry lock").get(path).copied()
     }
 
+    /// Turns on per-event span tracing (see the [`trace`](crate::trace)
+    /// module docs). When off — the default — spans cost one relaxed
+    /// atomic load extra, nothing else.
+    pub fn enable_tracing(&self) {
+        self.tracing.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns on tracing with an explicit ring-buffer capacity (events),
+    /// clearing anything previously recorded.
+    pub fn enable_tracing_with_capacity(&self, capacity: usize) {
+        self.trace
+            .lock()
+            .expect("registry lock")
+            .set_capacity(capacity);
+        self.enable_tracing();
+    }
+
+    /// Turns tracing back off. Recorded events stay readable.
+    pub fn disable_tracing(&self) {
+        self.tracing.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether per-event span tracing is currently on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Records one trace event directly. Usually driven by [`Span`]'s
+    /// drop (when tracing is on), but public so tests and replays can
+    /// synthesize traces — mirroring [`Registry::record_span`].
+    pub fn record_trace_event(&self, path: &str, tid: u64, begin_ns: u64, dur_ns: u64) {
+        self.trace.lock().expect("registry lock").push(TraceEvent {
+            path: path.to_string(),
+            tid,
+            begin_ns,
+            dur_ns,
+        });
+    }
+
+    /// The recorded trace events, oldest first.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.lock().expect("registry lock").snapshot()
+    }
+
+    /// How many trace events were overwritten or discarded because the
+    /// ring buffer was full.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.lock().expect("registry lock").dropped()
+    }
+
     /// Snapshot accessors used by the manifest writer (sorted by name).
     pub(crate) fn snapshot(&self) -> manifest::Snapshot {
         let counters = self
@@ -448,6 +525,7 @@ impl Registry {
         self.spans.lock().expect("registry lock").clear();
         self.meta.lock().expect("registry lock").clear();
         self.events.lock().expect("registry lock").clear();
+        self.trace.lock().expect("registry lock").clear();
     }
 }
 
@@ -495,6 +573,12 @@ impl Drop for Span<'_> {
             _ => 0,
         };
         self.registry.record_span(&self.path, wall_ns, cpu_ns);
+        if self.registry.tracing_enabled() {
+            let begin = self.start.saturating_duration_since(self.registry.epoch);
+            let begin_ns = u64::try_from(begin.as_nanos()).unwrap_or(u64::MAX);
+            self.registry
+                .record_trace_event(&self.path, trace::thread_index(), begin_ns, wall_ns);
+        }
     }
 }
 
@@ -540,10 +624,32 @@ pub fn git_rev() -> Option<String> {
     }
 }
 
+/// Peak resident-set size of this process in bytes, read from the
+/// `VmHWM` line of `/proc/self/status` (the kernel's memory high-water
+/// mark). Returns `None` off Linux.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
 /// The process-wide registry every instrumented crate records into.
+///
+/// Setting `VAESA_TRACE=1` (or `true`) in the environment enables span
+/// tracing on this registry from its first use.
 pub fn global() -> &'static Registry {
     static GLOBAL: OnceLock<Registry> = OnceLock::new();
-    GLOBAL.get_or_init(Registry::new)
+    GLOBAL.get_or_init(|| {
+        let registry = Registry::new();
+        let traced = std::env::var("VAESA_TRACE")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        if traced {
+            registry.enable_tracing();
+        }
+        registry
+    })
 }
 
 /// [`Registry::counter`] on the [`global()`] registry.
@@ -746,6 +852,127 @@ mod tests {
         assert!(reg.series("s").is_empty());
         assert_eq!(reg.span_stats("sp"), None);
         assert_eq!(reg.meta("k"), None);
+    }
+
+    #[test]
+    fn histogram_percentile_edge_cases() {
+        // Empty: every quantile is None.
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(1.0), None);
+
+        // Single sample: every quantile is that sample.
+        h.record(7.5);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(7.5), "q={q}");
+        }
+
+        // Duplicates: nearest rank lands on the duplicated value, and
+        // q=0/q=1 are the extrema.
+        let d = Histogram::new();
+        for v in [2.0, 2.0, 2.0, 2.0, 9.0] {
+            d.record(v);
+        }
+        assert_eq!(d.percentile(0.0), Some(2.0));
+        assert_eq!(d.percentile(0.5), Some(2.0));
+        assert_eq!(d.percentile(0.8), Some(2.0));
+        assert_eq!(d.percentile(0.81), Some(9.0));
+        assert_eq!(d.percentile(1.0), Some(9.0));
+        let s = d.summary().unwrap();
+        assert_eq!((s.min, s.max, s.p50), (2.0, 9.0, 2.0));
+    }
+
+    #[test]
+    fn nested_children_aggregate_per_path() {
+        let reg = Registry::new();
+        {
+            let run = reg.span("dse/run");
+            for _ in 0..3 {
+                let _fit = run.child("fit");
+            }
+            {
+                let fit = run.child("fit");
+                let _chol = fit.child("cholesky");
+            }
+            let _score = run.child("score");
+        }
+        // Same child name under the same parent folds into one path; a
+        // grandchild gets its own three-segment path; sibling paths stay
+        // separate; and re-running the parent keeps accumulating.
+        assert_eq!(reg.span_stats("dse/run").unwrap().count, 1);
+        assert_eq!(reg.span_stats("dse/run/fit").unwrap().count, 4);
+        assert_eq!(reg.span_stats("dse/run/fit/cholesky").unwrap().count, 1);
+        assert_eq!(reg.span_stats("dse/run/score").unwrap().count, 1);
+        assert_eq!(reg.span_stats("dse/run/bogus"), None);
+        {
+            let run = reg.span("dse/run");
+            let _fit = run.child("fit");
+        }
+        let fit = reg.span_stats("dse/run/fit").unwrap();
+        assert_eq!(fit.count, 5);
+        assert!(fit.wall_ns_min <= fit.wall_ns_max);
+        assert!(fit.wall_ns_total >= fit.wall_ns_max);
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_records_when_enabled() {
+        let reg = Registry::new();
+        {
+            let _s = reg.span("quiet");
+        }
+        assert!(!reg.tracing_enabled());
+        assert!(reg.trace_events().is_empty(), "disabled tracing records");
+
+        reg.enable_tracing();
+        {
+            let outer = reg.span("outer");
+            let _inner = outer.child("inner");
+        }
+        let events = reg.trace_events();
+        assert_eq!(events.len(), 2);
+        // Children drop first, so they precede parents in the buffer.
+        assert_eq!(events[0].path, "outer/inner");
+        assert_eq!(events[1].path, "outer");
+        for e in &events {
+            assert!(e.tid >= 1);
+        }
+        // The child window nests inside the parent window on the shared
+        // monotonic epoch clock.
+        let (inner, outer) = (&events[0], &events[1]);
+        assert!(outer.begin_ns <= inner.begin_ns);
+        assert!(inner.begin_ns + inner.dur_ns <= outer.begin_ns + outer.dur_ns);
+
+        reg.disable_tracing();
+        {
+            let _s = reg.span("quiet_again");
+        }
+        assert_eq!(reg.trace_events().len(), 2);
+
+        reg.reset();
+        assert!(reg.trace_events().is_empty());
+        assert_eq!(reg.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn tracing_capacity_override_caps_the_buffer() {
+        let reg = Registry::new();
+        reg.enable_tracing_with_capacity(2);
+        for i in 0..4 {
+            let _s = reg.span(if i % 2 == 0 { "even" } else { "odd" });
+        }
+        assert_eq!(reg.trace_events().len(), 2);
+        assert_eq!(reg.trace_dropped(), 2);
+        // Aggregate span stats are unaffected by the trace ring.
+        assert_eq!(reg.span_stats("even").unwrap().count, 2);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_where_supported() {
+        let Some(rss) = peak_rss_bytes() else {
+            return; // unsupported platform: nothing to check
+        };
+        // Any live process has paged in at least a few KiB.
+        assert!(rss > 4096, "{rss}");
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Execution tracing: a bounded per-event span recorder and the Chrome
+//! `trace_event` JSON exporter.
+//!
+//! The aggregate [`SpanStats`](crate::SpanStats) view answers "how much
+//! time, in total, went to each span path"; tracing answers "*when* did
+//! each occurrence run, and on which thread". Every completed [`Span`]
+//! (see [`crate::Registry::span`]) additionally records one
+//! [`TraceEvent`] — monotonic begin offset from the registry's epoch,
+//! duration, and a small per-thread index — into a ring buffer capped at
+//! [`DEFAULT_TRACE_CAPACITY`] events (oldest events are overwritten and
+//! counted as dropped).
+//!
+//! Tracing is **off by default**: the only cost on the span hot path is
+//! one relaxed atomic load. It is enabled per registry with
+//! [`crate::Registry::enable_tracing`], or process-wide by setting
+//! `VAESA_TRACE=1` before the [`crate::global`] registry is first touched.
+//!
+//! [`chrome_trace_string`]/[`write_chrome_trace`] export the buffer as
+//! Chrome `trace_event` JSON (complete `"ph":"X"` events, timestamps in
+//! microseconds) loadable in `chrome://tracing` or Perfetto; the
+//! `vaesa-xtask` crate carries the matching parser/validator and the
+//! flamegraph fold.
+
+use crate::json::Obj;
+use crate::Registry;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default capacity (in events) of a registry's trace ring buffer.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One completed span occurrence recorded while tracing was enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The span's `/`-separated path (same namespace as span stats).
+    pub path: String,
+    /// Small sequential index of the recording thread (1 = first thread
+    /// that ever recorded; *not* an OS thread id).
+    pub tid: u64,
+    /// Span begin, nanoseconds after the registry's trace epoch.
+    pub begin_ns: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Bounded ring buffer of trace events. Oldest-first retrieval; pushes
+/// past capacity overwrite the oldest event and count as dropped.
+#[derive(Debug)]
+pub(crate) struct TraceBuffer {
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    next: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            capacity,
+            events: Vec::new(),
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Replaces the capacity, clearing any recorded events.
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.clear();
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+        } else if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.next] = event;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded events, oldest first.
+    pub(crate) fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.next..]);
+        out.extend_from_slice(&self.events[..self.next]);
+        out
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.events.clear();
+        self.next = 0;
+        self.dropped = 0;
+    }
+}
+
+/// A small, stable, sequential index for the calling thread (1-based in
+/// recording order). Used as the `tid` of trace events so traces stay
+/// readable and deterministic in layout even though OS thread ids vary.
+pub(crate) fn thread_index() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static INDEX: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+    INDEX.with(|cell| {
+        if cell.get() == 0 {
+            cell.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        cell.get()
+    })
+}
+
+/// Renders `registry`'s trace buffer as Chrome `trace_event` JSON: one
+/// complete (`"ph":"X"`) event per recorded span, timestamps and
+/// durations in microseconds, plus a process-name metadata event. The
+/// result loads directly in `chrome://tracing` and Perfetto.
+pub fn chrome_trace_string(registry: &Registry) -> String {
+    let events = registry.trace_events();
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut meta = Obj::new();
+    let mut name_arg = Obj::new();
+    name_arg.str_field("name", "vaesa");
+    meta.str_field("name", "process_name")
+        .str_field("ph", "M")
+        .u64_field("pid", 1)
+        .raw_field("args", &name_arg.finish());
+    out.push_str(&meta.finish());
+    for event in &events {
+        let mut o = Obj::new();
+        o.str_field("name", &event.path)
+            .str_field("cat", "span")
+            .str_field("ph", "X")
+            .f64_field("ts", event.begin_ns as f64 / 1_000.0)
+            .f64_field("dur", event.dur_ns as f64 / 1_000.0)
+            .u64_field("pid", 1)
+            .u64_field("tid", event.tid);
+        out.push(',');
+        out.push_str(&o.finish());
+    }
+    out.push_str("],\"otherData\":{\"droppedEvents\":\"");
+    out.push_str(&registry.trace_dropped().to_string());
+    out.push_str("\"}}\n");
+    out
+}
+
+/// Writes [`chrome_trace_string`] to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_chrome_trace(registry: &Registry, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, chrome_trace_string(registry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_overwrites_oldest_and_counts_dropped() {
+        let mut buf = TraceBuffer::new(3);
+        for i in 0..5u64 {
+            buf.push(TraceEvent {
+                path: format!("s{i}"),
+                tid: 1,
+                begin_ns: i * 10,
+                dur_ns: 1,
+            });
+        }
+        let events = buf.snapshot();
+        assert_eq!(events.len(), 3);
+        let paths: Vec<&str> = events.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(paths, ["s2", "s3", "s4"], "oldest first after wrap");
+        assert_eq!(buf.dropped(), 2);
+        buf.clear();
+        assert!(buf.snapshot().is_empty());
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut buf = TraceBuffer::new(0);
+        buf.push(TraceEvent {
+            path: "s".into(),
+            tid: 1,
+            begin_ns: 0,
+            dur_ns: 1,
+        });
+        assert!(buf.snapshot().is_empty());
+        assert_eq!(buf.dropped(), 1);
+    }
+
+    #[test]
+    fn thread_index_is_stable_per_thread_and_positive() {
+        let here = thread_index();
+        assert!(here >= 1);
+        assert_eq!(here, thread_index());
+        let other = std::thread::spawn(thread_index).join().unwrap();
+        assert_ne!(here, other);
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_events_and_metadata() {
+        let reg = Registry::new();
+        reg.enable_tracing();
+        reg.record_trace_event("dse/run", 2, 1_500, 2_500);
+        let json = chrome_trace_string(&reg);
+        assert!(json.starts_with('{'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"dse/run\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.5"));
+        assert!(json.contains("\"dur\":2.5"));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"droppedEvents\":\"0\""));
+    }
+
+    #[test]
+    fn chrome_trace_writer_creates_directories() {
+        let dir = std::env::temp_dir().join(format!("vaesa_trace_test_{}", std::process::id()));
+        let path = dir.join("nested/trace.json");
+        let reg = Registry::new();
+        reg.enable_tracing();
+        reg.record_trace_event("a", 1, 0, 10);
+        write_chrome_trace(&reg, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"name\":\"a\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

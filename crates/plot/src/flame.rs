@@ -1,0 +1,266 @@
+//! Flamegraph rendering of folded span timings.
+//!
+//! Input is the *fold* of an execution trace: total wall time per
+//! `/`-separated span path (e.g. `dse/run/fit → 1.2 ms`), as produced by
+//! `vaesa-obs` trace events or `vaesa-xtask`'s Chrome-trace fold. The
+//! renderer rebuilds the span tree from the paths and draws a top-down
+//! icicle graph: each frame's width is proportional to its total time,
+//! children are nested inside their parent in lexicographic order, and
+//! the unaccounted remainder of a parent (its *self* time) is the empty
+//! space at the frame's right edge.
+
+use crate::svg::Svg;
+use std::collections::BTreeMap;
+
+const WIDTH: u32 = 960;
+const ROW_H: f64 = 18.0;
+const MARGIN: f64 = 10.0;
+const TITLE_H: f64 = 26.0;
+/// Frames narrower than this many pixels get no label.
+const MIN_LABEL_PX: f64 = 42.0;
+/// Frames narrower than this many pixels are not drawn at all.
+const MIN_FRAME_PX: f64 = 0.3;
+
+/// One node of the reconstructed span tree.
+#[derive(Debug, Default)]
+struct Frame {
+    /// Wall time recorded at exactly this path, nanoseconds.
+    own_ns: u64,
+    /// Children keyed by path segment (BTreeMap for deterministic layout).
+    children: BTreeMap<String, Frame>,
+}
+
+impl Frame {
+    fn add(&mut self, path: &str, wall_ns: u64) {
+        match path.split_once('/') {
+            None => {
+                self.children.entry(path.to_string()).or_default().own_ns += wall_ns;
+            }
+            Some((head, rest)) => {
+                self.children
+                    .entry(head.to_string())
+                    .or_default()
+                    .add(rest, wall_ns);
+            }
+        }
+    }
+
+    /// A frame's width: its own recorded time, or the sum of its
+    /// children's totals when they exceed it (a parent path that was
+    /// never recorded directly still spans its recorded descendants).
+    fn total_ns(&self) -> u64 {
+        let children: u64 = self.children.values().map(Frame::total_ns).sum();
+        self.own_ns.max(children)
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.children.values().map(Frame::depth).max().unwrap_or(0)
+    }
+}
+
+/// A flamegraph (icicle) chart over folded span timings.
+///
+/// # Examples
+///
+/// ```
+/// let mut flame = vaesa_plot::FlameGraph::new("fig12_gd spans");
+/// flame.add("dse/run", 3_000_000);
+/// flame.add("dse/run/score", 2_000_000);
+/// flame.add("train/epoch", 1_000_000);
+/// let svg = flame.render();
+/// assert!(svg.starts_with("<svg") && svg.contains("dse ("));
+/// ```
+#[derive(Debug)]
+pub struct FlameGraph {
+    title: String,
+    root: Frame,
+}
+
+impl FlameGraph {
+    /// An empty flamegraph with the given title.
+    pub fn new(title: impl Into<String>) -> Self {
+        FlameGraph {
+            title: title.into(),
+            root: Frame::default(),
+        }
+    }
+
+    /// Accumulates `wall_ns` of wall time onto the span `path`
+    /// (`/`-separated). Call once per trace event or once per folded
+    /// path — times on the same path add up either way.
+    pub fn add(&mut self, path: &str, wall_ns: u64) -> &mut Self {
+        if !path.is_empty() {
+            self.root.add(path, wall_ns);
+        }
+        self
+    }
+
+    /// Builds a flamegraph from `(path, wall_ns)` pairs.
+    pub fn from_folded<'a>(
+        title: impl Into<String>,
+        entries: impl IntoIterator<Item = (&'a str, u64)>,
+    ) -> Self {
+        let mut flame = FlameGraph::new(title);
+        for (path, ns) in entries {
+            flame.add(path, ns);
+        }
+        flame
+    }
+
+    /// Whether no time has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.root.children.is_empty()
+    }
+
+    /// Renders to an SVG string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was added (an empty flamegraph is a caller bug,
+    /// matching the other charts in this crate).
+    pub fn render(&self) -> String {
+        vaesa_obs::counter("plot.charts_rendered").incr();
+        assert!(!self.is_empty(), "flamegraph has no frames");
+        let total_ns = self.root.total_ns().max(1);
+        let depth = self.root.depth() - 1; // root itself is synthetic
+        let height = (TITLE_H + (depth as f64 + 1.0) * ROW_H + MARGIN) as u32;
+        let mut svg = Svg::new(WIDTH, height);
+        svg.text(
+            MARGIN,
+            TITLE_H - 9.0,
+            &format!("{} — total {}", self.title, fmt_ms(total_ns)),
+            13.0,
+            "start",
+        );
+        let span_w = WIDTH as f64 - 2.0 * MARGIN;
+        // Synthetic "all" frame on row 0, children below.
+        draw_frame(&mut svg, "all", total_ns, total_ns, MARGIN, TITLE_H, span_w);
+        draw_children(
+            &mut svg,
+            &self.root,
+            total_ns,
+            MARGIN,
+            TITLE_H + ROW_H,
+            span_w,
+        );
+        svg.finish()
+    }
+}
+
+fn draw_children(svg: &mut Svg, frame: &Frame, graph_total_ns: u64, x: f64, y: f64, width: f64) {
+    let parent_ns = frame.total_ns().max(1);
+    let mut cursor = x;
+    for (name, child) in &frame.children {
+        let child_ns = child.total_ns();
+        let w = width * child_ns as f64 / parent_ns as f64;
+        if w >= MIN_FRAME_PX {
+            draw_frame(svg, name, child_ns, graph_total_ns, cursor, y, w);
+            draw_children(svg, child, graph_total_ns, cursor, y + ROW_H, w);
+        }
+        cursor += w;
+    }
+}
+
+fn draw_frame(svg: &mut Svg, name: &str, ns: u64, graph_total_ns: u64, x: f64, y: f64, w: f64) {
+    svg.rect(x, y, w, ROW_H - 1.0, &frame_color(name), Some("#ffffff"));
+    if w >= MIN_LABEL_PX {
+        let pct = 100.0 * ns as f64 / graph_total_ns.max(1) as f64;
+        let label = format!("{name} ({} · {pct:.1}%)", fmt_ms(ns));
+        // ~6 px per glyph at 10 px sans-serif; truncate to the frame.
+        let fit = ((w - 8.0) / 6.0) as usize;
+        let label: String = label.chars().take(fit).collect();
+        svg.text(x + 4.0, y + ROW_H - 6.0, &label, 10.0, "start");
+    }
+}
+
+fn fmt_ms(ns: u64) -> String {
+    let ms = ns as f64 / 1e6;
+    if ms >= 100.0 {
+        format!("{ms:.0} ms")
+    } else if ms >= 1.0 {
+        format!("{ms:.1} ms")
+    } else {
+        format!("{:.2} ms", ms)
+    }
+}
+
+/// Deterministic warm color (flamegraph convention) from the frame name.
+fn frame_color(name: &str) -> String {
+    let mut h: u32 = 2166136261;
+    for b in name.bytes() {
+        h = (h ^ b as u32).wrapping_mul(16777619);
+    }
+    let r = 200 + (h % 56) as u8;
+    let g = 70 + ((h >> 8) % 110) as u8;
+    let b = 20 + ((h >> 16) % 40) as u8;
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_paths_rebuild_the_tree() {
+        let mut f = FlameGraph::new("t");
+        f.add("a/b", 30)
+            .add("a/b/c", 10)
+            .add("a/d", 20)
+            .add("e", 50);
+        assert_eq!(f.root.children["a"].total_ns(), 50);
+        assert_eq!(f.root.children["a"].children["b"].own_ns, 30);
+        assert_eq!(f.root.children["a"].children["b"].children["c"].own_ns, 10);
+        assert_eq!(f.root.total_ns(), 100);
+        assert_eq!(f.root.depth() - 1, 3);
+    }
+
+    #[test]
+    fn unrecorded_parents_span_their_children() {
+        let f = FlameGraph::from_folded("t", [("dse/run/fit", 40u64), ("dse/run/score", 60)]);
+        // Neither "dse" nor "dse/run" was recorded; both span 100.
+        assert_eq!(f.root.children["dse"].total_ns(), 100);
+        assert_eq!(f.root.children["dse"].children["run"].total_ns(), 100);
+    }
+
+    #[test]
+    fn render_draws_frames_labels_and_title() {
+        let mut f = FlameGraph::new("spans");
+        f.add("train", 2_000_000).add("train/epoch", 1_500_000);
+        f.add("dse/run", 6_000_000);
+        let svg = f.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("spans — total 8.0 ms"));
+        // Root + train + train/epoch + dse + dse/run = 5 frames (plus the
+        // background rect).
+        assert_eq!(svg.matches("<rect").count(), 6);
+        assert!(svg.contains("all (8.0 ms"));
+        assert!(svg.contains("dse ("));
+        assert!(svg.contains("75.0%"));
+    }
+
+    #[test]
+    fn tiny_frames_are_dropped_but_totals_stand() {
+        let mut f = FlameGraph::new("t");
+        f.add("big", 1_000_000_000).add("tiny", 1);
+        let svg = f.render();
+        assert!(svg.contains("big ("));
+        assert!(!svg.contains("tiny"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no frames")]
+    fn empty_flamegraph_panics() {
+        let _ = FlameGraph::new("t").render();
+    }
+
+    #[test]
+    fn frame_colors_are_valid_hex_and_deterministic() {
+        for name in ["dse/run", "train", "a", ""] {
+            let c = frame_color(name);
+            assert_eq!(c.len(), 7);
+            assert!(c.starts_with('#'));
+            assert!(c[1..].chars().all(|ch| ch.is_ascii_hexdigit()));
+            assert_eq!(c, frame_color(name));
+        }
+    }
+}

@@ -22,12 +22,14 @@
 
 mod chart;
 pub mod color;
+mod flame;
 mod heatmap;
 mod histogram;
 pub mod scale;
 mod svg;
 
 pub use chart::{LineChart, ScatterChart, Series};
+pub use flame::FlameGraph;
 pub use heatmap::Heatmap;
 pub use histogram::Histogram;
 pub use svg::Svg;

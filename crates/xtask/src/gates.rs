@@ -146,18 +146,27 @@ pub fn perf_gate(
     }
 }
 
+/// Files in a run's output directory that carry wall-clock timings and
+/// therefore legitimately differ between otherwise identical runs. The
+/// determinism gate skips them entirely, like `scheduler.*` metrics.
+const TIMING_FILES: &[&str] = &["trace.json", "flame.svg"];
+
 fn sorted_files(dir: &Path) -> Result<Vec<String>, String> {
     let mut names = Vec::new();
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
     for entry in entries {
         let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if TIMING_FILES.contains(&name.as_str()) {
+            continue;
+        }
         if entry
             .file_type()
             .map_err(|e| format!("cannot stat {}: {e}", entry.path().display()))?
             .is_file()
         {
-            names.push(entry.file_name().to_string_lossy().into_owned());
+            names.push(name);
         }
     }
     names.sort();
@@ -170,7 +179,10 @@ fn sorted_files(dir: &Path) -> Result<Vec<String>, String> {
 /// Every non-manifest file (CSV, SVG, ...) must be byte-identical — the
 /// workspace's parallel runtime promises bit-identical results. The
 /// manifests are compared only on the [`DETERMINISTIC_PREFIXES`] slice of
-/// counters, gauges (bit-exact), and series.
+/// counters, gauges (bit-exact), and series. Timing-bearing trace
+/// artifacts (`trace.json`, `flame.svg`) are excluded from both the
+/// file-set and the byte comparison — one side running with
+/// `VAESA_TRACE=1` must not fail the gate.
 ///
 /// # Errors
 ///
@@ -397,6 +409,24 @@ mod tests {
         write_run(&b, "1,2\n", 287, 10.0);
         let err = determinism(&a, &b).unwrap_err();
         assert!(err.contains("deterministic counters differ"), "{err}");
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn determinism_ignores_timing_bearing_trace_artifacts() {
+        let a = temp_dir("det_trace_a");
+        let b = temp_dir("det_trace_b");
+        write_run(&a, "1,2\n", 288, 10.0);
+        write_run(&b, "1,2\n", 288, 10.0);
+        // Only one side was traced, and its timeline is unique — both
+        // facts must be invisible to the gate.
+        std::fs::write(a.join("trace.json"), "{\"traceEvents\":[]}").unwrap();
+        std::fs::write(a.join("flame.svg"), "<svg/>").unwrap();
+        determinism(&a, &b).unwrap();
+        std::fs::write(b.join("trace.json"), "{\"traceEvents\":[{}]}").unwrap();
+        std::fs::write(b.join("flame.svg"), "<svg></svg>").unwrap();
+        determinism(&a, &b).unwrap();
         let _ = std::fs::remove_dir_all(&a);
         let _ = std::fs::remove_dir_all(&b);
     }

@@ -12,6 +12,12 @@
 //!   different `VAESA_THREADS`, byte-comparing result files and comparing
 //!   the deterministic slice of their manifests.
 //!
+//! On top of the gates sit the tracing/telemetry readers: [`trace`]
+//! parses, validates, and folds the Chrome `trace_event` JSON the obs
+//! layer exports (`xtask trace-check`, `vaesa-cli obs-flame`), and
+//! [`telemetry`] maintains the append-only cross-run history behind
+//! `xtask ingest` / `trend` / `trend-gate`.
+//!
 //! Everything here is a *reader* of `vaesa-obs` output; the obs crate
 //! itself stays write-only (and dependency-free).
 
@@ -19,3 +25,5 @@ pub mod bench;
 pub mod gates;
 pub mod manifest;
 pub mod report;
+pub mod telemetry;
+pub mod trace;

@@ -1,9 +1,15 @@
-//! `xtask` — CI gate checker for the vaesa workspace.
+//! `xtask` — CI gate checker and telemetry tool for the vaesa workspace.
 //!
 //! ```text
 //! xtask metrics-gate <manifest.jsonl>
 //! xtask perf-gate --current <capture.json> --baseline <BENCH.json>... [--tolerance 0.25]
 //! xtask determinism <dir-a> <dir-b>
+//! xtask trace-check <trace.json>
+//! xtask summarize <manifest.jsonl>
+//! xtask diff <manifest-a> <manifest-b>
+//! xtask ingest <manifest.jsonl> [--history <history.jsonl>]
+//! xtask trend [--history <history.jsonl>] [--out <dir>]
+//! xtask trend-gate [--history <history.jsonl>] [--tolerance 0.25]
 //! ```
 //!
 //! Exit status 0 on pass, 1 on gate failure, 2 on usage errors. Reports
@@ -11,10 +17,14 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use vaesa_xtask::gates;
+use vaesa_xtask::trace::ChromeTrace;
+use vaesa_xtask::{gates, manifest::Manifest, report, telemetry};
+
+/// Where CI keeps the cross-run telemetry history.
+const DEFAULT_HISTORY: &str = "results/telemetry/history.jsonl";
 
 const USAGE: &str = "\
-usage: xtask <gate> [args]
+usage: xtask <command> [args]
 
 gates:
   metrics-gate <manifest.jsonl>
@@ -29,7 +39,33 @@ gates:
 
   determinism <dir-a> <dir-b>
       byte-compare result files and the deterministic manifest slice of
-      the same figure run at two VAESA_THREADS settings";
+      the same figure run at two VAESA_THREADS settings
+
+  trace-check <trace.json>
+      validate a Chrome trace_event export: known phases, non-negative
+      timestamps, balanced B/E pairs, at least one timed span
+
+  trend-gate [--history <history.jsonl>] [--tolerance 0.25]
+      fail when a gated span's wall-time in the latest record of any
+      (run_id, threads) group exceeds the trailing median of its prior
+      records by more than the tolerance
+
+telemetry:
+  summarize <manifest.jsonl>
+      print one run manifest as a readable report
+
+  diff <manifest-a> <manifest-b>
+      diff two run manifests (exit 1 when they differ)
+
+  ingest <manifest.jsonl> [--history <history.jsonl>]
+      append a compact per-run record to the history; idempotent per
+      run_id@git_rev
+
+  trend [--history <history.jsonl>] [--out <dir>]
+      render per-metric SVG trend charts over the history
+      (default out dir: results/telemetry)
+
+default history file: results/telemetry/history.jsonl";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +87,61 @@ fn main() -> ExitCode {
         "determinism" => match rest {
             [a, b] => gates::determinism(Path::new(a), Path::new(b)),
             _ => return usage_error("determinism takes exactly two directories"),
+        },
+        "trace-check" => match rest {
+            [trace] => ChromeTrace::load(Path::new(trace)).and_then(|t| t.validate()),
+            _ => return usage_error("trace-check takes exactly one trace.json path"),
+        },
+        "summarize" => match rest {
+            [manifest] => Manifest::load(Path::new(manifest)).map(|m| report::summarize(&m)),
+            _ => return usage_error("summarize takes exactly one manifest path"),
+        },
+        "diff" => match rest {
+            [a, b] => match (Manifest::load(Path::new(a)), Manifest::load(Path::new(b))) {
+                (Ok(ma), Ok(mb)) => match report::diff(&ma, &mb) {
+                    None => Ok("manifests are identical\n".to_string()),
+                    Some(d) => Err(d),
+                },
+                (Err(e), _) | (_, Err(e)) => Err(e),
+            },
+            _ => return usage_error("diff takes exactly two manifest paths"),
+        },
+        "ingest" => match parse_history_args(rest, &["--history"]) {
+            Ok((positional, flags)) => match positional.as_slice() {
+                [manifest] => {
+                    let history = history_path(&flags);
+                    telemetry::ingest(Path::new(manifest), &history)
+                }
+                _ => return usage_error("ingest takes exactly one manifest path"),
+            },
+            Err(e) => return usage_error(&e),
+        },
+        "trend" => match parse_history_args(rest, &["--history", "--out"]) {
+            Ok((positional, flags)) if positional.is_empty() => {
+                let history = history_path(&flags);
+                let out = flags
+                    .get("--out")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("results/telemetry"));
+                telemetry::render_trends(&history, &out)
+            }
+            Ok(_) => return usage_error("trend takes no positional arguments"),
+            Err(e) => return usage_error(&e),
+        },
+        "trend-gate" => match parse_history_args(rest, &["--history", "--tolerance"]) {
+            Ok((positional, flags)) if positional.is_empty() => {
+                let history = history_path(&flags);
+                let tolerance = match flags.get("--tolerance") {
+                    None => telemetry::DEFAULT_TREND_TOLERANCE,
+                    Some(raw) => match raw.parse() {
+                        Ok(t) => t,
+                        Err(_) => return usage_error("invalid --tolerance value"),
+                    },
+                };
+                telemetry::trend_gate(&history, tolerance)
+            }
+            Ok(_) => return usage_error("trend-gate takes no positional arguments"),
+            Err(e) => return usage_error(&e),
         },
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -75,6 +166,35 @@ fn main() -> ExitCode {
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("error: {msg}\n{USAGE}");
     ExitCode::from(2)
+}
+
+fn history_path(flags: &std::collections::BTreeMap<String, String>) -> PathBuf {
+    flags
+        .get("--history")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_HISTORY))
+}
+
+/// Splits `args` into positional arguments and `--flag value` pairs,
+/// accepting only the listed flags.
+fn parse_history_args(
+    args: &[String],
+    allowed: &[&str],
+) -> Result<(Vec<String>, std::collections::BTreeMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(flag) = allowed.iter().find(|f| *f == arg) {
+            let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+            flags.insert(flag.to_string(), value.clone());
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}`"));
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, flags))
 }
 
 fn parse_perf_args(args: &[String]) -> Result<(PathBuf, Vec<PathBuf>, f64), String> {

@@ -78,7 +78,7 @@ fn diff_family<T: PartialEq, F: Fn(&T, &T) -> String>(
     for (name, va) in a {
         match b.get(name) {
             None => {
-                let _ = writeln!(lines, "  - {name} (only in A)");
+                let _ = writeln!(lines, "  - {name} (missing in right)");
             }
             Some(vb) if va != vb => {
                 let _ = writeln!(lines, "  ~ {name}: {}", show(va, vb));
@@ -87,7 +87,7 @@ fn diff_family<T: PartialEq, F: Fn(&T, &T) -> String>(
         }
     }
     for name in b.keys().filter(|n| !a.contains_key(*n)) {
-        let _ = writeln!(lines, "  + {name} (only in B)");
+        let _ = writeln!(lines, "  + {name} (missing in left)");
     }
     if !lines.is_empty() {
         let _ = writeln!(out, "{family}:");
@@ -172,5 +172,16 @@ mod tests {
         assert!(diff(&manifest(288), &manifest(288)).is_none());
         let d = diff(&manifest(288), &manifest(287)).unwrap();
         assert!(d.contains("dse.evals: 288 -> 287"), "{d}");
+    }
+
+    #[test]
+    fn diff_names_the_side_a_metric_is_missing_from() {
+        let mut a = manifest(288);
+        let mut b = manifest(288);
+        a.counters.insert("left.only".to_string(), 1);
+        b.gauges.insert("right.only".to_string(), 2.0);
+        let d = diff(&a, &b).unwrap();
+        assert!(d.contains("- left.only (missing in right)"), "{d}");
+        assert!(d.contains("+ right.only (missing in left)"), "{d}");
     }
 }

@@ -1,0 +1,559 @@
+//! Cross-run telemetry: an append-only history of per-run metric
+//! records, trend charts over that history, and a regression gate on
+//! gated span wall-times.
+//!
+//! Every figure run already writes a `manifest.jsonl`; [`ingest`]
+//! compacts one manifest into a single [`HistoryRecord`] JSON line
+//! appended to `results/telemetry/history.jsonl`. Records are keyed by
+//! `run_id@git_rev`, so re-ingesting the same run is a no-op (CI can
+//! call `ingest` unconditionally) while history still grows one record
+//! per commit per figure. [`render_trends`] draws per-metric SVG charts
+//! over the history, and [`trend_gate`] fails when a gated span's
+//! wall-time regresses more than a tolerance past the trailing median
+//! of its prior runs with the same `(run_id, threads)` shape.
+
+use crate::manifest::Manifest;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use vaesa_plot::{LineChart, Series};
+
+/// Counters worth tracking across runs.
+pub const KEY_COUNTERS: &[&str] = &[
+    "dse.evals",
+    "nn.adam.steps",
+    "accel.snaps",
+    "plot.charts_rendered",
+];
+
+/// Gauges worth tracking across runs.
+pub const KEY_GAUGES: &[&str] = &["scheduler.hit_rate", "process.peak_rss_bytes"];
+
+/// Span paths whose wall-time regressions fail [`trend_gate`].
+pub const GATED_SPANS: &[&str] = &["bench/dataset", "bench/train", "dse/run", "train/epoch"];
+
+/// Default regression tolerance: latest wall-time may exceed the
+/// trailing median of prior runs by at most this fraction.
+pub const DEFAULT_TREND_TOLERANCE: f64 = 0.25;
+
+/// One compact per-run record of the history file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    /// Dedupe key: `run_id@git_rev`.
+    pub key: String,
+    /// The run id from the manifest meta (`{bin}-seed{S}-scale{C}`).
+    pub run_id: String,
+    /// Figure binary name.
+    pub bin: String,
+    /// Git revision the run was built from.
+    pub git_rev: String,
+    /// `VAESA_THREADS` shape of the run.
+    pub threads: u64,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Tracked counter values ([`KEY_COUNTERS`] ∩ manifest).
+    pub counters: BTreeMap<String, u64>,
+    /// Tracked gauge values ([`KEY_GAUGES`] ∩ manifest).
+    pub gauges: BTreeMap<String, f64>,
+    /// Total wall nanoseconds of *every* span in the manifest.
+    pub span_wall_ns: BTreeMap<String, u64>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl HistoryRecord {
+    /// Builds a record from a parsed manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the manifest's `run` meta lacks any of
+    /// `run_id`, `bin`, `git_rev`, `threads`, or `seed`.
+    pub fn from_manifest(m: &Manifest) -> Result<Self, String> {
+        let meta_str = |key: &str| -> Result<String, String> {
+            m.meta
+                .get(key)
+                .cloned()
+                .ok_or_else(|| format!("manifest meta lacks `{key}`"))
+        };
+        let meta_u64 = |key: &str| -> Result<u64, String> {
+            m.meta_u64(key)
+                .ok_or_else(|| format!("manifest meta lacks numeric `{key}`"))
+        };
+        let run_id = meta_str("run_id")?;
+        let git_rev = meta_str("git_rev")?;
+        let mut counters = BTreeMap::new();
+        for name in KEY_COUNTERS {
+            if let Some(v) = m.counter(name) {
+                counters.insert(name.to_string(), v);
+            }
+        }
+        let mut gauges = BTreeMap::new();
+        for name in KEY_GAUGES {
+            if let Some(v) = m.gauge(name) {
+                if v.is_finite() {
+                    gauges.insert(name.to_string(), v);
+                }
+            }
+        }
+        let span_wall_ns = m
+            .spans
+            .iter()
+            .map(|(path, s)| (path.clone(), s.wall_ns_total))
+            .collect();
+        Ok(HistoryRecord {
+            key: format!("{run_id}@{git_rev}"),
+            run_id,
+            bin: meta_str("bin")?,
+            git_rev,
+            threads: meta_u64("threads")?,
+            seed: meta_u64("seed")?,
+            counters,
+            gauges,
+            span_wall_ns,
+        })
+    }
+
+    /// Serializes the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"key\":\"{}\",\"run_id\":\"{}\",\"bin\":\"{}\",\"git_rev\":\"{}\",\"threads\":{},\"seed\":{}",
+            json_escape(&self.key),
+            json_escape(&self.run_id),
+            json_escape(&self.bin),
+            json_escape(&self.git_rev),
+            self.threads,
+            self.seed,
+        );
+        out.push_str(",\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        out.push_str("},\"span_wall_ns\":{");
+        for (i, (path, v)) in self.span_wall_ns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(path));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    fn parse(v: &Value, line: usize) -> Result<Self, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            match v.get(key) {
+                Some(Value::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("line {line}: missing string field `{key}`")),
+            }
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("line {line}: missing u64 field `{key}`"))
+        };
+        let u64_map = |key: &str| -> Result<BTreeMap<String, u64>, String> {
+            let Some(Value::Map(entries)) = v.get(key) else {
+                return Err(format!("line {line}: missing object field `{key}`"));
+            };
+            entries
+                .iter()
+                .map(|(k, val)| {
+                    val.as_u64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("line {line}: `{key}.{k}` is not a u64"))
+                })
+                .collect()
+        };
+        let gauges = {
+            let Some(Value::Map(entries)) = v.get("gauges") else {
+                return Err(format!("line {line}: missing object field `gauges`"));
+            };
+            entries
+                .iter()
+                .map(|(k, val)| {
+                    val.as_f64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("line {line}: `gauges.{k}` is not a number"))
+                })
+                .collect::<Result<BTreeMap<_, _>, _>>()?
+        };
+        Ok(HistoryRecord {
+            key: str_field("key")?,
+            run_id: str_field("run_id")?,
+            bin: str_field("bin")?,
+            git_rev: str_field("git_rev")?,
+            threads: u64_field("threads")?,
+            seed: u64_field("seed")?,
+            counters: u64_map("counters")?,
+            gauges,
+            span_wall_ns: u64_map("span_wall_ns")?,
+        })
+    }
+}
+
+/// Loads the history file, oldest record first. A missing file is an
+/// empty history, not an error.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed records.
+pub fn load_history(path: &Path) -> Result<Vec<HistoryRecord>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let mut records = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = serde_json::parse_value(raw)
+            .map_err(|e| format!("{}: line {line}: invalid JSON: {e}", path.display()))?;
+        records
+            .push(HistoryRecord::parse(&v, line).map_err(|e| format!("{}: {e}", path.display()))?);
+    }
+    Ok(records)
+}
+
+/// Appends the manifest at `manifest_path` to the history at
+/// `history_path` as one compact record. Idempotent: if a record with
+/// the same `run_id@git_rev` key already exists, nothing is written.
+///
+/// # Errors
+///
+/// Propagates manifest/history load failures and write failures.
+pub fn ingest(manifest_path: &Path, history_path: &Path) -> Result<String, String> {
+    let manifest = Manifest::load(manifest_path)?;
+    let record = HistoryRecord::from_manifest(&manifest)?;
+    let history = load_history(history_path)?;
+    if history.iter().any(|r| r.key == record.key) {
+        return Ok(format!(
+            "{} already ingested (key {}), history unchanged at {} record(s)\n",
+            manifest_path.display(),
+            record.key,
+            history.len()
+        ));
+    }
+    if let Some(parent) = history_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    let mut text = String::new();
+    for r in &history {
+        text.push_str(&r.to_json_line());
+        text.push('\n');
+    }
+    text.push_str(&record.to_json_line());
+    text.push('\n');
+    std::fs::write(history_path, text)
+        .map_err(|e| format!("cannot write {}: {e}", history_path.display()))?;
+    Ok(format!(
+        "ingested {} as {} ({} record(s) total)\n",
+        manifest_path.display(),
+        record.key,
+        history.len() + 1
+    ))
+}
+
+fn median(sorted: &mut [u64]) -> u64 {
+    sorted.sort_unstable();
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// Runs the trend gate over in-memory records: within each
+/// `(run_id, threads)` group, the latest record's gated span wall-times
+/// must not exceed the trailing median of all prior records by more
+/// than `tolerance` (fractional).
+///
+/// # Errors
+///
+/// Returns the list of regressions when any gated span fails.
+pub fn trend_gate_records(records: &[HistoryRecord], tolerance: f64) -> Result<String, String> {
+    let mut groups: BTreeMap<(String, u64), Vec<&HistoryRecord>> = BTreeMap::new();
+    for r in records {
+        groups
+            .entry((r.run_id.clone(), r.threads))
+            .or_default()
+            .push(r);
+    }
+    let mut report = String::new();
+    let mut failures = String::new();
+    for ((run_id, threads), group) in &groups {
+        let (latest, priors) = group.split_last().expect("groups are non-empty");
+        if priors.is_empty() {
+            let _ = writeln!(
+                report,
+                "{run_id} (threads={threads}): first record, nothing to compare"
+            );
+            continue;
+        }
+        for span in GATED_SPANS {
+            let Some(&current) = latest.span_wall_ns.get(*span) else {
+                continue;
+            };
+            let mut prior: Vec<u64> = priors
+                .iter()
+                .filter_map(|r| r.span_wall_ns.get(*span).copied())
+                .collect();
+            if prior.is_empty() {
+                continue;
+            }
+            let baseline = median(&mut prior);
+            let ratio = current as f64 / baseline.max(1) as f64;
+            let line = format!(
+                "{run_id} (threads={threads}) {span}: {:.1}ms vs median {:.1}ms ({:+.1}%)",
+                current as f64 / 1e6,
+                baseline as f64 / 1e6,
+                (ratio - 1.0) * 100.0
+            );
+            if ratio > 1.0 + tolerance {
+                let _ = writeln!(
+                    failures,
+                    "{line} exceeds tolerance {:.0}%",
+                    tolerance * 100.0
+                );
+            } else {
+                let _ = writeln!(report, "{line}");
+            }
+        }
+    }
+    if records.is_empty() {
+        let _ = writeln!(report, "history is empty, nothing to gate");
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
+/// Loads the history file and runs [`trend_gate_records`] over it.
+///
+/// # Errors
+///
+/// Propagates load failures and gate failures.
+pub fn trend_gate(history_path: &Path, tolerance: f64) -> Result<String, String> {
+    let records = load_history(history_path)?;
+    trend_gate_records(&records, tolerance)
+}
+
+fn metric_file_name(metric: &str) -> String {
+    let slug: String = metric
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("trend_{slug}.svg")
+}
+
+/// Renders one SVG trend chart per tracked metric (gated span
+/// wall-times in milliseconds, then [`KEY_GAUGES`]) into `out_dir`, one
+/// series per `(run_id, threads)` group, x = record index within the
+/// group. Metrics absent from every record are skipped. Returns a
+/// report naming each chart written.
+///
+/// # Errors
+///
+/// Propagates history load failures and write failures.
+pub fn render_trends(history_path: &Path, out_dir: &Path) -> Result<String, String> {
+    let records = load_history(history_path)?;
+    if records.is_empty() {
+        return Ok("history is empty, no trend charts written\n".to_string());
+    }
+    let mut groups: BTreeMap<(String, u64), Vec<&HistoryRecord>> = BTreeMap::new();
+    for r in &records {
+        groups
+            .entry((r.run_id.clone(), r.threads))
+            .or_default()
+            .push(r);
+    }
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let mut report = String::new();
+
+    fn span_values(r: &HistoryRecord, metric: &str) -> Option<f64> {
+        r.span_wall_ns.get(metric).map(|&ns| ns as f64 / 1e6)
+    }
+    fn gauge_values(r: &HistoryRecord, metric: &str) -> Option<f64> {
+        r.gauges.get(metric).copied()
+    }
+    type Extract = fn(&HistoryRecord, &str) -> Option<f64>;
+
+    let families: [(&[&str], &str, Extract); 2] = [
+        (GATED_SPANS, "wall ms", span_values),
+        (KEY_GAUGES, "value", gauge_values),
+    ];
+    for (metrics, y_label, extract) in families {
+        for metric in metrics {
+            let mut chart = LineChart::new(format!("{metric} across runs"), "run", y_label);
+            let mut any = false;
+            for ((run_id, threads), group) in &groups {
+                let points: Vec<(f64, f64)> = group
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| extract(r, metric).map(|v| (i as f64, v)))
+                    .collect();
+                if points.is_empty() {
+                    continue;
+                }
+                any = true;
+                chart.series(Series::new(format!("{run_id} t{threads}"), points));
+            }
+            if !any {
+                continue;
+            }
+            let path = out_dir.join(metric_file_name(metric));
+            std::fs::write(&path, chart.render())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            let _ = writeln!(report, "wrote {}", path.display());
+        }
+    }
+    if report.is_empty() {
+        report.push_str("no tracked metrics present in history, nothing written\n");
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest_text(run_id: &str, git_rev: &str, dse_run_ns: u64) -> String {
+        format!(
+            "{{\"record\":\"run\",\"meta\":{{\"bin\":\"fig11\",\"run_id\":\"{run_id}\",\"git_rev\":\"{git_rev}\",\"threads\":\"2\",\"seed\":\"7\"}}}}\n\
+             {{\"record\":\"counter\",\"name\":\"dse.evals\",\"value\":288}}\n\
+             {{\"record\":\"counter\",\"name\":\"untracked.counter\",\"value\":5}}\n\
+             {{\"record\":\"gauge\",\"name\":\"scheduler.hit_rate\",\"value\":0.5}}\n\
+             {{\"record\":\"span\",\"path\":\"dse/run\",\"count\":3,\"wall_ns_total\":{dse_run_ns},\"cpu_ns_total\":0}}\n"
+        )
+    }
+
+    fn record(run_id: &str, git_rev: &str, dse_run_ns: u64) -> HistoryRecord {
+        let m = Manifest::parse(&manifest_text(run_id, git_rev, dse_run_ns)).unwrap();
+        HistoryRecord::from_manifest(&m).unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("vaesa_telemetry_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn record_compacts_manifest_and_round_trips_through_json() {
+        let r = record("fig11-seed7-scale1", "abc123", 900);
+        assert_eq!(r.key, "fig11-seed7-scale1@abc123");
+        assert_eq!(r.counters["dse.evals"], 288);
+        assert!(!r.counters.contains_key("untracked.counter"));
+        assert_eq!(r.gauges["scheduler.hit_rate"], 0.5);
+        assert_eq!(r.span_wall_ns["dse/run"], 900);
+
+        let line = r.to_json_line();
+        let v = serde_json::parse_value(&line).unwrap();
+        let parsed = HistoryRecord::parse(&v, 1).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn ingest_is_idempotent_per_run_and_rev() {
+        let dir = temp_dir("ingest");
+        let manifest = dir.join("manifest.jsonl");
+        let history = dir.join("telemetry/history.jsonl");
+        std::fs::write(&manifest, manifest_text("fig11-seed7-scale1", "abc", 900)).unwrap();
+
+        ingest(&manifest, &history).unwrap();
+        let again = ingest(&manifest, &history).unwrap();
+        assert!(again.contains("already ingested"), "{again}");
+        assert_eq!(load_history(&history).unwrap().len(), 1);
+
+        // Same run id at a new revision is a new record.
+        std::fs::write(&manifest, manifest_text("fig11-seed7-scale1", "def", 950)).unwrap();
+        ingest(&manifest, &history).unwrap();
+        assert_eq!(load_history(&history).unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trend_gate_passes_steady_history_and_fails_regressions() {
+        let id = "fig11-seed7-scale1";
+        let steady = vec![
+            record(id, "r1", 1_000_000),
+            record(id, "r2", 1_100_000),
+            record(id, "r3", 1_050_000),
+        ];
+        let report = trend_gate_records(&steady, DEFAULT_TREND_TOLERANCE).unwrap();
+        assert!(report.contains("dse/run"), "{report}");
+
+        let mut regressed = steady.clone();
+        regressed.push(record(id, "r4", 2_000_000));
+        let err = trend_gate_records(&regressed, DEFAULT_TREND_TOLERANCE).unwrap_err();
+        assert!(err.contains("dse/run"), "{err}");
+        assert!(err.contains("exceeds tolerance"), "{err}");
+    }
+
+    #[test]
+    fn trend_gate_tolerates_first_records_and_empty_history() {
+        let first = vec![record("fig11-seed7-scale1", "r1", 1_000_000)];
+        let report = trend_gate_records(&first, DEFAULT_TREND_TOLERANCE).unwrap();
+        assert!(report.contains("first record"), "{report}");
+        let empty = trend_gate_records(&[], DEFAULT_TREND_TOLERANCE).unwrap();
+        assert!(empty.contains("empty"), "{empty}");
+        assert!(load_history(Path::new("/nonexistent/history.jsonl"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn render_trends_writes_one_chart_per_present_metric() {
+        let dir = temp_dir("trends");
+        let history = dir.join("history.jsonl");
+        let mut text = String::new();
+        for (rev, ns) in [("r1", 1_000_000u64), ("r2", 1_200_000)] {
+            text.push_str(&record("fig11-seed7-scale1", rev, ns).to_json_line());
+            text.push('\n');
+        }
+        std::fs::write(&history, text).unwrap();
+        let report = render_trends(&history, &dir).unwrap();
+        assert!(report.contains("trend_dse_run.svg"), "{report}");
+        let svg = std::fs::read_to_string(dir.join("trend_dse_run.svg")).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(!dir.join(metric_file_name("bench/train")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

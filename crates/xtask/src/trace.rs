@@ -1,0 +1,276 @@
+//! Parser, validator, and flamegraph fold for Chrome `trace_event` JSON —
+//! the `trace.json` files the obs layer exports next to each run's
+//! `manifest.jsonl`.
+//!
+//! Accepts the JSON-object form of the format: a top-level object with a
+//! `traceEvents` array of event objects. Timing comes either as complete
+//! events (`"ph":"X"` with `ts` + `dur`) — what `vaesa-obs` writes — or
+//! as paired `"ph":"B"`/`"ph":"E"` begin/end events; metadata (`"M"`)
+//! events are allowed and ignored. [`ChromeTrace::validate`] asserts the
+//! structural invariants CI gates on (non-negative monotonic timestamps,
+//! balanced B/E stacks, at least one timing event), and
+//! [`ChromeTrace::fold`] reduces the timeline to total wall nanoseconds
+//! per span path — the input shape `vaesa_plot::FlameGraph` renders.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One parsed trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeTraceEvent {
+    /// Event name (the span path for `vaesa-obs` exports).
+    pub name: String,
+    /// Phase: `X` (complete), `B`/`E` (duration pair), or `M` (metadata).
+    pub ph: String,
+    /// Timestamp, microseconds (0 for metadata events).
+    pub ts_us: f64,
+    /// Duration, microseconds (complete events only; 0 otherwise).
+    pub dur_us: f64,
+    /// Thread id.
+    pub tid: u64,
+}
+
+/// A parsed `trace.json`.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    /// Events in file order.
+    pub events: Vec<ChromeTraceEvent>,
+}
+
+fn f64_or_zero(v: &Value, key: &str) -> Option<f64> {
+    match v.get(key) {
+        None => Some(0.0),
+        Some(x) => x.as_f64(),
+    }
+}
+
+impl ChromeTrace {
+    /// Parses trace-event JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON, a missing `traceEvents`
+    /// array, or events without a string `name`/`ph` or numeric fields.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let root = serde_json::parse_value(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let Some(Value::Seq(items)) = root.get("traceEvents") else {
+            return Err("missing `traceEvents` array".to_string());
+        };
+        let mut events = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let at = format!("traceEvents[{i}]");
+            let Some(Value::Str(name)) = item.get("name") else {
+                return Err(format!("{at}: missing string field `name`"));
+            };
+            let Some(Value::Str(ph)) = item.get("ph") else {
+                return Err(format!("{at}: missing string field `ph`"));
+            };
+            let ts_us = f64_or_zero(item, "ts").ok_or_else(|| format!("{at}: non-numeric `ts`"))?;
+            let dur_us =
+                f64_or_zero(item, "dur").ok_or_else(|| format!("{at}: non-numeric `dur`"))?;
+            let tid = match item.get("tid") {
+                None => 0,
+                Some(t) => t
+                    .as_u64()
+                    .ok_or_else(|| format!("{at}: non-integer `tid`"))?,
+            };
+            events.push(ChromeTraceEvent {
+                name: name.clone(),
+                ph: ph.clone(),
+                ts_us,
+                dur_us,
+                tid,
+            });
+        }
+        Ok(ChromeTrace { events })
+    }
+
+    /// Loads and parses a `trace.json` file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures and [`ChromeTrace::parse`] errors,
+    /// prefixed with the path.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Checks the structural invariants CI gates on:
+    ///
+    /// - every phase is one of `X`, `B`, `E`, `M`;
+    /// - every timestamp and duration is finite and non-negative;
+    /// - `B`/`E` events nest properly per thread (each `E` closes the
+    ///   most recent open `B` of the same name, and nothing stays open);
+    /// - at least one timing event (`X` or a `B`/`E` pair) is present.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full list of violations.
+    pub fn validate(&self) -> Result<String, String> {
+        let mut failures = String::new();
+        let mut timing_events = 0usize;
+        let mut open: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if !e.ts_us.is_finite() || e.ts_us < 0.0 {
+                let _ = writeln!(failures, "event {i} ({}): bad ts {}", e.name, e.ts_us);
+            }
+            if !e.dur_us.is_finite() || e.dur_us < 0.0 {
+                let _ = writeln!(failures, "event {i} ({}): bad dur {}", e.name, e.dur_us);
+            }
+            match e.ph.as_str() {
+                "X" => timing_events += 1,
+                "B" => {
+                    open.entry(e.tid).or_default().push(&e.name);
+                }
+                "E" => match open.entry(e.tid).or_default().pop() {
+                    Some(begun) if begun == e.name => timing_events += 1,
+                    Some(begun) => {
+                        let _ = writeln!(
+                            failures,
+                            "event {i}: E `{}` closes B `{begun}` on tid {}",
+                            e.name, e.tid
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            failures,
+                            "event {i}: E `{}` without open B on tid {}",
+                            e.name, e.tid
+                        );
+                    }
+                },
+                "M" => {}
+                other => {
+                    let _ = writeln!(failures, "event {i} ({}): unknown phase `{other}`", e.name);
+                }
+            }
+        }
+        for (tid, stack) in &open {
+            if !stack.is_empty() {
+                let _ = writeln!(failures, "tid {tid}: {} unclosed B event(s)", stack.len());
+            }
+        }
+        if timing_events == 0 {
+            let _ = writeln!(failures, "no timing events (X or B/E pairs)");
+        }
+        if failures.is_empty() {
+            Ok(format!(
+                "{} events, {timing_events} timed span(s)\n",
+                self.events.len()
+            ))
+        } else {
+            Err(failures)
+        }
+    }
+
+    /// Folds the timeline into total wall nanoseconds per span path:
+    /// complete events contribute `dur`, `B`/`E` pairs contribute their
+    /// distance. Metadata and malformed pairs contribute nothing.
+    pub fn fold(&self) -> BTreeMap<String, u64> {
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        let mut open: BTreeMap<u64, Vec<(&str, f64)>> = BTreeMap::new();
+        for e in &self.events {
+            match e.ph.as_str() {
+                "X" => {
+                    *folded.entry(e.name.clone()).or_default() +=
+                        (e.dur_us * 1_000.0).round().max(0.0) as u64;
+                }
+                "B" => open.entry(e.tid).or_default().push((&e.name, e.ts_us)),
+                "E" => {
+                    if let Some((name, begun)) = open.entry(e.tid).or_default().pop() {
+                        if name == e.name {
+                            *folded.entry(e.name.clone()).or_default() +=
+                                ((e.ts_us - begun) * 1_000.0).round().max(0.0) as u64;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        folded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{"displayTimeUnit":"ms","traceEvents":[
+        {"name":"process_name","ph":"M","pid":1,"args":{"name":"vaesa"}},
+        {"name":"dse/run","cat":"span","ph":"X","ts":10.5,"dur":100,"pid":1,"tid":1},
+        {"name":"dse/run/fit","cat":"span","ph":"X","ts":20,"dur":30,"pid":1,"tid":1}
+    ]}"#;
+
+    #[test]
+    fn parses_and_validates_complete_events() {
+        let trace = ChromeTrace::parse(GOOD).unwrap();
+        assert_eq!(trace.events.len(), 3);
+        let report = trace.validate().unwrap();
+        assert!(report.contains("2 timed span(s)"), "{report}");
+        let folded = trace.fold();
+        assert_eq!(folded["dse/run"], 100_000);
+        assert_eq!(folded["dse/run/fit"], 30_000);
+    }
+
+    #[test]
+    fn validates_and_folds_begin_end_pairs() {
+        let trace = ChromeTrace::parse(
+            r#"{"traceEvents":[
+                {"name":"a","ph":"B","ts":0,"tid":1},
+                {"name":"a/b","ph":"B","ts":10,"tid":1},
+                {"name":"a/b","ph":"E","ts":40,"tid":1},
+                {"name":"a","ph":"E","ts":100,"tid":1}
+            ]}"#,
+        )
+        .unwrap();
+        trace.validate().unwrap();
+        let folded = trace.fold();
+        assert_eq!(folded["a"], 100_000);
+        assert_eq!(folded["a/b"], 30_000);
+    }
+
+    #[test]
+    fn rejects_negative_timestamps_unknown_phases_and_unbalanced_pairs() {
+        let trace = ChromeTrace::parse(
+            r#"{"traceEvents":[
+                {"name":"a","ph":"X","ts":-1,"dur":5,"tid":1},
+                {"name":"b","ph":"Q","ts":0,"tid":1},
+                {"name":"c","ph":"B","ts":0,"tid":2}
+            ]}"#,
+        )
+        .unwrap();
+        let err = trace.validate().unwrap_err();
+        assert!(err.contains("bad ts"), "{err}");
+        assert!(err.contains("unknown phase `Q`"), "{err}");
+        assert!(err.contains("unclosed B"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_timelines_and_mismatched_pairs() {
+        let empty = ChromeTrace::parse(r#"{"traceEvents":[]}"#).unwrap();
+        assert!(empty.validate().unwrap_err().contains("no timing events"));
+        let crossed = ChromeTrace::parse(
+            r#"{"traceEvents":[
+                {"name":"a","ph":"B","ts":0,"tid":1},
+                {"name":"z","ph":"E","ts":1,"tid":1}
+            ]}"#,
+        )
+        .unwrap();
+        let err = crossed.validate().unwrap_err();
+        assert!(err.contains("closes B"), "{err}");
+    }
+
+    #[test]
+    fn rejects_structurally_broken_files() {
+        assert!(ChromeTrace::parse("not json").is_err());
+        assert!(ChromeTrace::parse("{}")
+            .unwrap_err()
+            .contains("traceEvents"));
+        let err = ChromeTrace::parse(r#"{"traceEvents":[{"ph":"X"}]}"#).unwrap_err();
+        assert!(err.contains("name"), "{err}");
+    }
+}

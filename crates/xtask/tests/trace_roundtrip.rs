@@ -1,0 +1,49 @@
+//! Round-trip: the Chrome trace JSON `vaesa-obs` exports must parse,
+//! validate, and fold cleanly with the `vaesa-xtask` reader — the same
+//! pairing CI exercises via figure smokes + `xtask trace-check`.
+
+use vaesa_obs::Registry;
+use vaesa_xtask::trace::ChromeTrace;
+
+#[test]
+fn obs_export_validates_and_folds_in_xtask() {
+    let reg = Registry::new();
+    reg.enable_tracing();
+    {
+        let span = reg.span("dse/run");
+        {
+            let _fit = span.child("fit");
+        }
+        let _score = span.child("score");
+    }
+    {
+        let _epoch = reg.span("train/epoch");
+    }
+
+    let json = vaesa_obs::chrome_trace_string(&reg);
+    let trace = ChromeTrace::parse(&json).expect("obs export parses");
+    let report = trace.validate().expect("obs export validates");
+    assert!(report.contains("4 timed span(s)"), "{report}");
+
+    let folded = trace.fold();
+    assert!(folded.contains_key("dse/run"));
+    assert!(folded.contains_key("dse/run/fit"));
+    assert!(folded.contains_key("dse/run/score"));
+    assert!(folded.contains_key("train/epoch"));
+
+    // Folded children never exceed their enclosing span.
+    assert!(folded["dse/run/fit"] + folded["dse/run/score"] <= folded["dse/run"]);
+}
+
+#[test]
+fn obs_export_with_dropped_events_still_validates() {
+    let reg = Registry::new();
+    reg.enable_tracing_with_capacity(2);
+    for i in 0..5 {
+        let _s = reg.span(if i % 2 == 0 { "a" } else { "b" });
+    }
+    assert!(reg.trace_dropped() > 0);
+    let trace = ChromeTrace::parse(&vaesa_obs::chrome_trace_string(&reg)).unwrap();
+    trace.validate().unwrap();
+    assert_eq!(trace.fold().len(), 2);
+}

@@ -45,6 +45,7 @@ fn main() -> ExitCode {
         "search" => cmd_search(&flags),
         "eval" => cmd_eval(&flags),
         "obs-report" => cmd_obs_report(&flags),
+        "obs-flame" => cmd_obs_flame(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -73,6 +74,7 @@ commands:
   eval      score one design on a workload   --pe N --macs N --accum B --weight B
                                              --input B --global B --workload W
   obs-report  summarize or diff run manifests  --manifest PATH [--diff PATH]
+  obs-flame   render a trace.json flamegraph    --trace PATH [--out flame.svg]
 
 workloads: alexnet, resnet50, resnext50, deepbench, vgg16, mobilenet,
            bert, all (the Table III training pool)";
@@ -284,6 +286,30 @@ fn cmd_obs_report(flags: &Flags) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+fn cmd_obs_flame(flags: &Flags) -> Result<(), String> {
+    use std::path::Path;
+    use vaesa_xtask::trace::ChromeTrace;
+
+    let trace_path = flags.required("trace")?;
+    let out = flags.str("out", "flame.svg");
+    let trace = ChromeTrace::load(Path::new(&trace_path))?;
+    trace.validate()?;
+    let folded = trace.fold();
+    if folded.is_empty() {
+        return Err(format!("{trace_path} contains no timed spans"));
+    }
+    let title = Path::new(&trace_path)
+        .parent()
+        .and_then(|p| p.file_name())
+        .map(|n| format!("{} spans", n.to_string_lossy()))
+        .unwrap_or_else(|| "trace spans".to_string());
+    let flame =
+        vaesa_plot::FlameGraph::from_folded(title, folded.iter().map(|(k, &v)| (k.as_str(), v)));
+    std::fs::write(&out, flame.render()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out} ({} span paths)", folded.len());
     Ok(())
 }
 
