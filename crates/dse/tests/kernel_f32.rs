@@ -1,0 +1,146 @@
+//! Property tests for the SIMD f32 kernel-row fill: for random point sets —
+//! including empty, single-point, and odd-tail counts — the f32 row must
+//! track the f64 kernel evaluation within a documented tolerance, for both
+//! kernel families and both the isotropic and ARD parameterizations. A
+//! serialized section checks that a GP fitted in f32 mode predicts within
+//! tolerance of the f64 fit.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Mutex;
+use vaesa_dse::{pack_points_f32, ArdKernel, GpRegressor, Kernel, KernelKind};
+use vaesa_linalg::{set_precision, Precision};
+
+/// Kernel values live in `(0, variance]`; the f32 fill's error comes from
+/// the distance accumulation (≤ a few ulp per dimension, damped by the
+/// exponential tail) and the f32 transcendentals (~1 ulp relative). A
+/// variance-relative bound with a small absolute floor covers both.
+fn row_tolerance(variance: f64) -> f64 {
+    1e-4 * variance + 1e-6
+}
+
+fn random_points(n: usize, dim: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Isotropic RBF / Matérn-5/2 rows match per-pair `Kernel::eval` within
+    /// tolerance across random point counts (0 = empty row, 1, odd tails
+    /// past the 16-lane width) and lengthscales.
+    #[test]
+    fn iso_kernel_row_f32_tracks_f64(
+        seed in 0u64..1000,
+        n in 0usize..40,
+        dim in 1usize..6,
+        ls in 0.3f64..3.0,
+        variance in 0.5f64..2.0,
+        kind_idx in 0usize..2,
+    ) {
+        let kind = [KernelKind::Rbf, KernelKind::Matern52][kind_idx];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let pts = random_points(n, dim, &mut rng);
+        let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+
+        let kernel = Kernel::new(kind, ls, variance);
+        let packed = pack_points_f32(&pts);
+        let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        let mut row = vec![0.0f32; n];
+        kernel.eval_row_f32(&x32, &packed, &mut row);
+
+        let tol = row_tolerance(variance);
+        for (j, p) in pts.iter().enumerate() {
+            let want = kernel.eval(&x, p);
+            let got = f64::from(row[j]);
+            prop_assert!(
+                (got - want).abs() <= tol,
+                "{kind:?} row[{j}] = {got} vs f64 {want} exceeds {tol}"
+            );
+        }
+    }
+
+    /// ARD rows (per-dimension lengthscales) satisfy the same bound.
+    #[test]
+    fn ard_kernel_row_f32_tracks_f64(
+        seed in 0u64..1000,
+        n in 0usize..40,
+        dim in 1usize..6,
+        variance in 0.5f64..2.0,
+        kind_idx in 0usize..2,
+    ) {
+        let kind = [KernelKind::Rbf, KernelKind::Matern52][kind_idx];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let lengthscales: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.3..3.0)).collect();
+        let pts = random_points(n, dim, &mut rng);
+        let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+
+        let kernel = ArdKernel::new(kind, lengthscales, variance);
+        let packed = pack_points_f32(&pts);
+        let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        let mut row = vec![0.0f32; n];
+        kernel.eval_row_f32(&x32, &packed, &mut row);
+
+        let tol = row_tolerance(variance);
+        for (j, p) in pts.iter().enumerate() {
+            let want = kernel.eval(&x, p);
+            let got = f64::from(row[j]);
+            prop_assert!(
+                (got - want).abs() <= tol,
+                "ARD {kind:?} row[{j}] = {got} vs f64 {want} exceeds {tol}"
+            );
+        }
+    }
+}
+
+/// Serializes the global-precision flip (see `vaesa_linalg::set_precision`);
+/// restores f64 on drop, panic included.
+static PRECISION_LOCK: Mutex<()> = Mutex::new(());
+
+/// A GP fitted and queried in f32 mode stays within tolerance of the f64
+/// fit: only the kernel-matrix and cross-matrix fills run in f32 (the
+/// factorization and solves stay f64), so the prediction drift is bounded
+/// by the row-fill tolerance amplified through the solve.
+#[test]
+fn gp_predictions_in_f32_mode_track_f64() {
+    let lock = PRECISION_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_precision(Precision::F64);
+        }
+    }
+    let _restore = Restore;
+    let _lock = lock;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let xs = random_points(24, 3, &mut rng);
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|p| (p[0] * 1.3).sin() + 0.5 * p[1] - 0.2 * p[2] * p[2])
+        .collect();
+    let queries = random_points(16, 3, &mut rng);
+
+    set_precision(Precision::F64);
+    let gp64 = GpRegressor::fit(&xs, &ys).expect("f64 fit");
+    set_precision(Precision::F32);
+    let gp32 = GpRegressor::fit(&xs, &ys).expect("f32 fit");
+
+    for q in &queries {
+        let (m64, s64) = gp64.predict(q);
+        let (m32, s32) = gp32.predict(q);
+        // Targets are standardized inside the GP, so an absolute tolerance
+        // on the mean is effectively relative to the data scale.
+        assert!(
+            (m64 - m32).abs() <= 5e-3,
+            "GP mean drift {m64} vs {m32} at {q:?}"
+        );
+        assert!(
+            (s64 - s32).abs() <= 5e-3,
+            "GP std drift {s64} vs {s32} at {q:?}"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Process-global compute-precision mode for the numeric substrate.
+//!
+//! The workspace computes in `f64` by default — that path is the bit-exact
+//! reference every gate compares against. Setting the mode to
+//! [`Precision::F32`] (programmatically via [`set_precision`] or through the
+//! `VAESA_PRECISION=f32` environment variable, read once on first query)
+//! reroutes the hot kernels — matmuls, activations, Adam, GP kernel-matrix
+//! fills — through SIMD `f32` implementations that trade a documented,
+//! tolerance-tested amount of accuracy for throughput. See the
+//! "Precision policy" section of `DESIGN.md` for when `f32` is safe and
+//! which error bounds the test suite enforces.
+//!
+//! The mode is a single process-wide atomic: cheap to read on every kernel
+//! call, and deterministic under threading because it never changes during
+//! a parallel region (callers flip it between runs, not mid-computation).
+//!
+//! # Examples
+//!
+//! ```
+//! use vaesa_linalg::{set_precision, Precision};
+//!
+//! assert_eq!(Precision::active().label(), "f64"); // default reference mode
+//! set_precision(Precision::F32);
+//! assert!(Precision::active().is_f32());
+//! set_precision(Precision::F64); // restore the reference mode
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Compute precision for the numeric hot paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 64-bit floats everywhere — the default, bit-exact reference mode.
+    F64,
+    /// 32-bit SIMD kernels with f32 accumulation (optionally f64 for
+    /// reduction-heavy panels); results stay within documented tolerances
+    /// of the f64 reference.
+    F32,
+}
+
+/// Encoded mode: 0 = uninitialised, 1 = f64, 2 = f32.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+impl Precision {
+    /// The currently active precision.
+    ///
+    /// The first call reads `VAESA_PRECISION` (`"f32"` selects [`Precision::F32`];
+    /// anything else, including unset, selects [`Precision::F64`]); later calls
+    /// are a single relaxed atomic load.
+    pub fn active() -> Precision {
+        match MODE.load(Ordering::Relaxed) {
+            1 => Precision::F64,
+            2 => Precision::F32,
+            _ => {
+                let from_env = match std::env::var("VAESA_PRECISION") {
+                    Ok(v) if v.trim().eq_ignore_ascii_case("f32") => Precision::F32,
+                    _ => Precision::F64,
+                };
+                set_precision(from_env);
+                from_env
+            }
+        }
+    }
+
+    /// `true` when the active value is [`Precision::F32`].
+    pub fn is_f32(self) -> bool {
+        self == Precision::F32
+    }
+
+    /// Stable lowercase label (`"f64"` / `"f32"`) for manifests and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
+
+/// Sets the process-global precision, overriding the environment default.
+///
+/// Flip only between computations (e.g. between benchmark cases or test
+/// sections), never while a parallel kernel is in flight; tests that flip
+/// the mode serialize on their own mutex and restore [`Precision::F64`].
+pub fn set_precision(p: Precision) {
+    let code = match p {
+        Precision::F64 => 1,
+        Precision::F32 => 2,
+    };
+    MODE.store(code, Ordering::Relaxed);
+}
+
+/// The SIMD capabilities detected on this machine, as a stable `+`-joined
+/// string (e.g. `"avx2+avx512f+fma"`), or `"baseline"` when none of the
+/// dispatched features are present (including non-x86 builds).
+///
+/// Run manifests record this so telemetry history entries group by the
+/// hardware that produced them — a median over records from different
+/// machines is meaningless for wall-time gates.
+pub fn cpu_features() -> String {
+    let mut feats: Vec<&str> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            feats.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            feats.push("avx512f");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            feats.push("fma");
+        }
+    }
+    if feats.is_empty() {
+        "baseline".to_string()
+    } else {
+        feats.join("+")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Precision::F64.label(), "f64");
+        assert_eq!(Precision::F32.label(), "f32");
+        assert!(Precision::F32.is_f32());
+        assert!(!Precision::F64.is_f32());
+    }
+
+    #[test]
+    fn cpu_features_is_nonempty_and_stable() {
+        let a = cpu_features();
+        let b = cpu_features();
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        // Features are either the baseline marker or a +-joined sorted list.
+        assert!(a == "baseline" || a.split('+').all(|f| !f.is_empty()));
+    }
+}

@@ -166,31 +166,32 @@ impl Graph {
         self.push(v, Op::AddScalar(a))
     }
 
-    /// Leaky ReLU activation: `x if x > 0 else slope * x`.
+    /// Leaky ReLU activation: `x if x > 0 else slope * x`. Computed in the
+    /// active precision (see [`Tensor::leaky_relu`]).
     pub fn leaky_relu(&mut self, a: VarId, slope: f64) -> VarId {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        let v = self.value(a).leaky_relu(slope);
         self.push(v, Op::LeakyRelu(a, slope))
     }
 
-    /// Logistic sigmoid activation.
+    /// Logistic sigmoid activation, computed in the active precision.
     pub fn sigmoid(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.value(a).sigmoid();
         self.push(v, Op::Sigmoid(a))
     }
 
-    /// Hyperbolic tangent activation.
+    /// Hyperbolic tangent activation, computed in the active precision.
     pub fn tanh(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(f64::tanh);
+        let v = self.value(a).tanh();
         self.push(v, Op::Tanh(a))
     }
 
-    /// Elementwise exponential.
+    /// Elementwise exponential, computed in the active precision.
     pub fn exp(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(f64::exp);
+        let v = self.value(a).exp();
         self.push(v, Op::Exp(a))
     }
 
-    /// Elementwise natural logarithm.
+    /// Elementwise natural logarithm, computed in the active precision.
     ///
     /// # Panics
     ///
@@ -200,7 +201,7 @@ impl Graph {
             self.value(a).as_slice().iter().all(|&x| x > 0.0),
             "ln requires positive inputs"
         );
-        let v = self.value(a).map(f64::ln);
+        let v = self.value(a).ln();
         self.push(v, Op::Ln(a))
     }
 
@@ -278,7 +279,13 @@ impl Graph {
         self.grads[loss.0] = Some(Tensor::from_vec(1, 1, vec![1.0]));
 
         for i in (0..self.nodes.len()).rev() {
-            let Some(gout) = self.grads[i].clone() else {
+            // Take the node's gradient out of its slot for the duration of
+            // this step and put it back afterwards: arms that only read the
+            // upstream gradient (matmul, scale, slicing) then skip the full
+            // clone the old `grads[i].clone()` formulation paid on every
+            // live node. Operands always precede their node on the tape, so
+            // no `accumulate` below can touch slot `i` while it is empty.
+            let Some(gout) = self.grads[i].take() else {
                 continue;
             };
             let op = self.nodes[i].op.clone();
@@ -294,55 +301,94 @@ impl Graph {
                 }
                 Op::Add(a, b) => {
                     self.accumulate(a, gout.clone());
-                    self.accumulate(b, gout);
+                    self.accumulate(b, gout.clone());
                 }
                 Op::Sub(a, b) => {
                     self.accumulate(a, gout.clone());
-                    self.accumulate(b, gout.scale(-1.0));
+                    // Elementwise negation flips the sign bit exactly like
+                    // the old `scale(-1.0)`.
+                    self.accumulate(b, gout.map(|v| -v));
                 }
                 Op::Mul(a, b) => {
-                    let ga = gout.mul(&self.nodes[b.0].value);
-                    let gb = gout.mul(&self.nodes[a.0].value);
-                    self.accumulate(a, ga);
-                    self.accumulate(b, gb);
+                    self.accumulate(a, gout.mul(&self.nodes[b.0].value));
+                    self.accumulate(b, gout.mul(&self.nodes[a.0].value));
                 }
                 Op::AddRowBroadcast(a, bias) => {
                     self.accumulate(bias, gout.sum_rows());
-                    self.accumulate(a, gout);
+                    self.accumulate(a, gout.clone());
                 }
                 Op::Scale(a, k) => self.accumulate(a, gout.scale(k)),
-                Op::AddScalar(a) => self.accumulate(a, gout),
+                Op::AddScalar(a) => self.accumulate(a, gout.clone()),
+                // The unary backward rules below multiply a copy of `gout`
+                // in place with the local derivative, fused into one
+                // branch-free loop each. Every fused form performs the exact
+                // rounding sequence of the old two-tensor formulation, so
+                // f64 results stay bit-identical.
                 Op::LeakyRelu(a, slope) => {
-                    let x = &self.nodes[a.0].value;
                     let mut g = gout.clone();
-                    for (gv, &xv) in g.as_mut_slice().iter_mut().zip(x.as_slice()) {
-                        if xv <= 0.0 {
-                            *gv *= slope;
-                        }
+                    for (gv, &xv) in g
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[a.0].value.as_slice())
+                    {
+                        *gv *= if xv > 0.0 { 1.0 } else { slope };
                     }
                     self.accumulate(a, g);
                 }
                 Op::Sigmoid(a) => {
-                    let y = self.nodes[i].value.clone();
-                    let g = gout.mul(&y.map(|s| s * (1.0 - s)));
+                    let mut g = gout.clone();
+                    for (gv, &yv) in g
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[i].value.as_slice())
+                    {
+                        *gv *= yv * (1.0 - yv);
+                    }
                     self.accumulate(a, g);
                 }
                 Op::Tanh(a) => {
-                    let y = self.nodes[i].value.clone();
-                    let g = gout.mul(&y.map(|t| 1.0 - t * t));
+                    let mut g = gout.clone();
+                    for (gv, &yv) in g
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[i].value.as_slice())
+                    {
+                        *gv *= 1.0 - yv * yv;
+                    }
                     self.accumulate(a, g);
                 }
                 Op::Exp(a) => {
-                    let y = self.nodes[i].value.clone();
-                    self.accumulate(a, gout.mul(&y));
+                    let mut g = gout.clone();
+                    for (gv, &yv) in g
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[i].value.as_slice())
+                    {
+                        *gv *= yv;
+                    }
+                    self.accumulate(a, g);
                 }
                 Op::Ln(a) => {
-                    let x = self.nodes[a.0].value.clone();
-                    self.accumulate(a, gout.mul(&x.map(|v| 1.0 / v)));
+                    let mut g = gout.clone();
+                    for (gv, &xv) in g
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[a.0].value.as_slice())
+                    {
+                        *gv *= 1.0 / xv;
+                    }
+                    self.accumulate(a, g);
                 }
                 Op::Square(a) => {
-                    let x = self.nodes[a.0].value.clone();
-                    self.accumulate(a, gout.mul(&x.scale(2.0)));
+                    let mut g = gout.clone();
+                    for (gv, &xv) in g
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[a.0].value.as_slice())
+                    {
+                        *gv *= 2.0 * xv;
+                    }
+                    self.accumulate(a, g);
                 }
                 Op::SumAll(a) => {
                     let (r, c) = self.nodes[a.0].value.shape();
@@ -357,11 +403,11 @@ impl Graph {
                 }
                 Op::SliceCols(a, start, _end) => {
                     let (r, c) = self.nodes[a.0].value.shape();
+                    let width = gout.cols();
                     let mut g = Tensor::zeros(r, c);
                     for row in 0..r {
-                        for col in 0..gout.cols() {
-                            g.set(row, start + col, gout.get(row, col));
-                        }
+                        g.as_mut_slice()[row * c + start..row * c + start + width]
+                            .copy_from_slice(gout.row(row));
                     }
                     self.accumulate(a, g);
                 }
@@ -372,6 +418,7 @@ impl Graph {
                     self.accumulate(b, gout.slice_cols(ca, ca + cb));
                 }
             }
+            self.grads[i] = Some(gout);
         }
     }
 

@@ -5,7 +5,11 @@
 //! The paper trains its VAE and performance predictors with PyTorch; this
 //! crate provides the equivalent machinery from scratch:
 //!
-//! - [`Tensor`]: dense 2-D `f64` arrays (batch × features).
+//! - [`Tensor`]: dense 2-D `f64` arrays (batch × features). Setting the
+//!   process-global [`Precision`] to `F32` (env `VAESA_PRECISION=f32`)
+//!   reroutes its matmul/activation/Adam hot loops through the SIMD f32
+//!   backend ([`TensorF32`] exposes the same kernels directly); `f64` stays
+//!   the bit-exact default.
 //! - [`Graph`]: a define-by-run autodiff tape with the operations the VAESA
 //!   models need (matmul, broadcasting bias, leaky ReLU/sigmoid/tanh, exp/ln,
 //!   slicing/concatenation, MSE and Gaussian-KL losses).
@@ -49,10 +53,13 @@ mod data;
 mod graph;
 mod layers;
 mod optim;
+mod simd32;
 mod tensor;
 
 pub use data::{rand_uniform, randn, randn_into, Batcher};
 pub use graph::{finite_diff_check, Graph, VarId};
 pub use layers::{Activation, Linear, Mlp, MlpPass, Param};
 pub use optim::{Adam, Sgd};
+pub use simd32::{f32_accum_mode, F32Accum, TensorF32};
 pub use tensor::Tensor;
+pub use vaesa_linalg::{cpu_features, set_precision, Precision};

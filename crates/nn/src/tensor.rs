@@ -1,5 +1,6 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use vaesa_linalg::Precision;
 
 /// A dense, row-major, two-dimensional `f64` tensor.
 ///
@@ -223,6 +224,64 @@ impl Tensor {
         }
     }
 
+    /// Applies `f` elementwise in `f32` — operands are rounded once and the
+    /// result widened back. The elementwise path of the f32 precision mode.
+    fn map_f32(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f64::from(f(v as f32))).collect(),
+        }
+    }
+
+    /// Elementwise logistic sigmoid `1 / (1 + e^-x)`, computed in the active
+    /// [`Precision`] (f32 transcendentals roughly halve the cost).
+    pub fn sigmoid(&self) -> Tensor {
+        match Precision::active() {
+            Precision::F64 => self.map(|x| 1.0 / (1.0 + (-x).exp())),
+            Precision::F32 => self.map_f32(|x| 1.0 / (1.0 + (-x).exp())),
+        }
+    }
+
+    /// Elementwise hyperbolic tangent in the active [`Precision`].
+    pub fn tanh(&self) -> Tensor {
+        match Precision::active() {
+            Precision::F64 => self.map(f64::tanh),
+            Precision::F32 => self.map_f32(f32::tanh),
+        }
+    }
+
+    /// Elementwise natural exponential in the active [`Precision`].
+    pub fn exp(&self) -> Tensor {
+        match Precision::active() {
+            Precision::F64 => self.map(f64::exp),
+            Precision::F32 => self.map_f32(f32::exp),
+        }
+    }
+
+    /// Elementwise natural logarithm in the active [`Precision`]; callers
+    /// guarantee positive inputs (see `Graph::ln`).
+    pub fn ln(&self) -> Tensor {
+        match Precision::active() {
+            Precision::F64 => self.map(f64::ln),
+            Precision::F32 => self.map_f32(f32::ln),
+        }
+    }
+
+    /// Elementwise leaky ReLU (`x` for positive inputs, `slope * x`
+    /// otherwise) in the active [`Precision`]. The f32 path runs the
+    /// runtime-dispatched branch-free SIMD select kernel.
+    pub fn leaky_relu(&self, slope: f64) -> Tensor {
+        match Precision::active() {
+            Precision::F64 => self.map(|x| if x > 0.0 { x } else { slope * x }),
+            Precision::F32 => Tensor {
+                rows: self.rows,
+                cols: self.cols,
+                data: crate::simd32::leaky_relu(&self.data, slope),
+            },
+        }
+    }
+
     fn zip(&self, other: &Tensor, op: &str, f: impl Fn(f64, f64) -> f64) -> Tensor {
         assert_eq!(
             self.shape(),
@@ -337,7 +396,13 @@ impl Tensor {
     /// The inner dimension is processed in fixed panels of
     /// [`KERNEL_PANEL`] with a pinned accumulation order, so results are
     /// bit-identical for every thread count (see DESIGN.md, "Threading &
-    /// determinism policy").
+    /// determinism policy"). When the active [`Precision`] is `F32`, the
+    /// product (like both fused transpose variants) routes through the
+    /// runtime-dispatched SIMD f32 backend instead — same fixed
+    /// accumulation order, tolerance-tested accuracy — for every shape
+    /// whose O(m·k·n) kernel work amortizes the f64→f32 round trip;
+    /// degenerate products keep the f64 kernels (a deterministic,
+    /// shape-only choice).
     ///
     /// # Panics
     ///
@@ -351,6 +416,10 @@ impl Tensor {
         let (m, inner, n) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(m, n);
         if m == 0 || n == 0 || inner == 0 {
+            return out;
+        }
+        if Precision::active().is_f32() && crate::simd32::amortizes(m, inner, n) {
+            crate::simd32::matmul_into(&self.data, &other.data, m, inner, n, &mut out.data);
             return out;
         }
         let packed = pack_b_panels(&other.data, inner, n);
@@ -380,6 +449,10 @@ impl Tensor {
         let (r_dim, p, n) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(p, n);
         if p == 0 || n == 0 || r_dim == 0 {
+            return out;
+        }
+        if Precision::active().is_f32() && crate::simd32::amortizes(p, r_dim, n) {
+            crate::simd32::matmul_ta_into(&self.data, &other.data, r_dim, p, n, &mut out.data);
             return out;
         }
         run_rowwise(&mut out.data, n, p * n * r_dim, |i, out_row| {
@@ -412,6 +485,10 @@ impl Tensor {
         let (m, inner, n) = (self.rows, self.cols, other.rows);
         let mut out = Tensor::zeros(m, n);
         if m == 0 || n == 0 || inner == 0 {
+            return out;
+        }
+        if Precision::active().is_f32() && crate::simd32::amortizes(m, inner, n) {
+            crate::simd32::matmul_tb_into(&self.data, &other.data, m, inner, n, &mut out.data);
             return out;
         }
         run_rowwise(&mut out.data, n, m * n * inner, |i, out_row| {
@@ -465,13 +542,20 @@ impl Tensor {
             self.cols,
             bias.shape()
         );
-        let mut out = self.clone();
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[r * self.cols + c] += bias.data[c];
-            }
+        if self.cols == 0 {
+            return self.clone();
         }
-        out
+        // Single fused pass: the clone-then-add formulation touched every
+        // element twice. Same additions in the same order, one traversal.
+        let mut data = Vec::with_capacity(self.data.len());
+        for row in self.data.chunks_exact(self.cols) {
+            data.extend(row.iter().zip(&bias.data).map(|(&v, &b)| v + b));
+        }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Sums every element.
@@ -629,12 +713,37 @@ fn packed_panel_product(a_row: &[f64], packed: &[f64], out_row: &mut [f64], n: u
 /// fanning out to the worker pool when the product is large enough
 /// (`flops` multiply-accumulates) and a pool exists. Row blocks are fixed
 /// by [`ROW_BLOCK`], never by thread count, so the arithmetic each output
-/// element sees is identical in serial and parallel runs.
-fn run_rowwise(
-    data: &mut [f64],
+/// element sees is identical in serial and parallel runs. Generic over the
+/// element type so the f64 and f32 kernels share one fan-out policy.
+/// Like [`run_rowwise`], but hands the kernel whole [`ROW_BLOCK`]-row
+/// chunks (`kernel(first_row, chunk)`, the last chunk possibly short).
+/// The f32 backend's register-blocked matmul kernel wants all rows of a
+/// block at once so it can keep one FMA chain per row in flight; the chunk
+/// boundaries are identical to [`run_rowwise`]'s parallel distribution, so
+/// the arithmetic each output element sees is unchanged.
+pub(crate) fn run_rowblocks<T: Send>(
+    data: &mut [T],
     n: usize,
     flops: usize,
-    kernel: impl Fn(usize, &mut [f64]) + Sync,
+    kernel: impl Fn(usize, &mut [T]) + Sync,
+) {
+    debug_assert_eq!(data.len() % n, 0);
+    if flops >= PAR_FLOP_THRESHOLD && vaesa_par::num_threads() > 1 {
+        vaesa_par::par_chunks_mut(data, ROW_BLOCK * n, |_, offset, chunk| {
+            kernel(offset / n, chunk);
+        });
+    } else {
+        for (c, chunk) in data.chunks_mut(ROW_BLOCK * n).enumerate() {
+            kernel(c * ROW_BLOCK, chunk);
+        }
+    }
+}
+
+pub(crate) fn run_rowwise<T: Send>(
+    data: &mut [T],
+    n: usize,
+    flops: usize,
+    kernel: impl Fn(usize, &mut [T]) + Sync,
 ) {
     debug_assert_eq!(data.len() % n, 0);
     if flops >= PAR_FLOP_THRESHOLD && vaesa_par::num_threads() > 1 {

@@ -356,8 +356,12 @@ impl VaesaModel {
     ///
     /// One `B x dz` forward and one backward pass replace `B` single-row
     /// graph builds. Every op on the predictor path is row-independent, so
-    /// row `r` of both outputs is bit-identical to
-    /// `predicted_edp_grad(&zs[r*dz..], ...)` at any thread count. The
+    /// in the default f64 mode row `r` of both outputs is bit-identical to
+    /// `predicted_edp_grad(&zs[r*dz..], ...)` at any thread count. Under
+    /// `VAESA_PRECISION=f32` the f32 routing guard is shape-dependent (a
+    /// wide batch amortizes the f32 conversion, a single row does not), so
+    /// batch and single-row results agree only to the documented f32
+    /// tolerances. The
     /// `scratch` buffers (graph tape and leaf tensors) are reclaimed after
     /// every call, so a descent loop allocates nothing per step.
     pub fn predicted_edp_grad_batch(

@@ -146,6 +146,80 @@ pub fn perf_gate(
     }
 }
 
+/// Compares the gated span wall-times of an f64-precision run manifest
+/// against its f32 counterpart (same binary, seed, scale, budget).
+///
+/// The f32 SIMD backend exists to be faster, so the gate fails whenever
+/// f32 wall-time exceeds f64 × (1 + `tolerance`) on any
+/// [`crate::telemetry::GATED_SPANS`] span present in both manifests
+/// (tolerance 0.0 means f32 must win or tie outright). When the
+/// manifests carry a `precision` meta entry, mismatched labels fail
+/// immediately — that means the two runs were launched the wrong way
+/// around. Finding no gated span in both manifests is also a failure
+/// rather than a silent pass.
+///
+/// # Errors
+///
+/// Returns load failures, a precision-label mismatch, or the list of
+/// spans where f32 lost.
+pub fn precision_gate(f64_path: &Path, f32_path: &Path, tolerance: f64) -> Result<String, String> {
+    let m64 = Manifest::load(f64_path)?;
+    let m32 = Manifest::load(f32_path)?;
+    for (m, path, want) in [(&m64, f64_path, "f64"), (&m32, f32_path, "f32")] {
+        if let Some(label) = m.meta.get("precision") {
+            if label != want {
+                return Err(format!(
+                    "{} declares precision `{label}`, expected `{want}` — \
+                     check the argument order",
+                    path.display()
+                ));
+            }
+        }
+    }
+    let mut report = String::new();
+    let mut failures = String::new();
+    let mut compared = 0usize;
+    for span in crate::telemetry::GATED_SPANS {
+        match (m64.spans.get(*span), m32.spans.get(*span)) {
+            (Some(a), Some(b)) => {
+                compared += 1;
+                let ratio = b.wall_ns_total as f64 / (a.wall_ns_total.max(1)) as f64;
+                let line = format!(
+                    "{span}: f64 {:.1}ms -> f32 {:.1}ms ({:.2}x)",
+                    a.wall_ns_total as f64 / 1e6,
+                    b.wall_ns_total as f64 / 1e6,
+                    1.0 / ratio.max(f64::MIN_POSITIVE)
+                );
+                if ratio > 1.0 + tolerance {
+                    let _ = writeln!(
+                        failures,
+                        "{line} — f32 slower than f64 (tolerance {:.0}%)",
+                        tolerance * 100.0
+                    );
+                } else {
+                    let _ = writeln!(report, "{line}");
+                }
+            }
+            (None, None) => {}
+            (a, _) => {
+                let _ = writeln!(
+                    report,
+                    "{span}: present only in the {} run, not compared",
+                    if a.is_some() { "f64" } else { "f32" }
+                );
+            }
+        }
+    }
+    if compared == 0 {
+        return Err("no gated span present in both manifests — nothing was compared".to_string());
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!("{failures}\nfull comparison:\n{report}"))
+    }
+}
+
 /// Files in a run's output directory that carry wall-clock timings and
 /// therefore legitimately differ between otherwise identical runs. The
 /// determinism gate skips them entirely, like `scheduler.*` metrics.
@@ -380,6 +454,51 @@ mod tests {
         std::fs::write(&current, "{\"id\":\"g/a\",\"ns_per_iter\":130}\n").unwrap();
         let err = perf_gate(&current, &[&baseline], 0.25).unwrap_err();
         assert!(err.contains("g/a"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn precision_manifest(dir: &Path, name: &str, precision: &str, train_ns: u64) -> PathBuf {
+        let path = dir.join(name);
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"record\":\"run\",\"meta\":{{\"precision\":\"{precision}\"}}}}\n\
+                 {{\"record\":\"span\",\"path\":\"bench/train\",\"count\":1,\
+                   \"wall_ns_total\":{train_ns},\"cpu_ns_total\":0}}\n"
+            ),
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn precision_gate_requires_f32_to_win() {
+        let dir = temp_dir("prec");
+        let f64m = precision_manifest(&dir, "f64.jsonl", "f64", 10_000_000);
+        let fast = precision_manifest(&dir, "f32_fast.jsonl", "f32", 4_000_000);
+        let report = precision_gate(&f64m, &fast, 0.0).unwrap();
+        assert!(report.contains("bench/train"), "{report}");
+        assert!(report.contains("2.50x"), "{report}");
+
+        let slow = precision_manifest(&dir, "f32_slow.jsonl", "f32", 12_000_000);
+        let err = precision_gate(&f64m, &slow, 0.0).unwrap_err();
+        assert!(err.contains("f32 slower than f64"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn precision_gate_rejects_swapped_or_empty_inputs() {
+        let dir = temp_dir("prec_bad");
+        let f64m = precision_manifest(&dir, "f64.jsonl", "f64", 10_000_000);
+        let f32m = precision_manifest(&dir, "f32.jsonl", "f32", 4_000_000);
+        let err = precision_gate(&f32m, &f64m, 0.0).unwrap_err();
+        assert!(err.contains("argument order"), "{err}");
+
+        // A manifest with no gated spans must fail, not silently pass.
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "{\"record\":\"run\",\"meta\":{}}\n").unwrap();
+        let err = precision_gate(&empty, &empty, 0.0).unwrap_err();
+        assert!(err.contains("nothing was compared"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -10,6 +10,7 @@
 //! xtask ingest <manifest.jsonl> [--history <history.jsonl>]
 //! xtask trend [--history <history.jsonl>] [--out <dir>]
 //! xtask trend-gate [--history <history.jsonl>] [--tolerance 0.25]
+//! xtask precision-gate <f64-manifest> <f32-manifest> [--tolerance 0.0]
 //! ```
 //!
 //! Exit status 0 on pass, 1 on gate failure, 2 on usage errors. Reports
@@ -47,8 +48,13 @@ gates:
 
   trend-gate [--history <history.jsonl>] [--tolerance 0.25]
       fail when a gated span's wall-time in the latest record of any
-      (run_id, threads) group exceeds the trailing median of its prior
-      records by more than the tolerance
+      (run_id, threads, cpu_features) group exceeds the trailing median
+      of its prior records by more than the tolerance; spans with fewer
+      than 3 prior records are skipped with a notice
+
+  precision-gate <f64-manifest> <f32-manifest> [--tolerance 0.0]
+      fail when the f32-precision run is slower than the f64 run on any
+      gated span (the f32 SIMD backend must not lose)
 
 telemetry:
   summarize <manifest.jsonl>
@@ -73,82 +79,105 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let outcome = match gate.as_str() {
-        "metrics-gate" => match rest {
-            [manifest] => gates::metrics_gate(Path::new(manifest)),
-            _ => return usage_error("metrics-gate takes exactly one manifest path"),
-        },
-        "perf-gate" => match parse_perf_args(rest) {
-            Ok((current, baselines, tolerance)) => {
-                gates::perf_gate(&current, &baselines, tolerance)
-            }
-            Err(e) => return usage_error(&e),
-        },
-        "determinism" => match rest {
-            [a, b] => gates::determinism(Path::new(a), Path::new(b)),
-            _ => return usage_error("determinism takes exactly two directories"),
-        },
-        "trace-check" => match rest {
-            [trace] => ChromeTrace::load(Path::new(trace)).and_then(|t| t.validate()),
-            _ => return usage_error("trace-check takes exactly one trace.json path"),
-        },
-        "summarize" => match rest {
-            [manifest] => Manifest::load(Path::new(manifest)).map(|m| report::summarize(&m)),
-            _ => return usage_error("summarize takes exactly one manifest path"),
-        },
-        "diff" => match rest {
-            [a, b] => match (Manifest::load(Path::new(a)), Manifest::load(Path::new(b))) {
-                (Ok(ma), Ok(mb)) => match report::diff(&ma, &mb) {
-                    None => Ok("manifests are identical\n".to_string()),
-                    Some(d) => Err(d),
-                },
-                (Err(e), _) | (_, Err(e)) => Err(e),
+    let outcome =
+        match gate.as_str() {
+            "metrics-gate" => match rest {
+                [manifest] => gates::metrics_gate(Path::new(manifest)),
+                _ => return usage_error("metrics-gate takes exactly one manifest path"),
             },
-            _ => return usage_error("diff takes exactly two manifest paths"),
-        },
-        "ingest" => match parse_history_args(rest, &["--history"]) {
-            Ok((positional, flags)) => match positional.as_slice() {
-                [manifest] => {
-                    let history = history_path(&flags);
-                    telemetry::ingest(Path::new(manifest), &history)
+            "perf-gate" => match parse_perf_args(rest) {
+                Ok((current, baselines, tolerance)) => {
+                    gates::perf_gate(&current, &baselines, tolerance)
                 }
-                _ => return usage_error("ingest takes exactly one manifest path"),
+                Err(e) => return usage_error(&e),
             },
-            Err(e) => return usage_error(&e),
-        },
-        "trend" => match parse_history_args(rest, &["--history", "--out"]) {
-            Ok((positional, flags)) if positional.is_empty() => {
-                let history = history_path(&flags);
-                let out = flags
-                    .get("--out")
-                    .map(PathBuf::from)
-                    .unwrap_or_else(|| PathBuf::from("results/telemetry"));
-                telemetry::render_trends(&history, &out)
-            }
-            Ok(_) => return usage_error("trend takes no positional arguments"),
-            Err(e) => return usage_error(&e),
-        },
-        "trend-gate" => match parse_history_args(rest, &["--history", "--tolerance"]) {
-            Ok((positional, flags)) if positional.is_empty() => {
-                let history = history_path(&flags);
-                let tolerance = match flags.get("--tolerance") {
-                    None => telemetry::DEFAULT_TREND_TOLERANCE,
-                    Some(raw) => match raw.parse() {
-                        Ok(t) => t,
-                        Err(_) => return usage_error("invalid --tolerance value"),
+            "determinism" => match rest {
+                [a, b] => gates::determinism(Path::new(a), Path::new(b)),
+                _ => return usage_error("determinism takes exactly two directories"),
+            },
+            "trace-check" => match rest {
+                [trace] => ChromeTrace::load(Path::new(trace)).and_then(|t| t.validate()),
+                _ => return usage_error("trace-check takes exactly one trace.json path"),
+            },
+            "summarize" => match rest {
+                [manifest] => Manifest::load(Path::new(manifest)).map(|m| report::summarize(&m)),
+                _ => return usage_error("summarize takes exactly one manifest path"),
+            },
+            "diff" => match rest {
+                [a, b] => match (Manifest::load(Path::new(a)), Manifest::load(Path::new(b))) {
+                    (Ok(ma), Ok(mb)) => match report::diff(&ma, &mb) {
+                        None => Ok("manifests are identical\n".to_string()),
+                        Some(d) => Err(d),
                     },
-                };
-                telemetry::trend_gate(&history, tolerance)
+                    (Err(e), _) | (_, Err(e)) => Err(e),
+                },
+                _ => return usage_error("diff takes exactly two manifest paths"),
+            },
+            "ingest" => match parse_history_args(rest, &["--history"]) {
+                Ok((positional, flags)) => match positional.as_slice() {
+                    [manifest] => {
+                        let history = history_path(&flags);
+                        telemetry::ingest(Path::new(manifest), &history)
+                    }
+                    _ => return usage_error("ingest takes exactly one manifest path"),
+                },
+                Err(e) => return usage_error(&e),
+            },
+            "trend" => match parse_history_args(rest, &["--history", "--out"]) {
+                Ok((positional, flags)) if positional.is_empty() => {
+                    let history = history_path(&flags);
+                    let out = flags
+                        .get("--out")
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| PathBuf::from("results/telemetry"));
+                    telemetry::render_trends(&history, &out)
+                }
+                Ok(_) => return usage_error("trend takes no positional arguments"),
+                Err(e) => return usage_error(&e),
+            },
+            "trend-gate" => match parse_history_args(rest, &["--history", "--tolerance"]) {
+                Ok((positional, flags)) if positional.is_empty() => {
+                    let history = history_path(&flags);
+                    let tolerance = match flags.get("--tolerance") {
+                        None => telemetry::DEFAULT_TREND_TOLERANCE,
+                        Some(raw) => match raw.parse() {
+                            Ok(t) => t,
+                            Err(_) => return usage_error("invalid --tolerance value"),
+                        },
+                    };
+                    telemetry::trend_gate(&history, tolerance)
+                }
+                Ok(_) => return usage_error("trend-gate takes no positional arguments"),
+                Err(e) => return usage_error(&e),
+            },
+            "precision-gate" => match parse_history_args(rest, &["--tolerance"]) {
+                Ok((positional, flags)) => match positional.as_slice() {
+                    [f64_manifest, f32_manifest] => {
+                        let tolerance = match flags.get("--tolerance") {
+                            None => 0.0,
+                            Some(raw) => match raw.parse() {
+                                Ok(t) => t,
+                                Err(_) => return usage_error("invalid --tolerance value"),
+                            },
+                        };
+                        gates::precision_gate(
+                            Path::new(f64_manifest),
+                            Path::new(f32_manifest),
+                            tolerance,
+                        )
+                    }
+                    _ => return usage_error(
+                        "precision-gate takes exactly two manifest paths (f64 first, f32 second)",
+                    ),
+                },
+                Err(e) => return usage_error(&e),
+            },
+            "--help" | "-h" | "help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
             }
-            Ok(_) => return usage_error("trend-gate takes no positional arguments"),
-            Err(e) => return usage_error(&e),
-        },
-        "--help" | "-h" | "help" => {
-            println!("{USAGE}");
-            return ExitCode::SUCCESS;
-        }
-        other => return usage_error(&format!("unknown gate `{other}`")),
-    };
+            other => return usage_error(&format!("unknown gate `{other}`")),
+        };
     match outcome {
         Ok(report) => {
             println!("{gate}: PASS");

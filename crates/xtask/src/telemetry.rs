@@ -10,7 +10,9 @@
 //! per commit per figure. [`render_trends`] draws per-metric SVG charts
 //! over the history, and [`trend_gate`] fails when a gated span's
 //! wall-time regresses more than a tolerance past the trailing median
-//! of its prior runs with the same `(run_id, threads)` shape.
+//! of its prior runs with the same `(run_id, threads, cpu_features)`
+//! shape (SIMD feature sets change absolute wall-times, so histories
+//! from different machines never gate each other).
 
 use crate::manifest::Manifest;
 use serde::Value;
@@ -37,6 +39,11 @@ pub const GATED_SPANS: &[&str] = &["bench/dataset", "bench/train", "dse/run", "t
 /// trailing median of prior runs by at most this fraction.
 pub const DEFAULT_TREND_TOLERANCE: f64 = 0.25;
 
+/// Minimum prior records a gated span needs before the trend gate judges
+/// it: a median over one or two points is dominated by noise, so shorter
+/// histories are skipped with a logged notice instead of being gated.
+pub const MIN_TREND_HISTORY: usize = 3;
+
 /// One compact per-run record of the history file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistoryRecord {
@@ -52,6 +59,11 @@ pub struct HistoryRecord {
     pub threads: u64,
     /// RNG seed of the run.
     pub seed: u64,
+    /// Detected CPU SIMD features of the machine that produced the run
+    /// (e.g. `avx2+avx512f+fma`); `unknown` for records ingested before
+    /// the field existed. Wall-times from different feature sets are not
+    /// comparable, so trend groups include this.
+    pub cpu_features: String,
     /// Tracked counter values ([`KEY_COUNTERS`] ∩ manifest).
     pub counters: BTreeMap<String, u64>,
     /// Tracked gauge values ([`KEY_GAUGES`] ∩ manifest).
@@ -121,6 +133,11 @@ impl HistoryRecord {
             git_rev,
             threads: meta_u64("threads")?,
             seed: meta_u64("seed")?,
+            cpu_features: m
+                .meta
+                .get("cpu_features")
+                .cloned()
+                .unwrap_or_else(|| "unknown".to_string()),
             counters,
             gauges,
             span_wall_ns,
@@ -132,13 +149,14 @@ impl HistoryRecord {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\"key\":\"{}\",\"run_id\":\"{}\",\"bin\":\"{}\",\"git_rev\":\"{}\",\"threads\":{},\"seed\":{}",
+            "\"key\":\"{}\",\"run_id\":\"{}\",\"bin\":\"{}\",\"git_rev\":\"{}\",\"threads\":{},\"seed\":{},\"cpu_features\":\"{}\"",
             json_escape(&self.key),
             json_escape(&self.run_id),
             json_escape(&self.bin),
             json_escape(&self.git_rev),
             self.threads,
             self.seed,
+            json_escape(&self.cpu_features),
         );
         out.push_str(",\"counters\":{");
         for (i, (name, v)) in self.counters.iter().enumerate() {
@@ -210,6 +228,12 @@ impl HistoryRecord {
             git_rev: str_field("git_rev")?,
             threads: u64_field("threads")?,
             seed: u64_field("seed")?,
+            // Optional: history lines written before the field existed
+            // parse as "unknown" rather than failing the whole file.
+            cpu_features: match v.get("cpu_features") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => "unknown".to_string(),
+            },
             counters: u64_map("counters")?,
             gauges,
             span_wall_ns: u64_map("span_wall_ns")?,
@@ -296,29 +320,31 @@ fn median(sorted: &mut [u64]) -> u64 {
 }
 
 /// Runs the trend gate over in-memory records: within each
-/// `(run_id, threads)` group, the latest record's gated span wall-times
-/// must not exceed the trailing median of all prior records by more
-/// than `tolerance` (fractional).
+/// `(run_id, threads, cpu_features)` group, the latest record's gated
+/// span wall-times must not exceed the trailing median of all prior
+/// records by more than `tolerance` (fractional). Spans with fewer than
+/// [`MIN_TREND_HISTORY`] prior measurements are skipped with a logged
+/// notice — too little history for a meaningful median.
 ///
 /// # Errors
 ///
 /// Returns the list of regressions when any gated span fails.
 pub fn trend_gate_records(records: &[HistoryRecord], tolerance: f64) -> Result<String, String> {
-    let mut groups: BTreeMap<(String, u64), Vec<&HistoryRecord>> = BTreeMap::new();
+    let mut groups: BTreeMap<(String, u64, String), Vec<&HistoryRecord>> = BTreeMap::new();
     for r in records {
         groups
-            .entry((r.run_id.clone(), r.threads))
+            .entry((r.run_id.clone(), r.threads, r.cpu_features.clone()))
             .or_default()
             .push(r);
     }
     let mut report = String::new();
     let mut failures = String::new();
-    for ((run_id, threads), group) in &groups {
+    for ((run_id, threads, cpu), group) in &groups {
         let (latest, priors) = group.split_last().expect("groups are non-empty");
         if priors.is_empty() {
             let _ = writeln!(
                 report,
-                "{run_id} (threads={threads}): first record, nothing to compare"
+                "{run_id} (threads={threads}, cpu={cpu}): first record, nothing to compare"
             );
             continue;
         }
@@ -333,10 +359,19 @@ pub fn trend_gate_records(records: &[HistoryRecord], tolerance: f64) -> Result<S
             if prior.is_empty() {
                 continue;
             }
+            if prior.len() < MIN_TREND_HISTORY {
+                let _ = writeln!(
+                    report,
+                    "{run_id} (threads={threads}, cpu={cpu}) {span}: skipped, only {} prior \
+                     record(s) (need {MIN_TREND_HISTORY} for a stable median)",
+                    prior.len()
+                );
+                continue;
+            }
             let baseline = median(&mut prior);
             let ratio = current as f64 / baseline.max(1) as f64;
             let line = format!(
-                "{run_id} (threads={threads}) {span}: {:.1}ms vs median {:.1}ms ({:+.1}%)",
+                "{run_id} (threads={threads}, cpu={cpu}) {span}: {:.1}ms vs median {:.1}ms ({:+.1}%)",
                 current as f64 / 1e6,
                 baseline as f64 / 1e6,
                 (ratio - 1.0) * 100.0
@@ -382,8 +417,8 @@ fn metric_file_name(metric: &str) -> String {
 
 /// Renders one SVG trend chart per tracked metric (gated span
 /// wall-times in milliseconds, then [`KEY_GAUGES`]) into `out_dir`, one
-/// series per `(run_id, threads)` group, x = record index within the
-/// group. Metrics absent from every record are skipped. Returns a
+/// series per `(run_id, threads, cpu_features)` group, x = record index
+/// within the group. Metrics absent from every record are skipped. Returns a
 /// report naming each chart written.
 ///
 /// # Errors
@@ -394,10 +429,10 @@ pub fn render_trends(history_path: &Path, out_dir: &Path) -> Result<String, Stri
     if records.is_empty() {
         return Ok("history is empty, no trend charts written\n".to_string());
     }
-    let mut groups: BTreeMap<(String, u64), Vec<&HistoryRecord>> = BTreeMap::new();
+    let mut groups: BTreeMap<(String, u64, String), Vec<&HistoryRecord>> = BTreeMap::new();
     for r in &records {
         groups
-            .entry((r.run_id.clone(), r.threads))
+            .entry((r.run_id.clone(), r.threads, r.cpu_features.clone()))
             .or_default()
             .push(r);
     }
@@ -421,7 +456,7 @@ pub fn render_trends(history_path: &Path, out_dir: &Path) -> Result<String, Stri
         for metric in metrics {
             let mut chart = LineChart::new(format!("{metric} across runs"), "run", y_label);
             let mut any = false;
-            for ((run_id, threads), group) in &groups {
+            for ((run_id, threads, cpu), group) in &groups {
                 let points: Vec<(f64, f64)> = group
                     .iter()
                     .enumerate()
@@ -431,7 +466,7 @@ pub fn render_trends(history_path: &Path, out_dir: &Path) -> Result<String, Stri
                     continue;
                 }
                 any = true;
-                chart.series(Series::new(format!("{run_id} t{threads}"), points));
+                chart.series(Series::new(format!("{run_id} t{threads} {cpu}"), points));
             }
             if !any {
                 continue;
@@ -491,6 +526,40 @@ mod tests {
     }
 
     #[test]
+    fn cpu_features_default_and_grouping() {
+        // Manifests (and old history lines) without cpu_features parse as
+        // "unknown" and still round-trip.
+        let r = record("fig11-seed7-scale1", "abc", 900);
+        assert_eq!(r.cpu_features, "unknown");
+
+        // A manifest that carries the meta key keeps it, and runs from
+        // different feature sets land in different trend groups: four
+        // "unknown" priors plus a slow "avx2" record must not fail the
+        // gate (the avx2 group is a first record).
+        let mut text = manifest_text("fig11-seed7-scale1", "zzz", 9_000_000);
+        text = text.replace(
+            "\"seed\":\"7\"",
+            "\"seed\":\"7\",\"cpu_features\":\"avx2+fma\"",
+        );
+        let m = Manifest::parse(&text).unwrap();
+        let avx = HistoryRecord::from_manifest(&m).unwrap();
+        assert_eq!(avx.cpu_features, "avx2+fma");
+        let v = serde_json::parse_value(&avx.to_json_line()).unwrap();
+        assert_eq!(HistoryRecord::parse(&v, 1).unwrap(), avx);
+
+        let id = "fig11-seed7-scale1";
+        let mut records = vec![
+            record(id, "r1", 1_000_000),
+            record(id, "r2", 1_000_000),
+            record(id, "r3", 1_000_000),
+            record(id, "r4", 1_000_000),
+        ];
+        records.push(avx);
+        let report = trend_gate_records(&records, DEFAULT_TREND_TOLERANCE).unwrap();
+        assert!(report.contains("cpu=avx2+fma): first record"), "{report}");
+    }
+
+    #[test]
     fn ingest_is_idempotent_per_run_and_rev() {
         let dir = temp_dir("ingest");
         let manifest = dir.join("manifest.jsonl");
@@ -516,15 +585,33 @@ mod tests {
             record(id, "r1", 1_000_000),
             record(id, "r2", 1_100_000),
             record(id, "r3", 1_050_000),
+            record(id, "r4", 1_020_000),
         ];
         let report = trend_gate_records(&steady, DEFAULT_TREND_TOLERANCE).unwrap();
         assert!(report.contains("dse/run"), "{report}");
+        assert!(!report.contains("skipped"), "{report}");
 
         let mut regressed = steady.clone();
-        regressed.push(record(id, "r4", 2_000_000));
+        regressed.push(record(id, "r5", 2_000_000));
         let err = trend_gate_records(&regressed, DEFAULT_TREND_TOLERANCE).unwrap_err();
         assert!(err.contains("dse/run"), "{err}");
         assert!(err.contains("exceeds tolerance"), "{err}");
+    }
+
+    #[test]
+    fn trend_gate_skips_spans_with_short_history_loudly() {
+        // Three records = two priors: below MIN_TREND_HISTORY, so even a
+        // gross regression must be skipped — but with a notice, not
+        // silently.
+        let id = "fig11-seed7-scale1";
+        let short = vec![
+            record(id, "r1", 1_000_000),
+            record(id, "r2", 1_100_000),
+            record(id, "r3", 9_000_000),
+        ];
+        let report = trend_gate_records(&short, DEFAULT_TREND_TOLERANCE).unwrap();
+        assert!(report.contains("skipped, only 2 prior"), "{report}");
+        assert!(report.contains("dse/run"), "{report}");
     }
 
     #[test]
