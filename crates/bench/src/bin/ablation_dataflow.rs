@@ -7,96 +7,17 @@
 //! wins where — the classic result being that the best choice depends on
 //! layer geometry (e.g. output-stationary for reduction-heavy FC layers).
 
-use std::collections::HashMap;
-use vaesa_accel::{workloads, ArchDescription};
-use vaesa_bench::{write_labeled_csv, Args};
-use vaesa_cosa::Scheduler;
-use vaesa_linalg::stats;
-
 fn main() {
-    let args = Args::parse();
-    vaesa_bench::init_run_meta("ablation_dataflow", &args);
-    let scheduler = Scheduler::default();
-    let arch = ArchDescription {
-        pe_count: 16,
-        macs_per_pe: 1024,
-        accum_buf_bytes: 32 * 1024,
-        weight_buf_bytes: 512 * 1024,
-        input_buf_bytes: 64 * 1024,
-        global_buf_bytes: 128 * 1024,
-    };
-
-    let mut pools: Vec<(&str, Vec<vaesa_accel::LayerShape>)> = vec![
-        ("resnet50", workloads::resnet50()),
-        ("alexnet", workloads::alexnet()),
-        ("mobilenet_v1", workloads::mobilenet_v1()),
-        ("bert_gemms", workloads::bert_base_gemms()),
-    ];
-    if args.scale == 0 {
-        pools.truncate(2);
-    }
-
-    let mut wins: HashMap<&'static str, usize> = HashMap::new();
-    let mut improvement_logs = Vec::new();
-    let mut rows = Vec::new();
-    println!("per-layer dataflow selection on {arch}\n");
-    println!(
-        "{:<14} {:>8} {:>10} {:>22}",
-        "workload", "layers", "geo gain", "dataflow wins (WS/OS/IS)"
-    );
-    for (name, layers) in &pools {
-        let mut logs = Vec::new();
-        let mut local = [0usize; 3];
-        for layer in layers {
-            let (Ok(ws), Ok(best)) = (
-                scheduler.schedule(&arch, layer),
-                scheduler.schedule_with_dataflows(&arch, layer),
-            ) else {
-                continue;
-            };
-            let gain = ws.evaluation.edp() / best.evaluation.edp();
-            logs.push(gain.ln());
-            improvement_logs.push(gain.ln());
-            let df = best.mapping.dataflow.name();
-            *wins.entry(df).or_default() += 1;
-            match df {
-                "WS" => local[0] += 1,
-                "OS" => local[1] += 1,
-                _ => local[2] += 1,
-            }
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
-        let geo = stats::mean(&logs).map(f64::exp).unwrap_or(f64::NAN);
-        println!(
-            "{name:<14} {:>8} {:>9.3}x {:>13}/{}/{}",
-            layers.len(),
-            geo,
-            local[0],
-            local[1],
-            local[2]
-        );
-        rows.push((
-            name.to_string(),
-            vec![geo, local[0] as f64, local[1] as f64, local[2] as f64],
-        ));
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("ablation_dataflow", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-
-    let overall = stats::mean(&improvement_logs)
-        .map(f64::exp)
-        .unwrap_or(f64::NAN);
-    println!("\noverall geometric-mean EDP gain from dataflow freedom: {overall:.3}x");
-    println!(
-        "dataflow wins: WS {} | OS {} | IS {}",
-        wins.get("WS").copied().unwrap_or(0),
-        wins.get("OS").copied().unwrap_or(0),
-        wins.get("IS").copied().unwrap_or(0)
-    );
-
-    let path = write_labeled_csv(
-        &args.out_dir,
-        "ablation_dataflow.csv",
-        "workload,geo_gain,ws_wins,os_wins,is_wins",
-        &rows,
-    );
-    vaesa_obs::progress!("wrote {}", path.display());
-    vaesa_bench::write_run_manifest(&args.out_dir, None);
 }

@@ -7,109 +7,17 @@
 //! normalizers so the model stays valid), fine-tune for a few epochs, and
 //! compare a second search round against continuing with the frozen model.
 
-use vaesa::flows::{decode_to_config, run_vae_bo};
-use vaesa::{Record, TrainConfig, Trainer};
-use vaesa_accel::workloads;
-use vaesa_bench::{write_labeled_csv, Args, ExperimentContext};
-use vaesa_linalg::stats;
-
 fn main() {
-    let cli = Args::parse();
-    vaesa_bench::init_run_meta("ablation_finetune", &cli);
-    let ctx = ExperimentContext::build(cli);
-    let args = &ctx.args;
-    let resnet = workloads::resnet50();
-
-    let round = args.budget.unwrap_or(args.pick(40, 150, 500));
-    let seeds = args.pick(2, 3, 5);
-
-    let evaluator = ctx.evaluator_for(&resnet);
-
-    let mut frozen_bests = Vec::new();
-    let mut finetuned_bests = Vec::new();
-    for seed in 0..seeds {
-        // Round 1 (shared): explore with the freshly trained model.
-        let mut rng = args.rng(70_000 + seed as u64);
-        let round1 = run_vae_bo(&evaluator, &ctx.model, &ctx.dataset, round, &mut rng);
-
-        // Fold the evaluated designs back into the dataset as per-layer
-        // records (exactly what the scheduler + cost model already computed).
-        let mut new_records = Vec::new();
-        for sample in round1.samples() {
-            let config = decode_to_config(&ctx.model, &sample.x, &ctx.dataset.hw_norm, &evaluator);
-            let Some(w) = evaluator.workload_eval(&config) else {
-                continue;
-            };
-            let hw_raw = ctx.setup.space.raw_features(&config);
-            for (layer, sched) in resnet.iter().zip(&w.layers) {
-                new_records.push(Record {
-                    config,
-                    hw_raw,
-                    layer_raw: layer.features(),
-                    latency: sched.evaluation.latency_cycles,
-                    energy: sched.evaluation.energy_pj,
-                });
-            }
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
-        println!(
-            "seed {seed}: round 1 best {:.4e}, {} new records",
-            round1.best_value().unwrap_or(f64::NAN),
-            new_records.len()
-        );
-
-        // Branch A: continue with the frozen model.
-        let mut rng = args.rng(71_000 + seed as u64);
-        let frozen = run_vae_bo(&evaluator, &ctx.model, &ctx.dataset, round, &mut rng);
-        frozen_bests.push(
-            frozen
-                .best_value()
-                .unwrap_or(f64::NAN)
-                .min(round1.best_value().unwrap_or(f64::NAN)),
-        );
-
-        // Branch B: extend + fine-tune (low LR, few epochs), then search.
-        let extended = ctx.dataset.extended(new_records);
-        let mut tuned = ctx.model.clone();
-        let mut rng = args.rng(72_000 + seed as u64);
-        Trainer::new(TrainConfig {
-            epochs: ctx.epochs / 4,
-            batch_size: 64,
-            learning_rate: 2e-4,
-        })
-        .train_vae(&mut tuned, &extended, &mut rng);
-        let mut rng = args.rng(71_000 + seed as u64); // same budget RNG as branch A
-        let fine = run_vae_bo(&evaluator, &tuned, &extended, round, &mut rng);
-        finetuned_bests.push(
-            fine.best_value()
-                .unwrap_or(f64::NAN)
-                .min(round1.best_value().unwrap_or(f64::NAN)),
-        );
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("ablation_finetune", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-
-    let fm = stats::mean(&frozen_bests).unwrap_or(f64::NAN);
-    let tm = stats::mean(&finetuned_bests).unwrap_or(f64::NAN);
-    println!("\nbest ResNet-50 EDP after two rounds ({round} samples each, {seeds} seeds):");
-    println!("  frozen model:     {fm:.4e}");
-    println!("  fine-tuned model: {tm:.4e}");
-    println!(
-        "  fine-tuning is {}",
-        if tm <= fm * 1.001 {
-            "at least as good (matches the paper's expectation)"
-        } else {
-            "not better at this scale"
-        }
-    );
-
-    let rows = vec![
-        ("frozen".to_string(), vec![fm]),
-        ("finetuned".to_string(), vec![tm]),
-    ];
-    let path = write_labeled_csv(
-        &args.out_dir,
-        "ablation_finetune.csv",
-        "strategy,best_edp_mean",
-        &rows,
-    );
-    vaesa_obs::progress!("wrote {}", path.display());
-    ctx.finish();
 }

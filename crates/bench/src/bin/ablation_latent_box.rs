@@ -7,63 +7,17 @@
 //! small (α = 1e-4), encodings spread well beyond the prior, so a fixed box
 //! can clip the region the decoder actually covers.
 
-use vaesa::flows::{decode_to_config, latent_box};
-use vaesa_accel::workloads;
-use vaesa_bench::{write_labeled_csv, Args, ExperimentContext};
-use vaesa_dse::{BayesOpt, BoxSpace, FnObjective};
-use vaesa_linalg::stats;
-
 fn main() {
-    let cli = Args::parse();
-    vaesa_bench::init_run_meta("ablation_latent_box", &cli);
-    let ctx = ExperimentContext::build(cli);
-    let args = &ctx.args;
-    let resnet = workloads::resnet50();
-
-    let budget = args.budget.unwrap_or(args.pick(60, 300, 1000));
-    let seeds = args.pick(2, 3, 5);
-
-    let evaluator = ctx.evaluator_for(&resnet);
-    let data_box = latent_box(&ctx.model, &ctx.dataset);
-    println!(
-        "data-derived box: lo {:?}, hi {:?}",
-        data_box.lower(),
-        data_box.upper()
-    );
-
-    let boxes = [
-        ("prior_pm1".to_string(), BoxSpace::symmetric(4, 1.0)),
-        ("prior_pm3".to_string(), BoxSpace::symmetric(4, 3.0)),
-        ("prior_pm6".to_string(), BoxSpace::symmetric(4, 6.0)),
-        ("data_box".to_string(), data_box),
-    ];
-
-    let mut rows = Vec::new();
-    println!("\n{budget} samples x {seeds} seeds per box:");
-    for (name, space) in &boxes {
-        let mut bests = Vec::new();
-        for seed in 0..seeds {
-            let mut objective = FnObjective::new(4, |z: &[f64]| {
-                let config = decode_to_config(&ctx.model, z, &ctx.dataset.hw_norm, &evaluator);
-                evaluator.edp_of_config(&config)
-            });
-            let mut rng = args.rng(40_000 + seed as u64 * 17);
-            let trace = BayesOpt::new(space.clone()).run(&mut objective, budget, &mut rng);
-            bests.push(trace.best_value().unwrap_or(f64::NAN));
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
-        let mean = stats::mean(&bests).unwrap_or(f64::NAN);
-        let std = stats::std_dev(&bests).unwrap_or(f64::NAN);
-        println!("  {name:>10}: best ResNet-50 EDP {mean:.4e} ± {std:.2e}");
-        rows.push((name.clone(), vec![mean, std]));
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("ablation_latent_box", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-
-    let path = write_labeled_csv(
-        &args.out_dir,
-        "ablation_latent_box.csv",
-        "box,best_edp_mean,best_edp_std",
-        &rows,
-    );
-    vaesa_obs::progress!("wrote {}", path.display());
-    println!("expected: the data-derived box matches or beats every fixed prior box.");
-    ctx.finish();
 }

@@ -6,80 +6,17 @@
 //! compares (a) the cost landscape shift and (b) the design chosen by a
 //! fixed search budget, with and without the NoC.
 
-use rand::SeedableRng;
-use vaesa_accel::workloads;
-use vaesa_bench::{write_csv, Args};
-use vaesa_cosa::Scheduler;
-use vaesa_linalg::stats;
-use vaesa_timeloop::{CostModel, NocModel};
-
 fn main() {
-    let args = Args::parse();
-    vaesa_bench::init_run_meta("ablation_noc", &args);
-    let space = vaesa_accel::DesignSpace::paper();
-    let layers = workloads::resnet50();
-
-    let base = Scheduler::new(CostModel::default());
-    let meshy = Scheduler::new(CostModel::default().with_noc(NocModel::nm40()));
-
-    let n_archs = args.pick(20, 100, 400);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(args.seed.wrapping_add(90_000));
-
-    let mut rows = Vec::new();
-    let mut ratio_logs = Vec::new();
-    let mut base_best = (f64::INFINITY, None);
-    let mut noc_best = (f64::INFINITY, None);
-    let mut evaluated = 0;
-    while evaluated < n_archs {
-        let config = space.random(&mut rng);
-        let arch = space.describe(&config);
-        let (Ok(b), Ok(n)) = (
-            base.schedule_workload(&arch, &layers),
-            meshy.schedule_workload(&arch, &layers),
-        ) else {
-            continue;
-        };
-        evaluated += 1;
-        let (be, ne) = (b.edp(), n.edp());
-        ratio_logs.push((ne / be).ln());
-        rows.push(vec![arch.pe_count as f64, arch.macs_per_pe as f64, be, ne]);
-        if be < base_best.0 {
-            base_best = (be, Some(arch));
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
-        if ne < noc_best.0 {
-            noc_best = (ne, Some(arch));
-        }
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("ablation_noc", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-
-    let path = write_csv(
-        &args.out_dir,
-        "ablation_noc.csv",
-        "pe_count,macs_per_pe,edp_base,edp_with_noc",
-        &rows,
-    );
-    vaesa_obs::progress!("wrote {}", path.display());
-
-    let geo_ratio = stats::mean(&ratio_logs).map(f64::exp).unwrap_or(f64::NAN);
-    println!("\n{evaluated} random architectures on ResNet-50:");
-    println!("geometric-mean EDP inflation from the NoC: {geo_ratio:.3}x");
-    println!(
-        "best design without NoC: EDP {:.4e} at {}",
-        base_best.0,
-        base_best.1.expect("found one")
-    );
-    println!(
-        "best design with NoC:    EDP {:.4e} at {}",
-        noc_best.0,
-        noc_best.1.expect("found one")
-    );
-    let same = base_best.1 == noc_best.1;
-    println!(
-        "winner {}",
-        if same {
-            "unchanged - the NoC shifts costs but not the ranking at this sample size"
-        } else {
-            "changed - wide spatial mappings pay a mesh penalty, shifting the optimum"
-        }
-    );
-    vaesa_bench::write_run_manifest(&args.out_dir, None);
 }

@@ -9,82 +9,17 @@
 //! - `random_valid`: the best of N random valid mappings (a naive mapper);
 //! - `greedy` (ours): the deterministic EDP-greedy descent.
 
-use vaesa_accel::workloads;
-use vaesa_bench::{write_labeled_csv, Args, Setup};
-use vaesa_cosa::random_mapping;
-use vaesa_linalg::stats;
-use vaesa_timeloop::Mapping;
-
 fn main() {
-    let args = Args::parse();
-    vaesa_bench::init_run_meta("ablation_scheduler", &args);
-    let setup = Setup::new();
-    let layers = workloads::resnet50();
-    let scheduler = vaesa_cosa::Scheduler::default();
-    let model = scheduler.model();
-
-    let n_archs = args.pick(10, 40, 100);
-    let n_random_mappings = args.pick(20, 100, 400);
-    let mut rng = args.rng(50_000);
-
-    // Per-mapper geometric-mean EDP across (arch, layer) pairs.
-    let mut logs: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    let mut archs_used = 0;
-    while archs_used < n_archs {
-        let config = setup.space.random(&mut rng);
-        let arch = setup.space.describe(&config);
-        let Ok(greedy) = scheduler.schedule_workload(&arch, &layers) else {
-            continue;
-        };
-        archs_used += 1;
-
-        for (li, layer) in layers.iter().enumerate() {
-            // Unit mapping.
-            let unit = model
-                .evaluate(&arch, layer, &Mapping::unit())
-                .expect("unit is valid when the workload schedules");
-            logs[0].push(unit.edp().ln());
-
-            // Best of N random valid mappings.
-            let mut best_random = f64::INFINITY;
-            for _ in 0..n_random_mappings {
-                let m = random_mapping(&arch, layer, &mut rng);
-                if let Ok(e) = model.evaluate(&arch, layer, &m) {
-                    best_random = best_random.min(e.edp());
-                }
-            }
-            if best_random.is_finite() {
-                logs[1].push(best_random.ln());
-            }
-
-            logs[2].push(greedy.layers[li].evaluation.edp().ln());
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("ablation_scheduler", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-
-    let names = ["unit", "random_valid", "greedy"];
-    let mut rows = Vec::new();
-    println!("geometric-mean per-layer EDP over {archs_used} random architectures:");
-    let geo: Vec<f64> = logs
-        .iter()
-        .map(|l| stats::mean(l).map(f64::exp).unwrap_or(f64::NAN))
-        .collect();
-    for (name, g) in names.iter().zip(&geo) {
-        println!("  {name:>13}: {g:.4e}");
-        rows.push((name.to_string(), vec![*g]));
-    }
-    println!(
-        "\ngreedy improves on best-of-{n_random_mappings} random mappings by {:.1}x \
-         and on the unit mapping by {:.0}x",
-        geo[1] / geo[2],
-        geo[0] / geo[2]
-    );
-
-    let path = write_labeled_csv(
-        &args.out_dir,
-        "ablation_scheduler.csv",
-        "mapper,geomean_edp",
-        &rows,
-    );
-    vaesa_obs::progress!("wrote {}", path.display());
-    vaesa_bench::write_run_manifest(&args.out_dir, Some(&setup.scheduler));
 }

@@ -5,60 +5,17 @@
 //! This ablation runs random / BO / evolutionary, each on both the
 //! original input space and the VAESA latent space, on ResNet-50.
 
-use vaesa::SpaceMode;
-use vaesa_accel::workloads;
-use vaesa_bench::{write_labeled_csv, Args, ExperimentContext};
-use vaesa_dse::engine_by_name;
-use vaesa_linalg::stats;
-
 fn main() {
-    let cli = Args::parse();
-    vaesa_bench::init_run_meta("ablation_search_engines", &cli);
-    let ctx = ExperimentContext::build(cli);
-    let args = &ctx.args;
-    let resnet = workloads::resnet50();
-
-    let budget = args.budget.unwrap_or(args.pick(60, 300, 1000));
-    let seeds = args.pick(2, 3, 5);
-
-    let evaluator = ctx.evaluator_for(&resnet);
-    let driver = ctx.driver(&evaluator);
-
-    println!("{budget} samples x {seeds} seeds per engine on ResNet-50:\n");
-    let mut rows = Vec::new();
-    // (label, engine, space) — every run goes through the one DSE driver.
-    let engines = [
-        ("random", "random", SpaceMode::Direct),
-        ("bo", "bo", SpaceMode::Direct),
-        ("evo", "evo", SpaceMode::Direct),
-        ("sa", "sa", SpaceMode::Direct),
-        ("cd", "cd", SpaceMode::Direct),
-        ("vae_bo", "bo", SpaceMode::Latent),
-        ("vae_evo", "evo", SpaceMode::Latent),
-        ("vae_sa", "sa", SpaceMode::Latent),
-    ];
-
-    for (name, engine_name, mode) in engines {
-        let engine = engine_by_name(engine_name).expect("known engine");
-        let mut bests = Vec::new();
-        for seed in 0..seeds {
-            let mut rng = args.rng(60_000 + seed as u64 * 13);
-            let trace = driver.run(engine.as_ref(), mode, budget, &mut rng);
-            bests.push(trace.best_value().unwrap_or(f64::NAN));
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
-        let mean = stats::mean(&bests).unwrap_or(f64::NAN);
-        let std = stats::std_dev(&bests).unwrap_or(f64::NAN);
-        println!("  {name:>8}: best EDP {mean:.4e} ± {std:.2e}");
-        rows.push((name.to_string(), vec![mean, std]));
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("ablation_search_engines", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-
-    let path = write_labeled_csv(
-        &args.out_dir,
-        "ablation_search_engines.csv",
-        "engine,best_edp_mean,best_edp_std",
-        &rows,
-    );
-    vaesa_obs::progress!("wrote {}", path.display());
-    println!("expected: each engine improves when moved to the latent space.");
-    ctx.finish();
 }

@@ -7,104 +7,17 @@
 //! non-monotonic with plateaus and cliffs — evidence that the raw space is
 //! hard to search.
 
-use vaesa_accel::{workloads, ArchDescription};
-use vaesa_bench::{write_csv, write_svg, Args};
-use vaesa_cosa::Scheduler;
-use vaesa_plot::{LineChart, Series};
-
 fn main() {
-    let args = Args::parse();
-    vaesa_bench::init_run_meta("fig01_landscape", &args);
-    let scheduler = Scheduler::default();
-    let layers = workloads::resnet50();
-
-    // 2.7 MB total buffer budget, split between the accumulation buffer and
-    // the remaining buffers at fixed relative proportions, as in Fig. 1.
-    let total_budget: f64 = 2.7 * 1024.0 * 1024.0;
-    let points = args.pick(16, 48, 96);
-
-    println!("Figure 1: ResNet-50 latency/energy vs accumulation-buffer share");
-    println!("total buffer budget: {:.1} KiB", total_budget / 1024.0);
-    println!(
-        "{:>8} {:>14} {:>14} {:>14}",
-        "accum%", "latency(cyc)", "energy(pJ)", "EDP"
-    );
-
-    let mut rows = Vec::new();
-    let pe_count = 16u64;
-    for i in 1..=points {
-        // Sweep the accumulation share across (0, 90%) of the budget; the
-        // remaining bytes are split weight-heavy (as in Simba) between the
-        // weight, input, and global buffers. Per-PE buffers share the
-        // budget across all PEs.
-        let pct = i as f64 / (points + 1) as f64 * 0.90;
-        let accum_total = pct * total_budget;
-        let rest = total_budget - accum_total;
-        let accum = (accum_total / pe_count as f64) as u64;
-        let weight = (rest * 0.70 / pe_count as f64) as u64;
-        let input = (rest * 0.15 / pe_count as f64) as u64;
-        let global = (rest * 0.15) as u64;
-        let arch = ArchDescription {
-            pe_count,
-            macs_per_pe: 1024,
-            accum_buf_bytes: accum.max(64),
-            weight_buf_bytes: weight.max(256),
-            input_buf_bytes: input.max(128),
-            global_buf_bytes: global.max(256),
-        };
-        match scheduler.schedule_workload(&arch, &layers) {
-            Ok(w) => {
-                println!(
-                    "{:>7.1}% {:>14.4e} {:>14.4e} {:>14.4e}",
-                    pct * 100.0,
-                    w.total_latency_cycles,
-                    w.total_energy_pj,
-                    w.edp()
-                );
-                rows.push(vec![
-                    pct * 100.0,
-                    w.total_latency_cycles,
-                    w.total_energy_pj,
-                    w.edp(),
-                ]);
-            }
-            Err(e) => println!("{:>7.1}% invalid: {e}", pct * 100.0),
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("fig01_landscape", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-
-    let path = write_csv(
-        &args.out_dir,
-        "fig01_landscape.csv",
-        "accum_pct,latency_cycles,energy_pj,edp",
-        &rows,
-    );
-    vaesa_obs::progress!("wrote {}", path.display());
-
-    for (col, name, file) in [
-        (1usize, "latency (cycles)", "fig01_latency.svg"),
-        (2, "energy (pJ)", "fig01_energy.svg"),
-    ] {
-        let mut chart = LineChart::new(
-            "ResNet-50 vs accumulation-buffer share (Fig. 1)",
-            "accum buffer (% of 2.7 MB)",
-            name,
-        );
-        chart.series(Series::new(
-            name,
-            rows.iter().map(|r| (r[0], r[col])).collect(),
-        ));
-        let p = write_svg(&args.out_dir, file, &chart.render());
-        vaesa_obs::progress!("wrote {}", p.display());
-    }
-
-    // Quantify the paper's qualitative claim: the landscape is irregular
-    // (non-monotone in both directions for latency and energy).
-    let lat: Vec<f64> = rows.iter().map(|r| r[1]).collect();
-    let en: Vec<f64> = rows.iter().map(|r| r[2]).collect();
-    for (name, series) in [("latency", &lat), ("energy", &en)] {
-        let ups = series.windows(2).filter(|w| w[1] > w[0]).count();
-        let downs = series.windows(2).filter(|w| w[1] < w[0]).count();
-        println!("{name}: {ups} increases, {downs} decreases across the sweep");
-    }
-    vaesa_bench::write_run_manifest(&args.out_dir, None);
 }

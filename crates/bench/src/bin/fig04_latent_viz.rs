@@ -6,104 +6,17 @@
 //! encodings cluster by feature value, and the low-EDP region coincides
 //! with the high-compute region.
 
-use std::collections::HashSet;
-use vaesa_accel::workloads;
-use vaesa_bench::{write_csv, write_svg, Args, Setup};
-use vaesa_linalg::stats;
-use vaesa_nn::Tensor;
-use vaesa_plot::ScatterChart;
-
 fn main() {
-    let args = Args::parse();
-    vaesa_bench::init_run_meta("fig04_latent_viz", &args);
-    let setup = Setup::new();
-    let layers = workloads::training_layers();
-    let resnet = workloads::resnet50();
-
-    let n_configs = args.pick(60, 400, 1200);
-    let epochs = args.pick(10, 40, 80);
-    vaesa_obs::progress!(
-        "building dataset ({n_configs} random configs x {} layers)...",
-        layers.len()
-    );
-    let dataset = setup.dataset(&layers, n_configs, &args);
-    vaesa_obs::progress!(
-        "training 2-D VAESA on {} samples for {epochs} epochs...",
-        dataset.len()
-    );
-    let (model, history) = setup.train(&dataset, 2, 1e-4, epochs, &args);
-    println!("final losses: {:?}", history.last());
-
-    // One point per unique architecture, colored by the whole-workload
-    // (ResNet-50) EDP of that architecture — the paper's "current workload".
-    let mut seen = HashSet::new();
-    let mut rows = Vec::new();
-    for r in &dataset.records {
-        if !seen.insert(r.config) {
-            continue;
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
-        let arch = setup.space.describe(&r.config);
-        let Ok(w) = setup.scheduler.schedule_workload(&arch, &resnet) else {
-            continue;
-        };
-        let normalized = dataset.hw_norm.transform_row(&r.hw_raw);
-        let z = model.encode_mean(&Tensor::row_vector(&normalized));
-        let total_macs = r.hw_raw[0] * r.hw_raw[1];
-        rows.push(vec![
-            z.get(0, 0),
-            z.get(0, 1),
-            total_macs,
-            r.hw_raw[5], // global buffer bytes
-            w.edp(),
-        ]);
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("fig04_latent_viz", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-    let path = write_csv(
-        &args.out_dir,
-        "fig04_latent_viz.csv",
-        "z1,z2,total_macs,global_buf_bytes,resnet50_edp",
-        &rows,
-    );
-    println!(
-        "wrote {} ({} unique architectures)",
-        path.display(),
-        rows.len()
-    );
-
-    for (col, label, file) in [
-        (2usize, "total MACs", "fig04a_macs.svg"),
-        (3, "global buffer bytes", "fig04b_globalbuf.svg"),
-        (4, "ResNet-50 EDP", "fig04c_edp.svg"),
-    ] {
-        let mut chart = ScatterChart::new(
-            format!("latent encodings colored by {label} (Fig. 4)"),
-            "latent dim 1",
-            "latent dim 2",
-            label,
-        );
-        chart.log_color();
-        chart.points(rows.iter().map(|r| (r[0], r[1], r[col])));
-        let p = write_svg(&args.out_dir, file, &chart.render());
-        vaesa_obs::progress!("wrote {}", p.display());
-    }
-
-    // Quantify "grouped by feature values": each colored quantity should be
-    // predictable from the latent position. We report the larger |Spearman|
-    // against the two latent axes.
-    let z1: Vec<f64> = rows.iter().map(|r| r[0]).collect();
-    let z2: Vec<f64> = rows.iter().map(|r| r[1]).collect();
-    println!("\nlatent-structure summary (|Spearman| vs best latent axis):");
-    for (name, col) in [("total MACs", 2usize), ("global buffer", 3), ("EDP", 4)] {
-        let vals: Vec<f64> = rows.iter().map(|r| r[col].ln()).collect();
-        let s1 = stats::spearman(&z1, &vals).unwrap_or(0.0).abs();
-        let s2 = stats::spearman(&z2, &vals).unwrap_or(0.0).abs();
-        println!("  {name:>14}: {:.3}", s1.max(s2));
-    }
-
-    // "Purple (low-EDP) points overlap the dark-blue (high-MAC) points":
-    // workload EDP should anticorrelate with compute.
-    let macs: Vec<f64> = rows.iter().map(|r| r[2].ln()).collect();
-    let edp: Vec<f64> = rows.iter().map(|r| r[4].ln()).collect();
-    let corr = stats::spearman(&macs, &edp).unwrap_or(0.0);
-    println!("\nSpearman(log MACs, log ResNet-50 EDP) = {corr:.3} (paper: strongly negative)");
-    vaesa_bench::write_run_manifest(&args.out_dir, Some(&setup.scheduler));
 }

@@ -7,113 +7,17 @@
 //! two surfaces match qualitatively — well inside the data region (radius
 //! ~1.5), approximately outside it.
 
-use vaesa::flows::HardwareEvaluator;
-use vaesa_accel::workloads;
-use vaesa_bench::{write_csv, write_svg, Args, Setup};
-use vaesa_linalg::stats;
-use vaesa_nn::Tensor;
-use vaesa_plot::Heatmap;
-
 fn main() {
-    let args = Args::parse();
-    vaesa_bench::init_run_meta("fig05_predictor_surface", &args);
-    let setup = Setup::new();
-    let pool = workloads::training_layers();
-    let resnet = workloads::resnet50();
-
-    let n_configs = args.pick(60, 400, 1200);
-    let epochs = args.pick(10, 40, 80);
-    vaesa_obs::progress!("building dataset and training 2-D VAESA...");
-    let dataset = setup.dataset(&pool, n_configs, &args);
-    let (model, _) = setup.train(&dataset, 2, 1e-4, epochs, &args);
-
-    let evaluator = HardwareEvaluator::new(&setup.space, &setup.scheduler, &resnet);
-    let grid_n = args.pick(9, 21, 31);
-    let half = 2.5;
-
-    vaesa_obs::progress!("probing a {grid_n}x{grid_n} latent grid over [-{half}, {half}]^2 ...");
-    let mut rows = Vec::new();
-    for iy in 0..grid_n {
-        for ix in 0..grid_n {
-            let z1 = -half + 2.0 * half * ix as f64 / (grid_n - 1) as f64;
-            let z2 = -half + 2.0 * half * iy as f64 / (grid_n - 1) as f64;
-            let z = Tensor::row_vector(&[z1, z2]);
-
-            // Predicted whole-network latency/energy: sum the denormalized
-            // per-layer predictions, as a user optimizing a full network
-            // would (§IV-D).
-            let mut pred_lat = 0.0;
-            let mut pred_en = 0.0;
-            for layer in &resnet {
-                let ln = dataset.layer_norm.transform_row(&layer.features());
-                let (l, e) = model.predict(&z, &Tensor::row_vector(&ln));
-                pred_lat += dataset.latency_norm.inverse_row(&[l.get(0, 0)])[0];
-                pred_en += dataset.energy_norm.inverse_row(&[e.get(0, 0)])[0];
-            }
-
-            // Real surface: decode, snap, schedule.
-            let config =
-                vaesa::flows::decode_to_config(&model, &[z1, z2], &dataset.hw_norm, &evaluator);
-            let arch = setup.space.describe(&config);
-            let (real_lat, real_en) = match setup.scheduler.schedule_workload(&arch, &resnet) {
-                Ok(w) => (w.total_latency_cycles, w.total_energy_pj),
-                Err(_) => (f64::NAN, f64::NAN),
-            };
-            rows.push(vec![z1, z2, pred_lat, pred_en, real_lat, real_en]);
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("fig05_predictor_surface", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-
-    let path = write_csv(
-        &args.out_dir,
-        "fig05_predictor_surface.csv",
-        "z1,z2,pred_latency,pred_energy,real_latency,real_energy",
-        &rows,
-    );
-    vaesa_obs::progress!("wrote {}", path.display());
-
-    for (col, label, file) in [
-        (2usize, "predicted latency", "fig05a_pred_latency.svg"),
-        (4, "real latency", "fig05b_real_latency.svg"),
-        (3, "predicted energy", "fig05c_pred_energy.svg"),
-        (5, "real energy", "fig05d_real_energy.svg"),
-    ] {
-        let mut hm = Heatmap::new(
-            format!("{label} over the latent space (Fig. 5)"),
-            "latent dim 1",
-            "latent dim 2",
-            label,
-        );
-        hm.log_color();
-        hm.cells(
-            rows.iter()
-                .filter(|r| r[col].is_finite() && r[col] > 0.0)
-                .map(|r| (r[0], r[1], r[col])),
-        );
-        let p = write_svg(&args.out_dir, file, &hm.render());
-        vaesa_obs::progress!("wrote {}", p.display());
-    }
-
-    // Quantify surface agreement, inside and outside the data region.
-    let inside = |r: &Vec<f64>| (r[0] * r[0] + r[1] * r[1]).sqrt() <= 1.5;
-    for (region, filter) in [("inside r<=1.5", true), ("outside r>1.5", false)] {
-        let sel: Vec<&Vec<f64>> = rows
-            .iter()
-            .filter(|r| inside(r) == filter && r[4].is_finite())
-            .collect();
-        if sel.len() < 4 {
-            continue;
-        }
-        let pl: Vec<f64> = sel.iter().map(|r| r[2].ln()).collect();
-        let rl: Vec<f64> = sel.iter().map(|r| r[4].ln()).collect();
-        let pe: Vec<f64> = sel.iter().map(|r| r[3].ln()).collect();
-        let re: Vec<f64> = sel.iter().map(|r| r[5].ln()).collect();
-        println!(
-            "{region}: Spearman latency {:.3}, energy {:.3} ({} points)",
-            stats::spearman(&pl, &rl).unwrap_or(f64::NAN),
-            stats::spearman(&pe, &re).unwrap_or(f64::NAN),
-            sel.len()
-        );
-    }
-    println!("(paper: accurate inside the data region, qualitative outside)");
-    vaesa_bench::write_run_manifest(&args.out_dir, Some(&setup.scheduler));
 }

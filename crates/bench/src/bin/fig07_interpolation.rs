@@ -6,85 +6,17 @@
 //! along the worst→best axis trends downward — with a local minimum in 2-D
 //! that the 4-D space smooths out.
 
-use vaesa::interpolate::interpolate_worst_best;
-use vaesa_accel::workloads;
-use vaesa_bench::{write_csv, write_svg, Args, Setup};
-use vaesa_plot::{LineChart, Series};
-
 fn main() {
-    let args = Args::parse();
-    vaesa_bench::init_run_meta("fig07_interpolation", &args);
-    let setup = Setup::new();
-    let pool = workloads::training_layers();
-
-    let n_configs = args.pick(60, 400, 1200);
-    let epochs = args.pick(10, 40, 80);
-    vaesa_obs::progress!("building dataset ({n_configs} configs)...");
-    let dataset = setup.dataset(&pool, n_configs, &args);
-
-    // Probe along the axis for a representative ResNet-50 layer.
-    let layer = workloads::resnet50()[6].clone(); // 3x3 s2_conv3, 28x28
-    let layer_raw = layer.features();
-    let n_inner = args.pick(8, 20, 40);
-    let n_beyond = args.pick(3, 8, 16);
-
-    let mut all_rows = Vec::new();
-    for dz in [2usize, 4] {
-        vaesa_obs::progress!("training {dz}-D VAESA ({epochs} epochs)...");
-        let (model, _) = setup.train(&dataset, dz, 1e-4, epochs, &args);
-        let interp = interpolate_worst_best(&model, &dataset, &layer_raw, n_inner, n_beyond);
-        println!(
-            "{dz}-D latent space: |z_best - z_worst| = {:.3} (paper: {} )",
-            interp.worst_best_distance(),
-            if dz == 2 { "0.96" } else { "2.58" }
-        );
-        println!(
-            "monotonicity of predicted EDP along worst->best: {:.2}",
-            interp.monotonicity()
-        );
-        let start = interp.points.first().expect("points").predicted_edp;
-        let at_best = interp
-            .points
-            .iter()
-            .min_by(|a, b| {
-                (a.t - 1.0)
-                    .abs()
-                    .partial_cmp(&(b.t - 1.0).abs())
-                    .expect("finite")
-            })
-            .expect("points")
-            .predicted_edp;
-        println!("predicted EDP: worst {start:.3e} -> best {at_best:.3e}");
-        for p in &interp.points {
-            all_rows.push(vec![dz as f64, p.t, p.predicted_edp]);
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("fig07_interpolation", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-
-    let path = write_csv(
-        &args.out_dir,
-        "fig07_interpolation.csv",
-        "latent_dim,t,predicted_edp",
-        &all_rows,
-    );
-    vaesa_obs::progress!("wrote {}", path.display());
-
-    let mut chart = LineChart::new(
-        "predicted EDP along the worst-to-best axis (Figs. 7-8)",
-        "interpolation t (0 = worst, 1 = best)",
-        "predicted EDP",
-    );
-    chart.log_y();
-    for dz in [2.0f64, 4.0] {
-        chart.series(Series::new(
-            format!("{}-D latent", dz as usize),
-            all_rows
-                .iter()
-                .filter(|r| r[0] == dz)
-                .map(|r| (r[1], r[2]))
-                .collect(),
-        ));
-    }
-    let p = write_svg(&args.out_dir, "fig07_interpolation.svg", &chart.render());
-    vaesa_obs::progress!("wrote {}", p.display());
-    vaesa_bench::write_run_manifest(&args.out_dir, Some(&setup.scheduler));
 }

@@ -9,96 +9,17 @@
 //! - α = 1e-2 collapses the encoding toward the standard normal,
 //!   destroying structure.
 
-use vaesa_accel::workloads;
-use vaesa_bench::{write_csv, write_svg, Args, Setup};
-use vaesa_linalg::stats;
-use vaesa_plot::ScatterChart;
-
 fn main() {
-    let args = Args::parse();
-    vaesa_bench::init_run_meta("fig09_alpha_ablation", &args);
-    let setup = Setup::new();
-    let pool = workloads::training_layers();
-
-    let n_configs = args.pick(60, 400, 1200);
-    let epochs = args.pick(10, 40, 80);
-    vaesa_obs::progress!("building dataset ({n_configs} configs)...");
-    let dataset = setup.dataset(&pool, n_configs, &args);
-
-    let alphas = [0.0, 1e-4, 1e-2];
-    let mut rows = Vec::new();
-    let mut summary = Vec::new();
-    for (i, &alpha) in alphas.iter().enumerate() {
-        vaesa_obs::progress!("training 2-D VAESA with alpha = {alpha:e} ({epochs} epochs)...");
-        let (model, history) = setup.train(&dataset, 2, alpha, epochs, &args);
-        let z = model.encode_mean(&dataset.hw);
-        let z1: Vec<f64> = (0..z.rows()).map(|r| z.get(r, 0)).collect();
-        let z2: Vec<f64> = (0..z.rows()).map(|r| z.get(r, 1)).collect();
-
-        let spread = |v: &[f64]| {
-            stats::quantile(v, 0.99).unwrap_or(0.0) - stats::quantile(v, 0.01).unwrap_or(0.0)
-        };
-        let std1 = stats::std_dev(&z1).unwrap_or(0.0);
-        let std2 = stats::std_dev(&z2).unwrap_or(0.0);
-        let recon = history.last().recon;
-        println!(
-            "  encoding std = ({std1:.3}, {std2:.3}), 98% spread = ({:.2}, {:.2}), final recon loss = {recon:.5}",
-            spread(&z1),
-            spread(&z2),
-        );
-        summary.push((alpha, std1.max(std2), recon));
-
-        for r in 0..z.rows().min(3000) {
-            let macs = dataset.records[r].hw_raw[0] * dataset.records[r].hw_raw[1];
-            rows.push(vec![i as f64, z.get(r, 0), z.get(r, 1), macs]);
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("fig09_alpha_ablation", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-
-    let path = write_csv(
-        &args.out_dir,
-        "fig09_alpha_ablation.csv",
-        "alpha_index,z1,z2,total_macs",
-        &rows,
-    );
-    println!(
-        "\nwrote {} (alpha_index: 0 => 0, 1 => 1e-4, 2 => 1e-2)",
-        path.display()
-    );
-
-    // All three encodings on one chart, colored by α index, so the
-    // spread ordering (α=0 widest, α=1e-2 collapsed) reads directly.
-    let mut chart = ScatterChart::new(
-        "2-D latent encodings by KL weight (Fig. 9; color: 0 => alpha 0, 1 => 1e-4, 2 => 1e-2)",
-        "latent dim 1",
-        "latent dim 2",
-        "alpha index",
-    );
-    chart.points(rows.iter().map(|r| (r[1], r[2], r[0])));
-    let p = write_svg(&args.out_dir, "fig09_alpha_ablation.svg", &chart.render());
-    vaesa_obs::progress!("wrote {}", p.display());
-
-    println!("\nsummary (alpha, max encoding std, final recon loss):");
-    for (alpha, spread, recon) in &summary {
-        println!("  alpha={alpha:>8.0e}  std={spread:>7.3}  recon={recon:.5}");
-    }
-    println!("\nexpected shape (paper):");
-    println!("  - spread(alpha=0) > spread(1e-4) > spread(1e-2) ~ 1");
-    println!("  - recon(1e-4) < recon(1e-2); alpha=1e-2 is near-random");
-    let s0 = summary[0].1;
-    let s1 = summary[1].1;
-    let s2 = summary[2].1;
-    println!(
-        "measured: spread ordering {}, recon(1e-4) {} recon(1e-2)",
-        if s0 >= s1 && s1 >= s2 {
-            "HOLDS"
-        } else {
-            "DIFFERS"
-        },
-        if summary[1].2 <= summary[2].2 {
-            "<="
-        } else {
-            ">"
-        },
-    );
-    vaesa_bench::write_run_manifest(&args.out_dir, Some(&setup.scheduler));
 }

@@ -5,75 +5,17 @@
 //! reconstruction accuracy improves with dimensionality but saturates
 //! around 4 — the width it selects.
 
-use vaesa_accel::workloads;
-use vaesa_bench::{write_labeled_csv, write_svg, Args, Setup};
-use vaesa_plot::{LineChart, Series};
-
 fn main() {
-    let args = Args::parse();
-    vaesa_bench::init_run_meta("fig10_latent_dim", &args);
-    let setup = Setup::new();
-    let pool = workloads::training_layers();
-
-    let n_configs = args.pick(60, 400, 1200);
-    let epochs = args.pick(12, 50, 100);
-    vaesa_obs::progress!("building dataset ({n_configs} configs)...");
-    let dataset = setup.dataset(&pool, n_configs, &args);
-
-    let dims = [1usize, 2, 3, 4, 6, 8];
-    let mut curves = Vec::new();
-    let mut finals = Vec::new();
-    for &dz in &dims {
-        vaesa_obs::progress!("training {dz}-D VAESA ({epochs} epochs)...");
-        let (_, history) = setup.train(&dataset, dz, 1e-4, epochs, &args);
-        let curve = history.recon_curve();
-        println!("  final recon loss: {:.5}", curve.last().expect("epochs"));
-        finals.push((dz, *curve.last().expect("epochs")));
-        curves.push((format!("dz{dz}"), curve));
-    }
-
-    let header = {
-        let cols: Vec<String> = (1..=epochs).map(|e| format!("epoch{e}")).collect();
-        format!("latent_dim,{}", cols.join(","))
-    };
-    let path = write_labeled_csv(&args.out_dir, "fig10_latent_dim.csv", &header, &curves);
-    vaesa_obs::progress!("wrote {}", path.display());
-
-    let mut chart = LineChart::new(
-        "reconstruction loss vs latent dimensionality (Fig. 10)",
-        "epoch",
-        "reconstruction MSE",
-    );
-    for (label, curve) in &curves {
-        chart.series(Series::new(
-            label.clone(),
-            curve
-                .iter()
-                .enumerate()
-                .map(|(i, &y)| ((i + 1) as f64, y))
-                .collect(),
-        ));
-    }
-    let p = write_svg(&args.out_dir, "fig10_latent_dim.svg", &chart.render());
-    vaesa_obs::progress!("wrote {}", p.display());
-
-    println!("\nfinal reconstruction loss by latent dimension:");
-    for (dz, l) in &finals {
-        println!("  dz={dz}: {l:.5}");
-    }
-    // The paper's claim: improvement with dimension, diminishing past 4.
-    let l1 = finals.iter().find(|(d, _)| *d == 1).expect("dz1").1;
-    let l4 = finals.iter().find(|(d, _)| *d == 4).expect("dz4").1;
-    let l8 = finals.iter().find(|(d, _)| *d == 8).expect("dz8").1;
-    let gain_1_to_4 = l1 - l4;
-    let gain_4_to_8 = l4 - l8;
-    println!(
-        "\nrecon gain 1->4: {gain_1_to_4:.5}, 4->8: {gain_4_to_8:.5} ({})",
-        if gain_1_to_4 > gain_4_to_8 {
-            "diminishing returns past 4, as in the paper"
-        } else {
-            "shape differs from the paper"
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
-    );
-    vaesa_bench::write_run_manifest(&args.out_dir, Some(&setup.scheduler));
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("fig10_latent_dim", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

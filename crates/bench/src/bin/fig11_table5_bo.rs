@@ -10,213 +10,17 @@
 //!   result; higher is better) and sample efficiency (rate of reaching
 //!   within 3% of the best-known EDP, relative to random).
 
-use vaesa::flows::{decode_to_config, run_bo, run_random, run_vae_bo};
-use vaesa::report::{Comparison, MethodRuns};
-use vaesa_accel::Network;
-use vaesa_bench::{write_csv, write_svg, Args, ExperimentContext};
-use vaesa_dse::Trace;
-use vaesa_linalg::stats;
-use vaesa_plot::{LineChart, Series};
-
-fn curve_filled(trace: &Trace, len: usize) -> Vec<f64> {
-    // Replace leading invalid samples with the first valid best value so
-    // seeds can be averaged; the tail is padded with the final best.
-    let first_valid = trace
-        .samples()
-        .iter()
-        .find_map(|s| s.best_so_far)
-        .unwrap_or(f64::NAN);
-    trace
-        .best_curve(len, first_valid)
-        .iter()
-        .map(|v| if v.is_nan() { first_valid } else { *v })
-        .collect()
-}
-
 fn main() {
-    let cli = Args::parse();
-    vaesa_bench::init_run_meta("fig11_table5_bo", &cli);
-    let ctx = ExperimentContext::build(cli);
-    let args = &ctx.args;
-
-    let budget = args.budget.unwrap_or(args.pick(60, 400, 2000));
-    let seeds = args.pick(2, 3, 3);
-
-    // Every search below funnels through `DseDriver::run`, so the metrics
-    // gate can assert the counter `dse.evals` lands exactly here.
-    vaesa_obs::set_meta(
-        "dse.expected_evals",
-        budget * seeds * 3 * Network::ALL.len(),
-    );
-    vaesa_obs::progress!("budget: {budget} samples, {seeds} seeds per method\n");
-
-    let methods = ["random", "bo", "vae_bo"];
-    // (workload, [SP, SE] per method in `methods` order).
-    type TableRow = (String, [f64; 2], [f64; 2], [f64; 2]);
-    let mut table: Vec<TableRow> = Vec::new();
-
-    for (w, network) in Network::ALL.into_iter().enumerate() {
-        let layers = network.layers();
-        let evaluator = ctx.evaluator_for(&layers);
-        println!("=== {network} ({} layers) ===", layers.len());
-
-        let mut curves: Vec<Vec<Vec<f64>>> = vec![Vec::new(); 3];
-        let mut traces: Vec<Vec<Trace>> = vec![Vec::new(), Vec::new(), Vec::new()];
-        for seed in 0..seeds {
-            let stream = |m: u64| 10_000 + (w as u64) * 100 + (seed as u64) * 10 + m;
-            let runs = [
-                run_random(
-                    &evaluator,
-                    &ctx.dataset.hw_norm,
-                    budget,
-                    &mut args.rng(stream(0)),
-                ),
-                run_bo(
-                    &evaluator,
-                    &ctx.dataset.hw_norm,
-                    budget,
-                    &mut args.rng(stream(1)),
-                ),
-                run_vae_bo(
-                    &evaluator,
-                    &ctx.model,
-                    &ctx.dataset,
-                    budget,
-                    &mut args.rng(stream(2)),
-                ),
-            ];
-            for (m, trace) in runs.into_iter().enumerate() {
-                curves[m].push(curve_filled(&trace, budget));
-                traces[m].push(trace);
-            }
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
-
-        // Figure 11 CSV: per-sample mean and std for each method.
-        let aggregated: Vec<Vec<(f64, f64)>> = curves
-            .iter()
-            .map(|c| stats::mean_std_curves(c).expect("aligned curves"))
-            .collect();
-        let rows: Vec<Vec<f64>> = (0..budget)
-            .map(|i| {
-                vec![
-                    (i + 1) as f64,
-                    aggregated[0][i].0,
-                    aggregated[0][i].1,
-                    aggregated[1][i].0,
-                    aggregated[1][i].1,
-                    aggregated[2][i].0,
-                    aggregated[2][i].1,
-                ]
-            })
-            .collect();
-        let fname = format!(
-            "fig11_{}.csv",
-            network.name().to_lowercase().replace('-', "")
-        );
-        let path = write_csv(
-            &args.out_dir,
-            &fname,
-            "sample,random_mean,random_std,bo_mean,bo_std,vae_bo_mean,vae_bo_std",
-            &rows,
-        );
-        vaesa_obs::progress!("wrote {}", path.display());
-
-        let mut chart = LineChart::new(
-            format!("{network}: best EDP vs samples (Fig. 11)"),
-            "samples",
-            "best EDP (cycles*pJ)",
-        );
-        chart.log_y();
-        for (m, label) in methods.iter().enumerate() {
-            chart.series(
-                Series::new(
-                    label.to_string(),
-                    aggregated[m]
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &(mean, _))| ((i + 1) as f64, mean))
-                        .collect(),
-                )
-                .with_band(aggregated[m].iter().map(|&(_, std)| std).collect()),
-            );
-        }
-        let svg_name = fname.replace(".csv", ".svg");
-        let p = write_svg(&args.out_dir, &svg_name, &chart.render());
-        vaesa_obs::progress!("wrote {}", p.display());
-
-        // Re-score the overall winning design through the shared scheduler.
-        // Decode/snap are deterministic, so this reproduces a config whose
-        // layers were already scheduled during the search — a guaranteed
-        // cache hit (the metrics gate asserts the cache warmed up) — and
-        // names the best architecture found for the network.
-        let winner = traces
-            .iter()
-            .enumerate()
-            .flat_map(|(m, runs)| runs.iter().map(move |t| (m, t)))
-            .filter_map(|(m, t)| t.best_value().map(|v| (m, t, v)))
-            .min_by(|a, b| a.2.total_cmp(&b.2));
-        if let Some((m, t, _)) = winner {
-            let point = t.best_point().expect("best value implies a best point");
-            let config = if m == 2 {
-                decode_to_config(&ctx.model, point, &ctx.dataset.hw_norm, &evaluator)
-            } else {
-                evaluator.snap(point, &ctx.dataset.hw_norm)
-            };
-            let edp = evaluator.edp_of_config(&config).unwrap_or(f64::NAN);
-            println!(
-                "  best design ({}): {} (EDP {edp:.3e})",
-                methods[m],
-                evaluator.space().describe(&config)
-            );
-        }
-
-        // Table V metrics via the library's report module.
-        let mut it = traces.into_iter();
-        let random_runs = MethodRuns::new("random", it.next().expect("random"));
-        let bo_runs = MethodRuns::new("bo", it.next().expect("bo"));
-        let vae_runs = MethodRuns::new("vae_bo", it.next().expect("vae_bo"));
-        let cmp = Comparison::against_random(&random_runs, &[bo_runs, vae_runs], budget);
-        for m in &cmp.methods {
-            println!(
-                "  {:>8}: SP = {:.2}, SE = {:.2} (mean best EDP {:.3e}, samples-to-3% {:.0})",
-                m.label,
-                m.search_performance,
-                m.sample_efficiency,
-                m.mean_best,
-                m.mean_samples_to_3pct
-            );
-        }
-        println!();
-        table.push((
-            network.name().to_string(),
-            [
-                cmp.methods[0].search_performance,
-                cmp.methods[0].sample_efficiency,
-            ],
-            [
-                cmp.methods[1].search_performance,
-                cmp.methods[1].sample_efficiency,
-            ],
-            [
-                cmp.methods[2].search_performance,
-                cmp.methods[2].sample_efficiency,
-            ],
-        ));
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("fig11_table5_bo", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-
-    println!("=== Table V (SP = search performance, SE = sample efficiency; random = 1.00) ===");
-    println!(
-        "{:<12} {:>7} {:>7}   {:>7} {:>7}   {:>7} {:>7}",
-        "workload", "rnd SP", "rnd SE", "bo SP", "bo SE", "vae SP", "vae SE"
-    );
-    for (name, r, b, v) in &table {
-        println!(
-            "{name:<12} {:>7.2} {:>7.2}   {:>7.2} {:>7.2}   {:>7.2} {:>7.2}",
-            r[0], r[1], b[0], b[1], v[0], v[1]
-        );
-    }
-    println!(
-        "\npaper (2000 samples): vae_bo SP 1.00-1.01, SE 1.27-4.46; bo SP 0.96-1.00, SE 0.31-1.00"
-    );
-    ctx.finish();
 }

@@ -7,193 +7,17 @@
 //! wins for small sample counts (≲ 30), e.g. 16% lower EDP than random at
 //! 10 samples.
 
-use vaesa::flows::{run_gd, run_random_layer, run_vae_gd};
-use vaesa::{InputPredictors, TrainConfig, Trainer};
-use vaesa_accel::workloads;
-use vaesa_bench::{write_csv, write_svg, Args, ExperimentContext};
-use vaesa_dse::{GdConfig, Trace};
-use vaesa_linalg::stats;
-use vaesa_plot::{LineChart, Series};
-
-fn filled(trace: &Trace, len: usize) -> Vec<f64> {
-    let first = trace
-        .samples()
-        .iter()
-        .find_map(|s| s.best_so_far)
-        .unwrap_or(f64::NAN);
-    trace.best_curve(len, first)
-}
-
 fn main() {
-    let cli = Args::parse();
-    vaesa_bench::init_run_meta("fig12_gd", &cli);
-    let ctx = ExperimentContext::build(cli);
-    let args = &ctx.args;
-    let test_layers = workloads::gd_test_layers();
-
-    let samples = args.budget.unwrap_or(args.pick(10, 40, 60));
-    let seeds = args.pick(2, 5, 5);
-
-    // Every search below funnels through `DseDriver::run`, so the metrics
-    // gate can assert the counter `dse.evals` lands exactly here.
-    vaesa_obs::set_meta(
-        "dse.expected_evals",
-        samples * seeds * 3 * test_layers.len(),
-    );
-
-    vaesa_obs::progress!("training input-space predictors ({} epochs)...", ctx.epochs);
-    let mut input_preds = InputPredictors::new(&[64, 32], &mut args.rng(3_000));
-    input_preds.train(
-        &Trainer::new(TrainConfig {
-            epochs: ctx.epochs,
-            batch_size: 64,
-            learning_rate: 1e-3,
-        }),
-        &ctx.dataset,
-        &mut args.rng(3_001),
-    );
-
-    let gd_cfg = GdConfig::default();
-    vaesa_obs::progress!(
-        "{samples} samples x {seeds} seeds x {} layers\n",
-        test_layers.len()
-    );
-
-    // Per-method normalized best-so-far curves pooled across layers/seeds.
-    let mut pooled: [Vec<Vec<f64>>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for (li, layer) in test_layers.iter().enumerate() {
-        let single = vec![layer.clone()];
-        let evaluator = ctx.evaluator_for(&single);
-        let mut per_layer: [Vec<Vec<f64>>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-        for seed in 0..seeds {
-            let stream = |m: u64| 20_000 + (li as u64) * 100 + (seed as u64) * 10 + m;
-            let traces = [
-                run_vae_gd(
-                    &evaluator,
-                    &ctx.model,
-                    &ctx.dataset,
-                    layer,
-                    samples,
-                    gd_cfg,
-                    &mut args.rng(stream(0)),
-                ),
-                run_gd(
-                    &evaluator,
-                    &input_preds,
-                    &ctx.dataset,
-                    layer,
-                    samples,
-                    gd_cfg,
-                    &mut args.rng(stream(1)),
-                ),
-                run_random_layer(
-                    &evaluator,
-                    &ctx.dataset.hw_norm,
-                    samples,
-                    &mut args.rng(stream(2)),
-                ),
-            ];
-            for (m, t) in traces.iter().enumerate() {
-                per_layer[m].push(filled(t, samples));
-            }
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
         }
-        // Normalize by the best value any method found on this layer, so
-        // layers with wildly different EDP scales can be averaged.
-        let best_known = per_layer
-            .iter()
-            .flatten()
-            .flatten()
-            .copied()
-            .filter(|v| v.is_finite())
-            .fold(f64::INFINITY, f64::min);
-        for m in 0..3 {
-            for curve in &per_layer[m] {
-                pooled[m].push(curve.iter().map(|v| v / best_known).collect());
-            }
-        }
-        vaesa_obs::progress!(
-            "layer {:>4} done (best known EDP {best_known:.3e})",
-            layer.name()
-        );
+    };
+    if let Err(e) = vaesa_bench::pipelines::run("fig12_gd", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-
-    let methods = ["vae_gd", "gd", "random"];
-    let agg: Vec<Vec<(f64, f64)>> = pooled
-        .iter()
-        .map(|c| stats::mean_std_curves(c).expect("aligned"))
-        .collect();
-
-    let rows: Vec<Vec<f64>> = (0..samples)
-        .map(|i| {
-            vec![
-                (i + 1) as f64,
-                agg[0][i].0,
-                agg[0][i].1,
-                agg[1][i].0,
-                agg[1][i].1,
-                agg[2][i].0,
-                agg[2][i].1,
-            ]
-        })
-        .collect();
-    let path = write_csv(
-        &args.out_dir,
-        "fig12_gd.csv",
-        "sample,vae_gd_mean,vae_gd_std,gd_mean,gd_std,random_mean,random_std",
-        &rows,
-    );
-    vaesa_obs::progress!("wrote {}", path.display());
-
-    let mut chart = LineChart::new(
-        "average normalized best EDP over the 12 unseen layers (Fig. 12)",
-        "samples (simulator queries)",
-        "best EDP / best known",
-    );
-    for (m, label) in methods.iter().enumerate() {
-        chart.series(
-            Series::new(
-                label.to_string(),
-                agg[m]
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &(mean, _))| ((i + 1) as f64, mean))
-                    .collect(),
-            )
-            .with_band(agg[m].iter().map(|&(_, std)| std).collect()),
-        );
-    }
-    let p = write_svg(&args.out_dir, "fig12_gd.svg", &chart.render());
-    vaesa_obs::progress!("wrote {}", p.display());
-
-    println!("\nmean normalized best EDP (lower is better):");
-    println!(
-        "{:>8} {:>10} {:>10} {:>10}",
-        "samples", "vae_gd", "gd", "random"
-    );
-    let mut checkpoints = vec![5usize, 10, 20, 30, samples];
-    checkpoints.sort_unstable();
-    checkpoints.dedup();
-    for &s in &checkpoints {
-        if s > samples {
-            continue;
-        }
-        let i = s - 1;
-        println!(
-            "{s:>8} {:>10.3} {:>10.3} {:>10.3}",
-            agg[0][i].0, agg[1][i].0, agg[2][i].0
-        );
-    }
-    let at = samples.min(10) - 1;
-    let vs_random = 100.0 * (1.0 - agg[0][at].0 / agg[2][at].0);
-    let vs_gd = 100.0 * (1.0 - agg[0][at].0 / agg[1][at].0);
-    for (m, name) in methods.iter().enumerate() {
-        let final_val = agg[m][samples - 1].0;
-        println!("final mean normalized EDP for {name}: {final_val:.3}");
-    }
-    println!(
-        "\nat {} samples: vae_gd is {vs_random:.1}% better than random, {vs_gd:.1}% better than gd",
-        at + 1
-    );
-    println!("(paper: vae_gd 16% lower EDP than random at 10 samples, ahead of gd throughout)");
-    ctx.finish();
 }

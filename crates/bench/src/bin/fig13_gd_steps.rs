@@ -6,99 +6,17 @@
 //! after 200) relative to the random starts, before a single simulator
 //! query is spent on intermediate points.
 
-use vaesa::flows::{latent_box, vae_gd_edp_at_steps};
-use vaesa_accel::workloads;
-use vaesa_bench::{write_csv, write_svg, Args, ExperimentContext};
-use vaesa_dse::GdConfig;
-use vaesa_linalg::stats;
-use vaesa_plot::Histogram;
-
 fn main() {
-    let cli = Args::parse();
-    vaesa_bench::init_run_meta("fig13_gd_steps", &cli);
-    let ctx = ExperimentContext::build(cli);
-    let args = &ctx.args;
-
-    let starts = args.budget.unwrap_or(args.pick(20, 80, 200));
-
-    // A diverse subset of the Table IV test layers.
-    let test = workloads::gd_test_layers();
-    let layers = [test[3].clone(), test[6].clone(), test[11].clone()];
-
-    let step_counts = [0usize, 100, 200];
-    let gd_cfg = GdConfig {
-        steps: 200,
-        ..GdConfig::default()
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
+        }
     };
-    let space = latent_box(&ctx.model, &ctx.dataset);
-
-    let mut rows = Vec::new();
-    let mut log_improve_100 = Vec::new();
-    let mut log_improve_200 = Vec::new();
-    for (li, layer) in layers.iter().enumerate() {
-        let single = vec![layer.clone()];
-        let evaluator = ctx.evaluator_for(&single);
-        let mut rng = args.rng(30_000 + li as u64);
-        for s in 0..starts {
-            let start = space.sample(&mut rng);
-            let edps = vae_gd_edp_at_steps(
-                &evaluator,
-                &ctx.model,
-                &ctx.dataset,
-                layer,
-                &start,
-                &step_counts,
-                gd_cfg,
-            );
-            if let (Some(e0), Some(e100), Some(e200)) = (edps[0], edps[1], edps[2]) {
-                rows.push(vec![li as f64, s as f64, e0, e100, e200]);
-                log_improve_100.push((e0 / e100).ln());
-                log_improve_200.push((e0 / e200).ln());
-            }
-        }
-        println!(
-            "layer {:>4}: {} valid starts so far",
-            layer.name(),
-            rows.len()
-        );
+    if let Err(e) = vaesa_bench::pipelines::run("fig13_gd_steps", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-
-    let path = write_csv(
-        &args.out_dir,
-        "fig13_gd_steps.csv",
-        "layer_index,start,edp_step0,edp_step100,edp_step200",
-        &rows,
-    );
-    vaesa_obs::progress!("wrote {}", path.display());
-
-    let mut hist = Histogram::new(
-        "per-start EDP improvement after 200 GD steps (Fig. 13)",
-        "EDP(start) / EDP(200 steps)",
-    );
-    hist.log_x();
-    hist.values(log_improve_200.iter().map(|l| l.exp()));
-    let p = write_svg(&args.out_dir, "fig13_gd_steps.svg", &hist.render());
-    vaesa_obs::progress!("wrote {}", p.display());
-
-    // Geometric-mean improvement factors (EDPs span orders of magnitude).
-    let geo = |logs: &[f64]| stats::mean(logs).map(f64::exp).unwrap_or(f64::NAN);
-    let g100 = geo(&log_improve_100);
-    let g200 = geo(&log_improve_200);
-    println!("\ngeometric-mean EDP improvement over the random start:");
-    println!("  after 100 steps: {g100:.2}x (paper: 306x)");
-    println!("  after 200 steps: {g200:.2}x (paper: 390x)");
-    println!(
-        "  monotone in steps: {}",
-        if g200 >= g100 * 0.98 {
-            "yes (matches paper; see EXPERIMENTS.md on the magnitude gap)"
-        } else {
-            "no"
-        }
-    );
-    let improved = log_improve_200.iter().filter(|v| **v > 0.0).count();
-    println!(
-        "  starts improved after 200 steps: {improved}/{}",
-        log_improve_200.len()
-    );
-    ctx.finish();
 }

@@ -7,108 +7,17 @@
 //! latency–energy Pareto front, and reports how the front discovered by
 //! `vae_bo` compares to random's under the same budget.
 
-use vaesa::flows::{decode_to_config, run_random, run_vae_bo};
-use vaesa::pareto::{pareto_front, summarize_front, ScoredDesign};
-use vaesa_accel::workloads;
-use vaesa_bench::{write_csv, write_svg, Args, ExperimentContext};
-use vaesa_plot::ScatterChart;
-
 fn main() {
-    let cli = Args::parse();
-    vaesa_bench::init_run_meta("pareto_front", &cli);
-    let ctx = ExperimentContext::build(cli);
-    let args = &ctx.args;
-    let resnet = workloads::resnet50();
-
-    let budget = args.budget.unwrap_or(args.pick(60, 300, 1000));
-
-    let evaluator = ctx.evaluator_for(&resnet);
-
-    let score = |config: &vaesa_accel::ArchConfig| -> Option<ScoredDesign> {
-        evaluator.workload_eval(config).map(|w| ScoredDesign {
-            config: *config,
-            latency: w.total_latency_cycles,
-            energy: w.total_energy_pj,
-        })
+    let args = match vaesa_bench::Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaesa_bench::USAGE);
+            std::process::exit(2);
+        }
     };
-
-    vaesa_obs::progress!("searching ({budget} samples per method)...");
-    let mut rng = args.rng(80_000);
-    let random_trace = run_random(&evaluator, &ctx.dataset.hw_norm, budget, &mut rng);
-    let mut rng = args.rng(80_001);
-    let vae_trace = run_vae_bo(&evaluator, &ctx.model, &ctx.dataset, budget, &mut rng);
-
-    let mut scored: Vec<(u8, ScoredDesign)> = Vec::new();
-    for s in random_trace.samples() {
-        let config = evaluator.snap(&s.x, &ctx.dataset.hw_norm);
-        if let Some(d) = score(&config) {
-            scored.push((0, d));
-        }
+    if let Err(e) = vaesa_bench::pipelines::run("pareto_front", args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-    for s in vae_trace.samples() {
-        let config = decode_to_config(&ctx.model, &s.x, &ctx.dataset.hw_norm, &evaluator);
-        if let Some(d) = score(&config) {
-            scored.push((1, d));
-        }
-    }
-
-    let designs: Vec<ScoredDesign> = scored.iter().map(|(_, d)| *d).collect();
-    let front = pareto_front(&designs);
-    let summary = summarize_front(&designs);
-
-    let mut rows = Vec::new();
-    for (i, (method, d)) in scored.iter().enumerate() {
-        rows.push(vec![
-            *method as f64,
-            d.latency,
-            d.energy,
-            d.edp(),
-            front.contains(&i) as u8 as f64,
-        ]);
-    }
-    let path = write_csv(
-        &args.out_dir,
-        "pareto_front.csv",
-        "method,latency_cycles,energy_pj,edp,on_front",
-        &rows,
-    );
-    vaesa_obs::progress!("wrote {}", path.display());
-
-    let mut chart = ScatterChart::new(
-        "latency-energy tradeoff of explored ResNet-50 designs",
-        "latency (cycles)",
-        "energy (pJ)",
-        "EDP",
-    );
-    chart.log_color();
-    chart.points(rows.iter().map(|r| (r[1], r[2], r[3])));
-    let p = write_svg(&args.out_dir, "pareto_front.svg", &chart.render());
-    vaesa_obs::progress!("wrote {}", p.display());
-
-    let from_vae = front.iter().filter(|&&i| scored[i].0 == 1).count();
-    println!(
-        "\njoint Pareto front: {} points ({} contributed by vae_bo, {} by random)",
-        summary.size,
-        from_vae,
-        summary.size - from_vae
-    );
-    let best = &designs[summary.edp_optimal];
-    println!(
-        "EDP-optimal front member: latency {:.3e}, energy {:.3e}, EDP {:.3e} (found by {})",
-        best.latency,
-        best.energy,
-        best.edp(),
-        if scored[summary.edp_optimal].0 == 1 {
-            "vae_bo"
-        } else {
-            "random"
-        },
-    );
-    let lat_best = &designs[summary.latency_optimal];
-    let en_best = &designs[summary.energy_optimal];
-    println!(
-        "front extremes: min latency {:.3e} cyc, min energy {:.3e} pJ",
-        lat_best.latency, en_best.energy
-    );
-    ctx.finish();
 }

@@ -12,6 +12,8 @@
 //! the whole suite finishes on a laptop while preserving the paper's
 //! qualitative shapes.
 
+pub mod pipelines;
+
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fs;
@@ -27,7 +29,8 @@ use vaesa_cosa::CachedScheduler;
 /// Command-line arguments shared by all experiment binaries.
 ///
 /// Recognized flags: `--seed <u64>`, `--budget <n>`, `--fast`, `--full`,
-/// `--out <dir>`. Unknown flags abort with a usage message.
+/// `--out <dir>`. Unknown or malformed flags are parse errors; binaries
+/// print them with [`USAGE`] and exit 2 at the call site.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Args {
     /// Base RNG seed (default 0; multi-seed experiments offset from it).
@@ -51,24 +54,48 @@ impl Default for Args {
     }
 }
 
+/// The usage line shared by every experiment binary; printed (with the
+/// parse error) at the call site before exiting.
+pub const USAGE: &str = "usage: <bin> [--seed N] [--budget N] [--fast|--full] [--out DIR]";
+
 impl Args {
-    /// Parses `std::env::args`, aborting the process on malformed input.
-    pub fn parse() -> Self {
+    /// Parses `std::env::args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed or unknown flag.
+    /// Binaries print it with [`USAGE`] and exit at the call site; library
+    /// callers (the flow runtime, tests) handle it like any other error.
+    pub fn parse() -> Result<Self, String> {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (what [`Args::parse`] does to the
+    /// process arguments).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed or unknown flag.
+    pub fn parse_from<I>(argv: I) -> Result<Self, String>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
         let mut args = Args::default();
-        let mut it = std::env::args().skip(1);
+        let mut it = argv.into_iter();
         while let Some(flag) = it.next() {
-            match flag.as_str() {
+            match flag.as_ref() {
                 "--seed" => {
                     args.seed = it
                         .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--seed needs an integer"))
+                        .and_then(|v| v.as_ref().parse().ok())
+                        .ok_or("--seed needs an integer")?
                 }
                 "--budget" => {
                     args.budget = Some(
                         it.next()
-                            .and_then(|v| v.parse().ok())
-                            .unwrap_or_else(|| usage("--budget needs an integer")),
+                            .and_then(|v| v.as_ref().parse().ok())
+                            .ok_or("--budget needs an integer")?,
                     )
                 }
                 "--fast" => args.scale = 0,
@@ -76,13 +103,13 @@ impl Args {
                 "--out" => {
                     args.out_dir = it
                         .next()
-                        .map(PathBuf::from)
-                        .unwrap_or_else(|| usage("--out needs a path"))
+                        .map(|v| PathBuf::from(v.as_ref()))
+                        .ok_or("--out needs a path")?
                 }
-                other => usage(&format!("unknown flag {other}")),
+                other => return Err(format!("unknown flag {other}")),
             }
         }
-        args
+        Ok(args)
     }
 
     /// Picks a size by scale: `(fast, default, full)`.
@@ -99,12 +126,6 @@ impl Args {
     pub fn rng(&self, stream: u64) -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream))
     }
-}
-
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [--seed N] [--budget N] [--fast|--full] [--out DIR]");
-    std::process::exit(2);
 }
 
 /// Seeds the global observability registry with one run's context: the
@@ -417,6 +438,60 @@ pub fn report_cache_stats(scheduler: &CachedScheduler) {
 mod tests {
     use super::*;
     use vaesa_accel::workloads;
+
+    #[test]
+    fn args_parse_defaults_and_all_flags() {
+        assert_eq!(
+            Args::parse_from(Vec::<String>::new()).unwrap(),
+            Args::default()
+        );
+        let args =
+            Args::parse_from(["--seed", "7", "--budget", "12", "--fast", "--out", "x/y"]).unwrap();
+        assert_eq!(
+            args,
+            Args {
+                seed: 7,
+                budget: Some(12),
+                scale: 0,
+                out_dir: PathBuf::from("x/y"),
+            }
+        );
+        // Flag order is free; later scale flags win.
+        let args = Args::parse_from(["--fast", "--full", "--seed", "3"]).unwrap();
+        assert_eq!(args.scale, 2);
+        assert_eq!(args.seed, 3);
+        assert_eq!(args.budget, None);
+        let args = Args::parse_from(["--out", "results2", "--budget", "1"]).unwrap();
+        assert_eq!(args.out_dir, PathBuf::from("results2"));
+        assert_eq!(args.budget, Some(1));
+        assert_eq!(args.scale, 1);
+    }
+
+    #[test]
+    fn args_parse_rejects_malformed_input() {
+        assert!(Args::parse_from(["--wat"])
+            .unwrap_err()
+            .contains("unknown flag --wat"));
+        assert!(Args::parse_from(["--seed"])
+            .unwrap_err()
+            .contains("--seed needs an integer"));
+        assert!(Args::parse_from(["--seed", "abc"])
+            .unwrap_err()
+            .contains("--seed needs an integer"));
+        assert!(Args::parse_from(["--budget"])
+            .unwrap_err()
+            .contains("--budget needs an integer"));
+        assert!(Args::parse_from(["--budget", "-2"])
+            .unwrap_err()
+            .contains("--budget needs an integer"));
+        assert!(Args::parse_from(["--out"])
+            .unwrap_err()
+            .contains("--out needs a path"));
+        // Positional arguments are rejected like unknown flags.
+        assert!(Args::parse_from(["fig11"])
+            .unwrap_err()
+            .contains("unknown flag fig11"));
+    }
 
     #[test]
     fn args_pick_scales() {

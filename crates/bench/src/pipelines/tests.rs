@@ -1,0 +1,82 @@
+//! Registry-level tests: every pipeline builds a schedulable graph with
+//! stable content-hash keys.
+
+use std::path::PathBuf;
+
+use super::{find, registry, PipelineEnv};
+use crate::Args;
+use vaesa_flow::{FlowRunner, RunConfig};
+
+fn fast_args(seed: u64) -> Args {
+    Args {
+        seed,
+        budget: Some(3),
+        scale: 0,
+        out_dir: PathBuf::from("results"),
+    }
+}
+
+fn config(seed: u64) -> RunConfig {
+    RunConfig {
+        seed,
+        precision: "f64".to_string(),
+        cache_root: PathBuf::from("results/cache/flow"),
+        out_dir: PathBuf::from("results"),
+    }
+}
+
+#[test]
+fn registry_covers_every_binary_once() {
+    let specs = registry();
+    assert_eq!(specs.len(), 16);
+    let mut names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), 16, "duplicate pipeline names");
+    for name in names {
+        assert!(find(name).is_ok());
+    }
+}
+
+#[test]
+fn find_unknown_lists_known_names() {
+    let err = find("fig99_nope").err().expect("unknown name must fail");
+    assert!(err.contains("unknown pipeline 'fig99_nope'"));
+    assert!(err.contains("fig12_gd"));
+}
+
+#[test]
+fn every_pipeline_builds_a_schedulable_graph() {
+    for spec in registry() {
+        let env = PipelineEnv::new(fast_args(7));
+        let graph =
+            (spec.build)(&env).unwrap_or_else(|e| panic!("{} failed to build: {e}", spec.name));
+        graph
+            .topo_order()
+            .unwrap_or_else(|e| panic!("{} is not a DAG: {e}", spec.name));
+        let keys = FlowRunner::new(graph, config(7))
+            .keys()
+            .unwrap_or_else(|e| panic!("{} key derivation failed: {e}", spec.name));
+        assert!(!keys.is_empty(), "{} has no nodes", spec.name);
+    }
+}
+
+#[test]
+fn pipeline_keys_are_stable_across_rebuilds_and_vary_with_seed() {
+    let build = find("fig12_gd").unwrap().build;
+
+    let keys_a = FlowRunner::new(build(&PipelineEnv::new(fast_args(7))).unwrap(), config(7))
+        .keys()
+        .unwrap();
+    let keys_b = FlowRunner::new(build(&PipelineEnv::new(fast_args(7))).unwrap(), config(7))
+        .keys()
+        .unwrap();
+    assert_eq!(keys_a, keys_b, "same spec + config must hash identically");
+
+    let keys_c = FlowRunner::new(build(&PipelineEnv::new(fast_args(8))).unwrap(), config(8))
+        .keys()
+        .unwrap();
+    for ((id, a), (_, c)) in keys_a.iter().zip(&keys_c) {
+        assert_ne!(a, c, "node '{id}' key must depend on the seed");
+    }
+}

@@ -1,0 +1,174 @@
+//! Shared artifact codecs and curve helpers for the pipeline specs.
+//!
+//! Search nodes persist their [`Trace`]s through the flow cache, so the
+//! traces need a lossless [`Value`] form: `x` coordinates and objective
+//! values are stored as bit-exact `f64`s, and decoding replays
+//! [`Trace::record`] so derived fields (`best_so_far`) are rebuilt by the
+//! same code that produced them.
+
+use std::collections::BTreeMap;
+
+use vaesa_dse::Trace;
+use vaesa_flow::Value;
+
+/// Encodes one trace.
+pub(crate) fn trace_value(trace: &Trace) -> Value {
+    let samples: Vec<Value> = trace
+        .samples()
+        .iter()
+        .map(|s| {
+            let mut m = BTreeMap::new();
+            m.insert("x".to_string(), Value::floats(s.x.iter().copied()));
+            m.insert(
+                "value".to_string(),
+                match s.value {
+                    Some(v) => Value::F64(v),
+                    None => Value::Unit,
+                },
+            );
+            Value::Map(m)
+        })
+        .collect();
+    let mut m = BTreeMap::new();
+    m.insert("label".to_string(), Value::Str(trace.label().to_string()));
+    m.insert("samples".to_string(), Value::List(samples));
+    Value::Map(m)
+}
+
+/// Decodes one trace, replaying [`Trace::record`].
+pub(crate) fn value_trace(value: &Value) -> Result<Trace, String> {
+    let label = value
+        .get("label")
+        .and_then(Value::as_str)
+        .ok_or("trace artifact missing label")?;
+    let mut trace = Trace::new(label);
+    let samples = value
+        .get("samples")
+        .and_then(Value::as_list)
+        .ok_or("trace artifact missing samples")?;
+    for s in samples {
+        let x = s
+            .get("x")
+            .and_then(Value::to_floats)
+            .ok_or("trace sample missing x")?;
+        let v = match s.get("value") {
+            Some(Value::F64(v)) => Some(*v),
+            Some(Value::Unit) => None,
+            _ => return Err("trace sample missing value".to_string()),
+        };
+        trace.record(x, v);
+    }
+    Ok(trace)
+}
+
+/// Encodes a method-major collection of traces (`groups[m][seed]`).
+pub(crate) fn trace_groups_value(groups: &[Vec<Trace>]) -> Value {
+    Value::List(
+        groups
+            .iter()
+            .map(|runs| Value::List(runs.iter().map(trace_value).collect()))
+            .collect(),
+    )
+}
+
+/// Decodes a method-major collection of traces.
+pub(crate) fn value_trace_groups(value: &Value) -> Result<Vec<Vec<Trace>>, String> {
+    value
+        .as_list()
+        .ok_or("trace groups artifact is not a list")?
+        .iter()
+        .map(|runs| {
+            runs.as_list()
+                .ok_or("trace group is not a list")?
+                .iter()
+                .map(value_trace)
+                .collect()
+        })
+        .collect()
+}
+
+/// Encodes labeled CSV rows (`(label, values)` pairs).
+pub(crate) fn labeled_rows_value(rows: &[(String, Vec<f64>)]) -> Value {
+    Value::List(
+        rows.iter()
+            .map(|(label, vals)| {
+                let mut m = BTreeMap::new();
+                m.insert("label".to_string(), Value::Str(label.clone()));
+                m.insert("vals".to_string(), Value::floats(vals.iter().copied()));
+                Value::Map(m)
+            })
+            .collect(),
+    )
+}
+
+/// Decodes labeled CSV rows.
+pub(crate) fn value_labeled_rows(value: &Value) -> Result<Vec<(String, Vec<f64>)>, String> {
+    value
+        .as_list()
+        .ok_or("labeled rows artifact is not a list")?
+        .iter()
+        .map(|r| {
+            Ok((
+                r.get("label")
+                    .and_then(Value::as_str)
+                    .ok_or("labeled row missing label")?
+                    .to_string(),
+                r.get("vals")
+                    .and_then(Value::to_floats)
+                    .ok_or("labeled row missing vals")?,
+            ))
+        })
+        .collect()
+}
+
+/// Fig. 11 curve fill: leading invalid samples take the first valid best
+/// value so seeds can be averaged; the tail is padded with the final
+/// best.
+pub(crate) fn curve_filled(trace: &Trace, len: usize) -> Vec<f64> {
+    let first_valid = trace
+        .samples()
+        .iter()
+        .find_map(|s| s.best_so_far)
+        .unwrap_or(f64::NAN);
+    trace
+        .best_curve(len, first_valid)
+        .iter()
+        .map(|v| if v.is_nan() { first_valid } else { *v })
+        .collect()
+}
+
+/// Fig. 12 curve fill (no NaN replacement after the first valid value).
+pub(crate) fn filled(trace: &Trace, len: usize) -> Vec<f64> {
+    let first = trace
+        .samples()
+        .iter()
+        .find_map(|s| s.best_so_far)
+        .unwrap_or(f64::NAN);
+    trace.best_curve(len, first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roundtrip_is_lossless() {
+        let mut t = Trace::new("bo");
+        t.record(vec![0.25, -0.5], Some(5.0));
+        t.record(vec![1.0, 2.0], None);
+        t.record(vec![-0.0, f64::MIN_POSITIVE], Some(2.0_f64.powi(-40)));
+        let rt = value_trace(&trace_value(&t)).unwrap();
+        assert_eq!(t, rt);
+        let groups = vec![vec![t.clone()], vec![t.clone(), t.clone()]];
+        let rt = value_trace_groups(&trace_groups_value(&groups)).unwrap();
+        assert_eq!(groups, rt);
+    }
+
+    #[test]
+    fn trace_decode_rejects_malformed_artifacts() {
+        assert!(value_trace(&Value::Int(3)).is_err());
+        let mut m = BTreeMap::new();
+        m.insert("label".to_string(), Value::Str("x".into()));
+        assert!(value_trace(&Value::Map(m)).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Deterministic CSV formatting — the one artifact formatter every
+//! pipeline shares.
+//!
+//! Numbers are formatted as `{:.6e}` (six significant decimals,
+//! exponent form), matching the historical per-binary writers so ported
+//! pipelines produce byte-identical files. Formatting is separated from
+//! writing: pipeline nodes *format* CSV text (a cacheable string
+//! artifact); the runner *writes* it via [`crate::write_text`] at
+//! materialization time.
+
+/// Formats one float the way every experiment CSV does.
+pub fn format_cell(v: f64) -> String {
+    format!("{v:.6e}")
+}
+
+/// Formats a header plus all-numeric rows into CSV text.
+pub fn format_csv(header: &str, rows: &[Vec<f64>]) -> String {
+    let mut out = String::with_capacity(header.len() + 1 + rows.len() * 16);
+    out.push_str(header);
+    out.push('\n');
+    for row in rows {
+        let line = row
+            .iter()
+            .map(|v| format_cell(*v))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a CSV whose rows carry a leading string column (e.g. method
+/// names).
+pub fn format_labeled_csv(header: &str, rows: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::with_capacity(header.len() + 1 + rows.len() * 24);
+    out.push_str(header);
+    out.push('\n');
+    for (label, row) in rows {
+        let nums = row
+            .iter()
+            .map(|v| format_cell(*v))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(label);
+        out.push(',');
+        out.push_str(&nums);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_matches_historical_writers() {
+        assert_eq!(format_cell(1234.5), "1.234500e3");
+        assert_eq!(format_cell(0.0), "0.000000e0");
+        let csv = format_csv("a,b", &[vec![1.0, 2.0], vec![0.5, -3.25]]);
+        assert_eq!(csv, "a,b\n1.000000e0,2.000000e0\n5.000000e-1,-3.250000e0\n");
+    }
+
+    #[test]
+    fn labeled_rows_lead_with_their_label() {
+        let csv = format_labeled_csv("m,x", &[("bo".to_string(), vec![2.0])]);
+        assert_eq!(csv, "m,x\nbo,2.000000e0\n");
+    }
+
+    #[test]
+    fn empty_rows_yield_header_only() {
+        assert_eq!(format_csv("h", &[]), "h\n");
+        assert_eq!(format_labeled_csv("h", &[]), "h\n");
+    }
+}

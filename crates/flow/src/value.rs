@@ -1,0 +1,381 @@
+//! The artifact value flowing along graph edges.
+//!
+//! A [`Value`] is a small JSON-like tree (unit, float, integer, string,
+//! list, map) plus an in-memory-only variant ([`Value::Mem`]) for artifacts
+//! that are expensive to serialize (trained models, labeled datasets).
+//! Tree values encode to a deterministic, bit-exact binary form — floats
+//! are stored as their IEEE-754 bit patterns, maps in sorted key order —
+//! so a cached artifact decodes to exactly the value that produced it and
+//! re-encoding a decoded value is byte-identical.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A typed artifact carried along a graph edge.
+#[derive(Clone)]
+pub enum Value {
+    /// No payload (stage ran for its side effects only).
+    Unit,
+    /// A double-precision float, preserved bit-exactly.
+    F64(f64),
+    /// A signed integer.
+    Int(i64),
+    /// A UTF-8 string (CSV text, SVG text, report text, ...).
+    Str(String),
+    /// An ordered sequence of values.
+    List(Vec<Value>),
+    /// A string-keyed map, ordered by key.
+    Map(BTreeMap<String, Value>),
+    /// An in-memory artifact that cannot be persisted (models, datasets).
+    /// Nodes producing one should use [`CachePolicy::Stamp`].
+    ///
+    /// [`CachePolicy::Stamp`]: crate::CachePolicy::Stamp
+    Mem(Arc<dyn Any + Send + Sync>),
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "Unit"),
+            Value::F64(v) => write!(f, "F64({v})"),
+            Value::Int(v) => write!(f, "Int({v})"),
+            Value::Str(s) => write!(f, "Str({s:?})"),
+            Value::List(items) => f.debug_list().entries(items).finish(),
+            Value::Map(m) => f.debug_map().entries(m.iter()).finish(),
+            Value::Mem(_) => write!(f, "Mem(..)"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => true,
+            (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::List(a), Value::List(b)) => a == b,
+            (Value::Map(a), Value::Map(b)) => a == b,
+            (Value::Mem(a), Value::Mem(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Value {
+    /// Wraps an in-memory artifact.
+    pub fn mem<T: Any + Send + Sync>(value: T) -> Self {
+        Value::Mem(Arc::new(value))
+    }
+
+    /// Downcasts an in-memory artifact to its concrete type.
+    pub fn as_mem<T: Any + Send + Sync>(&self) -> Option<Arc<T>> {
+        match self {
+            Value::Mem(arc) => Arc::clone(arc).downcast::<T>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is a [`Value::F64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The list payload, if this is a [`Value::List`].
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The map payload, if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up a map entry.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.get(key))
+    }
+
+    /// Builds a list of floats.
+    pub fn floats(values: impl IntoIterator<Item = f64>) -> Self {
+        Value::List(values.into_iter().map(Value::F64).collect())
+    }
+
+    /// Reads a list of floats back.
+    pub fn to_floats(&self) -> Option<Vec<f64>> {
+        self.as_list()?.iter().map(Value::as_f64).collect()
+    }
+
+    /// Builds a row-major table (list of float lists).
+    pub fn table(rows: &[Vec<f64>]) -> Self {
+        Value::List(
+            rows.iter()
+                .map(|r| Value::floats(r.iter().copied()))
+                .collect(),
+        )
+    }
+
+    /// Reads a row-major table back.
+    pub fn to_table(&self) -> Option<Vec<Vec<f64>>> {
+        self.as_list()?.iter().map(Value::to_floats).collect()
+    }
+
+    /// True when the value contains no [`Value::Mem`] node and can
+    /// therefore be persisted.
+    pub fn is_persistable(&self) -> bool {
+        match self {
+            Value::Mem(_) => false,
+            Value::List(items) => items.iter().all(Value::is_persistable),
+            Value::Map(m) => m.values().all(Value::is_persistable),
+            _ => true,
+        }
+    }
+
+    /// Encodes the value to its deterministic binary form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the offending variant when the tree
+    /// contains a [`Value::Mem`] node.
+    pub fn encode(&self) -> Result<Vec<u8>, String> {
+        let mut out = Vec::new();
+        encode_into(self, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes a value previously produced by [`Value::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncated or malformed input, including
+    /// trailing bytes after the root value.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut cursor = 0usize;
+        let value = decode_from(bytes, &mut cursor)?;
+        if cursor != bytes.len() {
+            return Err(format!(
+                "trailing garbage: {} of {} bytes unread",
+                bytes.len() - cursor,
+                bytes.len()
+            ));
+        }
+        Ok(value)
+    }
+}
+
+const TAG_UNIT: u8 = 0;
+const TAG_F64: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_LIST: u8 = 4;
+const TAG_MAP: u8 = 5;
+
+fn encode_into(value: &Value, out: &mut Vec<u8>) -> Result<(), String> {
+    match value {
+        Value::Unit => out.push(TAG_UNIT),
+        Value::F64(v) => {
+            out.push(TAG_F64);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Value::Int(v) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::List(items) => {
+            out.push(TAG_LIST);
+            out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                encode_into(item, out)?;
+            }
+        }
+        Value::Map(m) => {
+            out.push(TAG_MAP);
+            out.extend_from_slice(&(m.len() as u64).to_le_bytes());
+            for (k, v) in m {
+                out.extend_from_slice(&(k.len() as u64).to_le_bytes());
+                out.extend_from_slice(k.as_bytes());
+                encode_into(v, out)?;
+            }
+        }
+        Value::Mem(_) => return Err("in-memory artifacts cannot be encoded".to_string()),
+    }
+    Ok(())
+}
+
+fn take<'a>(bytes: &'a [u8], cursor: &mut usize, n: usize) -> Result<&'a [u8], String> {
+    let end = cursor
+        .checked_add(n)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| format!("truncated value: need {n} bytes at offset {cursor}"))?;
+    let slice = &bytes[*cursor..end];
+    *cursor = end;
+    Ok(slice)
+}
+
+fn take_u64(bytes: &[u8], cursor: &mut usize) -> Result<u64, String> {
+    let raw = take(bytes, cursor, 8)?;
+    Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+}
+
+fn take_len(bytes: &[u8], cursor: &mut usize) -> Result<usize, String> {
+    let n = take_u64(bytes, cursor)?;
+    // A length can never exceed the remaining input (every element takes at
+    // least one byte), which bounds allocations on corrupt input.
+    if n > (bytes.len() - *cursor) as u64 {
+        return Err(format!("corrupt length {n} at offset {cursor}"));
+    }
+    Ok(n as usize)
+}
+
+fn take_str(bytes: &[u8], cursor: &mut usize) -> Result<String, String> {
+    let len = take_len(bytes, cursor)?;
+    let raw = take(bytes, cursor, len)?;
+    String::from_utf8(raw.to_vec()).map_err(|e| format!("invalid utf-8 string: {e}"))
+}
+
+fn decode_from(bytes: &[u8], cursor: &mut usize) -> Result<Value, String> {
+    let tag = take(bytes, cursor, 1)?[0];
+    match tag {
+        TAG_UNIT => Ok(Value::Unit),
+        TAG_F64 => {
+            let raw = take(bytes, cursor, 8)?;
+            Ok(Value::F64(f64::from_bits(u64::from_le_bytes(
+                raw.try_into().expect("8 bytes"),
+            ))))
+        }
+        TAG_INT => {
+            let raw = take(bytes, cursor, 8)?;
+            Ok(Value::Int(i64::from_le_bytes(
+                raw.try_into().expect("8 bytes"),
+            )))
+        }
+        TAG_STR => Ok(Value::Str(take_str(bytes, cursor)?)),
+        TAG_LIST => {
+            let len = take_len(bytes, cursor)?;
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(decode_from(bytes, cursor)?);
+            }
+            Ok(Value::List(items))
+        }
+        TAG_MAP => {
+            let len = take_len(bytes, cursor)?;
+            let mut m = BTreeMap::new();
+            for _ in 0..len {
+                let key = take_str(bytes, cursor)?;
+                let value = decode_from(bytes, cursor)?;
+                m.insert(key, value);
+            }
+            Ok(Value::Map(m))
+        }
+        other => Err(format!("unknown value tag {other} at offset {cursor}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "rows".to_string(),
+            Value::table(&[vec![1.0, -0.0], vec![f64::MIN_POSITIVE, 3e300]]),
+        );
+        m.insert("label".to_string(), Value::Str("vae_bo".to_string()));
+        m.insert("n".to_string(), Value::Int(-7));
+        m.insert("unit".to_string(), Value::Unit);
+        Value::Map(m)
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exactly() {
+        let v = sample();
+        let bytes = v.encode().unwrap();
+        let back = Value::decode(&bytes).unwrap();
+        assert_eq!(v, back);
+        // Re-encoding the decoded value is byte-identical.
+        assert_eq!(back.encode().unwrap(), bytes);
+    }
+
+    #[test]
+    fn negative_zero_and_nan_bits_survive() {
+        let v = Value::List(vec![
+            Value::F64(-0.0),
+            Value::F64(f64::from_bits(0x7ff8_0000_0000_0001)),
+        ]);
+        let back = Value::decode(&v.encode().unwrap()).unwrap();
+        let items = back.as_list().unwrap();
+        assert_eq!(items[0].as_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(items[1].as_f64().unwrap().to_bits(), 0x7ff8_0000_0000_0001);
+    }
+
+    #[test]
+    fn mem_values_refuse_to_encode() {
+        let v = Value::List(vec![Value::mem(42usize)]);
+        assert!(!v.is_persistable());
+        assert!(v.encode().is_err());
+        assert_eq!(
+            v.as_list().unwrap()[0].as_mem::<usize>().map(|a| *a),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn truncated_and_corrupt_input_is_rejected() {
+        let bytes = sample().encode().unwrap();
+        assert!(Value::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Value::decode(&trailing).is_err());
+        assert!(Value::decode(&[99]).is_err());
+        // A declared length longer than the remaining input must not
+        // allocate or loop.
+        let mut huge = vec![TAG_LIST];
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Value::decode(&huge).is_err());
+    }
+
+    #[test]
+    fn table_helpers_round_trip() {
+        let rows = vec![vec![1.5, 2.5], vec![3.5]];
+        assert_eq!(Value::table(&rows).to_table().unwrap(), rows);
+        assert_eq!(
+            Value::floats([1.0, 2.0]).to_floats().unwrap(),
+            vec![1.0, 2.0]
+        );
+        assert_eq!(Value::Unit.to_table(), None);
+    }
+}

@@ -27,6 +27,8 @@ pub const KEY_COUNTERS: &[&str] = &[
     "nn.adam.steps",
     "accel.snaps",
     "plot.charts_rendered",
+    "flow.cache.hits",
+    "flow.cache.misses",
 ];
 
 /// Gauges worth tracking across runs.

@@ -32,6 +32,17 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    // `flow` has its own positional grammar (`flow run <name> [flags]`),
+    // which the --key/value Flags parser can't express.
+    if command == "flow" {
+        return match cmd_flow(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = match Flags::parse(rest) {
         Ok(f) => f,
         Err(e) => {
@@ -86,6 +97,10 @@ commands:
                                              --input B --global B --workload W
   obs-report  summarize or diff run manifests  --manifest PATH [--diff PATH]
   obs-flame   render a trace.json flamegraph    --trace PATH [--out flame.svg]
+  flow      run declarative experiment pipelines
+            flow list                       every registered pipeline
+            flow run NAME [--seed N --budget N --fast|--full --out DIR]
+            flow graph NAME [--mermaid]     print the DAG (Graphviz DOT default)
 
 workloads: alexnet, resnet50, resnext50, deepbench, vgg16, mobilenet,
            bert, all (the Table III training pool)
@@ -142,6 +157,60 @@ impl Flags {
 
     fn has(&self, name: &str) -> bool {
         self.0.contains_key(name)
+    }
+}
+
+/// The `flow` command family: list, run, and render the declarative
+/// experiment pipelines registered in `vaesa_bench::pipelines`.
+fn cmd_flow(rest: &[String]) -> Result<(), String> {
+    use vaesa_bench::pipelines;
+
+    let Some((sub, tail)) = rest.split_first() else {
+        return Err("flow needs a subcommand: list, run NAME, or graph NAME (see --help)".into());
+    };
+    match sub.as_str() {
+        "list" => {
+            for spec in pipelines::registry() {
+                println!("{:<24} {}", spec.name, spec.summary);
+            }
+            Ok(())
+        }
+        "run" => {
+            let Some((name, argv)) = tail.split_first() else {
+                return Err("flow run needs a pipeline name (try `flow list`)".into());
+            };
+            let args = vaesa_bench::Args::parse_from(argv.iter().cloned())
+                .map_err(|e| format!("{e}\n{}", vaesa_bench::USAGE))?;
+            pipelines::run(name, args)
+        }
+        "graph" => {
+            let Some((name, argv)) = tail.split_first() else {
+                return Err("flow graph needs a pipeline name (try `flow list`)".into());
+            };
+            let mut mermaid = false;
+            let mut bench_argv: Vec<String> = Vec::new();
+            for arg in argv {
+                match arg.as_str() {
+                    "--mermaid" => mermaid = true,
+                    "--dot" => mermaid = false,
+                    other => bench_argv.push(other.to_string()),
+                }
+            }
+            let args = vaesa_bench::Args::parse_from(bench_argv)
+                .map_err(|e| format!("{e}\n{}", vaesa_bench::USAGE))?;
+            let spec = pipelines::find(name)?;
+            let env = pipelines::PipelineEnv::new(args);
+            let graph = (spec.build)(&env)?;
+            if mermaid {
+                print!("{}", graph.mermaid(name));
+            } else {
+                print!("{}", graph.dot(name));
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown flow subcommand `{other}` (expected list, run, or graph)"
+        )),
     }
 }
 
