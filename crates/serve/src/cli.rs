@@ -1,0 +1,116 @@
+//! Flag parsing and entry points for the `vaesa-cli serve` and
+//! `vaesa-cli client` commands (the binary delegates here so the whole
+//! serving stack lives in this crate).
+
+use crate::{CoreConfig, ServeConfig, Server};
+use std::time::Duration;
+
+/// Parses `--key value` serve flags and runs the daemon in the
+/// foreground until `POST /shutdown`.
+///
+/// Flags: `--addr` (default `127.0.0.1:8737`; port 0 picks a free port),
+/// `--workers`, `--window-ms`, `--jobs` (table capacity), and the build
+/// sizing `--configs`, `--epochs`, `--latent-dim`, `--layers`, `--seed`.
+pub fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        match key {
+            "addr" => config.addr = value.clone(),
+            "workers" => config.workers = parse(key, value)?,
+            "window-ms" => config.window = Duration::from_millis(parse(key, value)?),
+            "jobs" => config.job_capacity = parse(key, value)?,
+            "configs" => config.core.n_configs = parse(key, value)?,
+            "epochs" => config.core.epochs = parse(key, value)?,
+            "latent-dim" => config.core.latent_dim = parse(key, value)?,
+            "layers" => config.core.n_layers = parse(key, value)?,
+            "seed" => config.core.seed = parse(key, value)?,
+            other => return Err(format!("unknown serve flag --{other}")),
+        }
+        i += 2;
+    }
+    validate(&config.core)?;
+    if config.workers == 0 || config.job_capacity == 0 {
+        return Err("--workers and --jobs must be positive".to_string());
+    }
+
+    eprintln!(
+        "vaesa-serve: building core (configs={}, epochs={}, dz={}, layers={})...",
+        config.core.n_configs, config.core.epochs, config.core.latent_dim, config.core.n_layers
+    );
+    let server = Server::start(config).map_err(|e| format!("failed to start server: {e}"))?;
+    // The bound address goes to stdout so scripts can capture it even with
+    // `--addr 127.0.0.1:0`.
+    println!("listening on {}", server.addr());
+    server.join();
+    Ok(())
+}
+
+/// Runs a client subcommand: `client [--addr host:port] <command> ...`.
+pub fn run_client_command(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:8737".to_string();
+    let mut rest = args;
+    if rest.first().is_some_and(|a| a == "--addr") {
+        addr = rest.get(1).ok_or("--addr needs a value")?.clone();
+        rest = &rest[2..];
+    }
+    crate::client::run_client(&addr, rest)
+}
+
+fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse::<T>()
+        .map_err(|_| format!("--{key} got unparseable value {value:?}"))
+}
+
+fn validate(core: &CoreConfig) -> Result<(), String> {
+    if core.n_configs < 8 {
+        return Err("--configs must be at least 8 (dataset must support a GP fit)".to_string());
+    }
+    if core.latent_dim == 0 || core.n_layers == 0 || core.epochs == 0 {
+        return Err("--latent-dim, --layers, and --epochs must be positive".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn serve_flags_reject_unknown_and_degenerate_values() {
+        assert!(run_serve(&args(&["--nope", "1"]))
+            .unwrap_err()
+            .contains("--nope"));
+        assert!(run_serve(&args(&["--configs", "2"]))
+            .unwrap_err()
+            .contains("at least 8"));
+        assert!(run_serve(&args(&["--workers", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(run_serve(&args(&["--epochs"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(run_serve(&args(&["--epochs", "x"]))
+            .unwrap_err()
+            .contains("unparseable"));
+    }
+
+    #[test]
+    fn client_requires_a_command() {
+        assert!(run_client_command(&[]).is_err());
+        assert!(run_client_command(&args(&["--addr"]))
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+}

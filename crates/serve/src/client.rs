@@ -1,0 +1,232 @@
+//! A tiny command-line client for the daemon, used by the CI smoke jobs
+//! and for interactive poking. Each subcommand maps to one endpoint;
+//! `metrics --name` extracts a single metric value so shell scripts can
+//! assert on it without a JSON parser.
+
+use crate::http::http_request;
+use serde::Value;
+use std::time::Duration;
+
+/// Runs one client subcommand against the daemon at `addr`
+/// (`host:port`). Prints the response body (or the extracted value) to
+/// stdout and returns `Err` with a message on any failure, including
+/// non-2xx responses.
+pub fn run_client(addr: &str, args: &[String]) -> Result<(), String> {
+    let mut args = args.iter();
+    let command = args.next().ok_or_else(usage)?.as_str();
+    let flags = parse_flags(args.as_slice())?;
+    match command {
+        "healthz" => print_response(addr, "GET", "/healthz", None),
+        "metrics" => match flags.get("name") {
+            Some(name) => metric_value(addr, name),
+            None => print_response(addr, "GET", "/metrics", None),
+        },
+        "predict" => {
+            let body = points_body(flags.get("points").ok_or("predict needs --points")?)?;
+            print_response(addr, "POST", "/predict", Some(&body))
+        }
+        "decode" => {
+            let body = points_body(flags.get("points").ok_or("decode needs --points")?)?;
+            print_response(addr, "POST", "/decode", Some(&body))
+        }
+        "search" => {
+            let engine = flags.get("engine").ok_or("search needs --engine")?;
+            let mode = flags.get("mode").map_or("latent", String::as_str);
+            let budget = parse_u64(&flags, "budget", 24)?;
+            let seed = parse_u64(&flags, "seed", 0)?;
+            let body = format!(
+                "{{\"engine\":\"{engine}\",\"mode\":\"{mode}\",\"budget\":{budget},\"seed\":{seed}}}"
+            );
+            let response = expect_2xx(addr, "POST", "/search", Some(&body))?;
+            if flags.contains_key("wait") {
+                let id = parse_value(&response)?
+                    .get("job")
+                    .and_then(Value::as_u64)
+                    .ok_or("search response carried no job id")?;
+                wait_for_job(addr, id)
+            } else {
+                println!("{response}");
+                Ok(())
+            }
+        }
+        "job" => {
+            let id = parse_u64(&flags, "id", u64::MAX)?;
+            if id == u64::MAX {
+                return Err("job needs --id".to_string());
+            }
+            print_response(addr, "GET", &format!("/jobs/{id}"), None)
+        }
+        "shutdown" => print_response(addr, "POST", "/shutdown", None),
+        other => Err(format!("unknown client command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "client commands:\n  \
+     healthz\n  \
+     metrics [--name <metric>]\n  \
+     predict --points <v1,..,v6[;v1,..,v6]...>\n  \
+     decode  --points <z1,..,zd[;...]>\n  \
+     search  --engine <name> [--mode latent|direct] [--budget N] [--seed N] [--wait]\n  \
+     job     --id <id>\n  \
+     shutdown"
+        .to_string()
+}
+
+/// `--key value` pairs; bare trailing flags (`--wait`) map to empty values.
+fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut flags = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        let takes_value = key != "wait";
+        if takes_value {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_string(), value.clone());
+            i += 2;
+        } else {
+            flags.insert(key.to_string(), String::new());
+            i += 1;
+        }
+    }
+    Ok(flags)
+}
+
+fn parse_u64(
+    flags: &std::collections::HashMap<String, String>,
+    key: &str,
+    default: u64,
+) -> Result<u64, String> {
+    match flags.get(key) {
+        Some(raw) => raw
+            .parse::<u64>()
+            .map_err(|_| format!("--{key} must be a non-negative integer, got {raw:?}")),
+        None => Ok(default),
+    }
+}
+
+/// `"1,2,3;4,5,6"` → `{"points":[[1,2,3],[4,5,6]]}`.
+fn points_body(spec: &str) -> Result<String, String> {
+    let rows: Result<Vec<String>, String> = spec
+        .split(';')
+        .map(|row| {
+            let cells: Result<Vec<String>, String> = row
+                .split(',')
+                .map(|cell| {
+                    cell.trim()
+                        .parse::<f64>()
+                        .map(|v| format!("{v:?}"))
+                        .map_err(|_| format!("not a number: {cell:?}"))
+                })
+                .collect();
+            Ok(format!("[{}]", cells?.join(",")))
+        })
+        .collect();
+    Ok(format!("{{\"points\":[{}]}}", rows?.join(",")))
+}
+
+fn parse_value(body: &str) -> Result<Value, String> {
+    serde_json::parse_value(body).map_err(|e| format!("unparseable response {body:?}: {e}"))
+}
+
+fn expect_2xx(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<String, String> {
+    let (status, response) = http_request(addr, method, path, body)
+        .map_err(|e| format!("{method} {path} failed: {e}"))?;
+    if (200..300).contains(&status) {
+        Ok(response)
+    } else {
+        Err(format!("{method} {path} returned {status}: {response}"))
+    }
+}
+
+fn print_response(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<(), String> {
+    let response = expect_2xx(addr, method, path, body)?;
+    println!("{response}");
+    Ok(())
+}
+
+/// Fetches `/metrics` and prints the bare value of one record, so shell
+/// asserts read `[ "$(client metrics --name X)" -gt 0 ]`.
+fn metric_value(addr: &str, name: &str) -> Result<(), String> {
+    let manifest = expect_2xx(addr, "GET", "/metrics", None)?;
+    for line in manifest.lines() {
+        let Ok(record) = serde_json::parse_value(line) else {
+            continue;
+        };
+        let matches = record.get("name").is_some_and(|n| match n {
+            Value::Str(s) => s == name,
+            _ => false,
+        });
+        if !matches {
+            continue;
+        }
+        let value = record
+            .get("value")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("metric {name:?} has no numeric value: {line}"))?;
+        if value.fract() == 0.0 && value.abs() < 9e15 {
+            println!("{}", value as i64);
+        } else {
+            println!("{value}");
+        }
+        return Ok(());
+    }
+    Err(format!("metric {name:?} not found in /metrics"))
+}
+
+/// Polls `/jobs/<id>` until the job is terminal, then prints it.
+fn wait_for_job(addr: &str, id: u64) -> Result<(), String> {
+    let path = format!("/jobs/{id}");
+    loop {
+        let response = expect_2xx(addr, "GET", &path, None)?;
+        let status = parse_value(&response)?
+            .get("status")
+            .and_then(|s| match s {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| format!("job response carried no status: {response}"))?;
+        match status.as_str() {
+            "done" => {
+                println!("{response}");
+                return Ok(());
+            }
+            "failed" => {
+                println!("{response}");
+                return Err(format!("job {id} failed"));
+            }
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_body_builds_row_major_json() {
+        assert_eq!(
+            points_body("1,2;3.5,4").unwrap(),
+            "{\"points\":[[1.0,2.0],[3.5,4.0]]}"
+        );
+        assert!(points_body("1,x").unwrap_err().contains("not a number"));
+    }
+
+    #[test]
+    fn flags_parse_pairs_and_bare_wait() {
+        let args: Vec<String> = ["--engine", "bo", "--wait", "--budget", "9"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let flags = parse_flags(&args).unwrap();
+        assert_eq!(flags.get("engine").unwrap(), "bo");
+        assert_eq!(flags.get("budget").unwrap(), "9");
+        assert!(flags.contains_key("wait"));
+        assert!(parse_flags(&["oops".to_string()]).is_err());
+    }
+}

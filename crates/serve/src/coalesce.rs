@@ -1,0 +1,270 @@
+//! Request coalescing: an admission queue that merges the items of
+//! concurrent callers into one batched invocation of the underlying
+//! compute path.
+//!
+//! The batched paths this daemon serves (`GpRegressor::predict_batch`, the
+//! decoder forward pass, `score_batch`) amortize their fixed costs across
+//! rows, so N concurrent one-row HTTP requests should cost one batch of N,
+//! not N batches of one. [`Batcher::submit`] implements the classic
+//! leader/follower scheme: the first caller into an accumulation window
+//! becomes the leader, waits [`Batcher::window`] for followers to append
+//! their rows, runs the compute closure once over the union, and hands each
+//! caller back exactly the slice of results corresponding to its rows.
+//!
+//! Ordering within a batch follows submission order, and the compute
+//! closure is required to be row-independent (row `i` of the output depends
+//! only on row `i` of the input) — which every batched path in this
+//! workspace guarantees — so coalescing is invisible to callers except in
+//! latency and throughput.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct BatchState<T, R> {
+    /// Rows accumulated for the batch currently forming.
+    pending: Vec<T>,
+    /// Callers that contributed to the forming batch (leader included).
+    submitters: usize,
+    /// Whether the forming batch already has a leader waiting the window.
+    has_leader: bool,
+    /// Id of the batch currently forming; completed ids index `results`.
+    generation: u64,
+    /// Completed batches awaiting pickup: generation → (results, readers
+    /// still to collect). Entries are removed when the last reader leaves.
+    results: HashMap<u64, (Vec<R>, usize)>,
+    /// Total batches executed (for the coalescing stats).
+    batches: u64,
+    /// Total submit calls (for the coalescing stats).
+    submits: u64,
+}
+
+impl<T, R> Default for BatchState<T, R> {
+    fn default() -> Self {
+        BatchState {
+            pending: Vec::new(),
+            submitters: 0,
+            has_leader: false,
+            generation: 0,
+            results: HashMap::new(),
+            batches: 0,
+            submits: 0,
+        }
+    }
+}
+
+/// Point-in-time coalescing counters: how many submit calls were served by
+/// how many underlying batch executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherStats {
+    /// Calls to [`Batcher::submit`].
+    pub submits: u64,
+    /// Batch executions of the compute closure.
+    pub batches: u64,
+}
+
+/// Coalesces concurrent submissions into single batched invocations of a
+/// row-independent compute function. See the module docs.
+pub struct Batcher<T, R> {
+    state: Mutex<BatchState<T, R>>,
+    wakeup: Condvar,
+    window: Duration,
+    #[allow(clippy::type_complexity)]
+    compute: Box<dyn Fn(Vec<T>) -> Vec<R> + Send + Sync>,
+}
+
+impl<T, R> std::fmt::Debug for Batcher<T, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("window", &self.window)
+            .finish()
+    }
+}
+
+impl<T: Send, R: Send + Clone> Batcher<T, R> {
+    /// Creates a batcher that waits `window` for followers before running
+    /// `compute`. `compute` must return exactly one result per input row,
+    /// with row `i` of the output a function of row `i` of the input only.
+    pub fn new(
+        window: Duration,
+        compute: impl Fn(Vec<T>) -> Vec<R> + Send + Sync + 'static,
+    ) -> Self {
+        Batcher {
+            state: Mutex::new(BatchState::default()),
+            wakeup: Condvar::new(),
+            window,
+            compute: Box::new(compute),
+        }
+    }
+
+    /// Submits `items` and blocks until their results are available,
+    /// returning exactly `items.len()` results in submission order. The
+    /// caller may end up leading a batch (running the compute closure for
+    /// everyone) or following one (sleeping until the leader finishes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compute closure returns the wrong number of rows, or
+    /// if a leader holding the batch panicked inside the closure (the
+    /// mutex is then poisoned for all subsequent callers).
+    pub fn submit(&self, items: Vec<T>) -> Vec<R> {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut state = self.state.lock().expect("batcher lock");
+        state.submits += 1;
+        let my_generation = state.generation;
+        let offset = state.pending.len();
+        state.pending.extend(items);
+        state.submitters += 1;
+
+        if !state.has_leader {
+            state.has_leader = true;
+            // Leader: give followers the window to pile in, then close the
+            // batch. Spurious wakeups re-check the deadline.
+            let deadline = Instant::now() + self.window;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, _) = self
+                    .wakeup
+                    .wait_timeout(state, deadline - now)
+                    .expect("batcher lock");
+                state = next;
+            }
+            let batch = std::mem::take(&mut state.pending);
+            let readers = state.submitters;
+            state.submitters = 0;
+            state.has_leader = false;
+            state.generation += 1;
+            state.batches += 1;
+            drop(state);
+
+            let results = self.compute_checked(batch);
+            let mine = results[offset..offset + n].to_vec();
+            let mut state = self.state.lock().expect("batcher lock");
+            if readers > 1 {
+                state.results.insert(my_generation, (results, readers - 1));
+            }
+            drop(state);
+            self.wakeup.notify_all();
+            mine
+        } else {
+            // Follower: wait for our generation's results to be published.
+            while !state.results.contains_key(&my_generation) {
+                state = self.wakeup.wait(state).expect("batcher lock");
+            }
+            let (results, readers) = state
+                .results
+                .get_mut(&my_generation)
+                .expect("checked in loop");
+            let mine = results[offset..offset + n].to_vec();
+            *readers -= 1;
+            if *readers == 0 {
+                state.results.remove(&my_generation);
+            }
+            mine
+        }
+    }
+
+    /// Coalescing counters since construction.
+    pub fn stats(&self) -> BatcherStats {
+        let state = self.state.lock().expect("batcher lock");
+        BatcherStats {
+            submits: state.submits,
+            batches: state.batches,
+        }
+    }
+}
+
+impl<T: Send, R: Send + Clone> Batcher<T, R> {
+    /// Runs the compute closure, asserting the one-result-per-row contract.
+    fn compute_checked(&self, batch: Vec<T>) -> Vec<R> {
+        let expected = batch.len();
+        let results = (self.compute)(batch);
+        assert_eq!(
+            results.len(),
+            expected,
+            "batch compute must return one result per input row"
+        );
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    #[test]
+    fn sequential_submissions_each_form_their_own_batch() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        let batcher = Batcher::new(Duration::from_millis(1), move |xs: Vec<i64>| {
+            c.fetch_add(1, Ordering::SeqCst);
+            xs.iter().map(|x| x * 10).collect()
+        });
+        assert_eq!(batcher.submit(vec![1, 2]), vec![10, 20]);
+        assert_eq!(batcher.submit(vec![3]), vec![30]);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(
+            batcher.stats(),
+            BatcherStats {
+                submits: 2,
+                batches: 2
+            }
+        );
+    }
+
+    #[test]
+    fn empty_submissions_cost_nothing() {
+        let batcher = Batcher::new(Duration::from_millis(1), |xs: Vec<i64>| xs);
+        assert!(batcher.submit(Vec::new()).is_empty());
+        assert_eq!(batcher.stats().batches, 0);
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce_and_route_results_correctly() {
+        // A generous window plus a barrier makes all threads join the same
+        // accumulation window deterministically enough to assert real
+        // coalescing (strictly fewer batches than submitters).
+        let threads = 8usize;
+        let batcher = Arc::new(Batcher::new(
+            Duration::from_millis(200),
+            |xs: Vec<(usize, i64)>| xs.iter().map(|&(t, x)| (t, x * 2)).collect(),
+        ));
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let batcher = Arc::clone(&batcher);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let items: Vec<(usize, i64)> =
+                        (0..3).map(|i| (t, (t * 3 + i) as i64)).collect();
+                    let out = batcher.submit(items.clone());
+                    assert_eq!(out.len(), items.len());
+                    for ((t_in, x), (t_out, y)) in items.iter().zip(&out) {
+                        assert_eq!(t_in, t_out, "result routed to the wrong caller");
+                        assert_eq!(*y, x * 2);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = batcher.stats();
+        assert_eq!(stats.submits, threads as u64);
+        assert!(
+            stats.batches < threads as u64,
+            "{} submitters ran {} batches — nothing coalesced",
+            stats.submits,
+            stats.batches
+        );
+    }
+}

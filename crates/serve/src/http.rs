@@ -1,0 +1,376 @@
+//! Minimal HTTP/1.1 for the daemon: just enough of the wire protocol for
+//! JSON request/response exchanges over `std::net`, with no external
+//! dependencies (the workspace's offline `shims/` policy).
+//!
+//! Supported shape: one request per connection (`Connection: close`),
+//! `Content-Length`-framed bodies (no chunked encoding), UTF-8 bodies.
+//! Parsing is defensive — partial reads are reassembled, oversized headers
+//! and bodies are rejected with the proper status instead of buffering
+//! unboundedly, and malformed input produces a 400, never a panic.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body. Predict/decode batches are a few KB of
+/// JSON; anything near this limit is a client bug or abuse.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A parsed HTTP request: method, path, and the full (decoded) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request path, query string included, e.g. `/jobs/3`.
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// Why a request could not be parsed, mapped to the response status the
+/// server should answer with.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, headers, or body → 400.
+    BadRequest(String),
+    /// Declared body larger than [`MAX_BODY_BYTES`] → 413.
+    TooLarge(String),
+    /// The connection failed mid-exchange; nothing can be answered.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The error as a ready-to-send response, if one can be sent.
+    pub fn into_response(self) -> Option<Response> {
+        match self {
+            HttpError::BadRequest(msg) => Some(Response::error(400, &msg)),
+            HttpError::TooLarge(msg) => Some(Response::error(413, &msg)),
+            HttpError::Io(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads and parses one request from `stream`, reassembling partial reads
+/// until the head terminator and the full declared body have arrived.
+///
+/// # Errors
+///
+/// [`HttpError::BadRequest`] for malformed framing, [`HttpError::TooLarge`]
+/// for bodies over [`MAX_BODY_BYTES`], [`HttpError::Io`] if the peer hangs
+/// up mid-request.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    // Accumulate until we have seen the blank line ending the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest(
+                "connection closed before end of request head".to_string(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    HttpError::BadRequest(format!("bad content-length `{}`", value.trim()))
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+
+    // The body: whatever followed the head in the buffer, plus more reads.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = vec![0u8; (content_length - body.len()).min(16 * 1024)];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest(format!(
+                "connection closed with {} of {content_length} body bytes read",
+                body.len()
+            )));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body)
+        .map_err(|_| HttpError::BadRequest("request body is not UTF-8".to_string()))?;
+
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response ready to serialize onto the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 400, ...).
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response (used by `/metrics`, which returns JSONL).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "<message>"}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        #[derive(serde::Serialize)]
+        struct ErrorBody {
+            error: String,
+        }
+        let body = serde_json::to_string(&ErrorBody {
+            error: message.to_string(),
+        })
+        .expect("error body serialization is infallible");
+        Response::json(status, body)
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Serializes the response (status line, headers, body) onto `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying stream.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Performs one HTTP exchange against `addr` and returns `(status, body)`.
+/// This is the client half of the protocol subset the server speaks; the
+/// CLI `client` subcommand and the smoke tests are built on it.
+///
+/// # Errors
+///
+/// I/O errors connecting or exchanging, or a response too malformed to
+/// split into head and body.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, payload) = text.split_once("\r\n\r\n").ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "response without head terminator",
+        )
+    })?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response without status"))?;
+    Ok((status, payload.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Yields the wrapped bytes one at a time, exercising reassembly of
+    /// partial reads.
+    struct Trickle<'a> {
+        data: &'a [u8],
+        pos: usize,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Trickle { data: raw, pos: 0 })
+    }
+
+    #[test]
+    fn parses_post_with_body_from_partial_reads() {
+        let raw = b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 13\r\n\r\n{\"points\":[]}";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, "{\"points\":[]}");
+    }
+
+    #[test]
+    fn parses_get_without_content_length() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_not_buffered() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match parse(raw.as_bytes()) {
+            Err(HttpError::TooLarge(_)) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat(b'a').take(MAX_HEAD_BYTES + 8));
+        match parse(&raw) {
+            Err(HttpError::BadRequest(msg)) => assert!(msg.contains("head"), "{msg}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_lines_are_bad_requests() {
+        for raw in [
+            &b"\r\n\r\n"[..],
+            &b"GET\r\n\r\n"[..],
+            &b"GET /x SPDY/9\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: frog\r\n\r\n"[..],
+        ] {
+            match parse(raw) {
+                Err(HttpError::BadRequest(_)) => {}
+                other => panic!("{:?} should be BadRequest, got {other:?}", raw),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_a_bad_request() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        match parse(raw) {
+            Err(HttpError::BadRequest(msg)) => assert!(msg.contains("body bytes"), "{msg}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_serialize_with_exact_framing() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let mut out = Vec::new();
+        Response::error(404, "no such job")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.ends_with("{\"error\":\"no such job\"}"));
+    }
+}

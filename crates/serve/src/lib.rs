@@ -1,0 +1,479 @@
+//! `vaesa-serve`: DSE-as-a-service over the trained VAESA latent space.
+//!
+//! A dependency-free daemon on [`std::net::TcpListener`] speaking just
+//! enough HTTP/1.1 ([`http`]) to serve JSON endpoints:
+//!
+//! | Endpoint          | Method | Purpose                                          |
+//! |-------------------|--------|--------------------------------------------------|
+//! | `/healthz`        | GET    | Liveness + served dimensions                     |
+//! | `/metrics`        | GET    | Obs-registry snapshot (JSONL manifest records)   |
+//! | `/predict`        | POST   | Head + GP batch prediction for raw hardware rows |
+//! | `/decode`         | POST   | Latent rows → snapped designs + true EDP         |
+//! | `/search`         | POST   | Enqueue an async [`DseDriver`] search job        |
+//! | `/jobs/<id>`      | GET    | Poll a search job                                |
+//! | `/shutdown`       | POST   | Graceful stop (flushes the persistent cache)     |
+//!
+//! Concurrent `/predict` and `/decode` requests are coalesced by the
+//! admission queue ([`coalesce::Batcher`]) into single batched-model
+//! invocations; `/search` jobs run on a bounded worker pool ([`jobs`]).
+//! All true evaluations funnel through one [`CachedScheduler`], so with
+//! `VAESA_EVAL_CACHE` set, every schedule computed for any tenant lands in
+//! the persistent cross-run evaluation cache and is served from disk after
+//! a restart.
+//!
+//! [`DseDriver`]: vaesa::DseDriver
+//! [`CachedScheduler`]: vaesa_cosa::CachedScheduler
+
+pub mod cli;
+pub mod client;
+mod coalesce;
+mod core;
+pub mod http;
+mod jobs;
+
+pub use coalesce::{Batcher, BatcherStats};
+pub use core::{CoreConfig, Decoded, Prediction, ServeCore};
+pub use jobs::{Job, JobStatus, JobTable, SearchSpec, SearchSummary, WorkerPool};
+
+use http::{read_request, Request, Response};
+use serde::Value;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration: bind address, concurrency, and the startup build
+/// sizing ([`CoreConfig`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (reported by [`Server::addr`]).
+    pub addr: String,
+    /// Search worker threads.
+    pub workers: usize,
+    /// Coalescing window for `/predict` and `/decode` admission.
+    pub window: Duration,
+    /// Maximum jobs tracked at once (running + finished history).
+    pub job_capacity: usize,
+    /// Model/dataset build sizing.
+    pub core: CoreConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8737".to_string(),
+            workers: 2,
+            window: Duration::from_millis(5),
+            job_capacity: 64,
+            core: CoreConfig::default(),
+        }
+    }
+}
+
+/// Everything a connection handler needs, shared behind one `Arc`.
+struct ServeState {
+    core: Arc<ServeCore>,
+    predict: Batcher<Vec<f64>, Prediction>,
+    decode: Batcher<Vec<f64>, Decoded>,
+    jobs: Arc<JobTable>,
+    pool: WorkerPool,
+    stop: AtomicBool,
+}
+
+impl ServeState {
+    fn new(core: Arc<ServeCore>, config: &ServeConfig) -> Self {
+        let jobs = Arc::new(JobTable::new(config.job_capacity));
+        let predict_core = Arc::clone(&core);
+        let decode_core = Arc::clone(&core);
+        let worker_core = Arc::clone(&core);
+        let worker_jobs = Arc::clone(&jobs);
+        ServeState {
+            predict: Batcher::new(config.window, move |rows| predict_core.predict(rows)),
+            decode: Batcher::new(config.window, move |rows| decode_core.decode(rows)),
+            pool: WorkerPool::spawn(config.workers, move |id| {
+                let Some(job) = worker_jobs.get(id) else {
+                    return; // evicted before pickup
+                };
+                worker_jobs.mark_running(id);
+                let span = vaesa_obs::global().span("serve/job");
+                let status = match worker_core.run_search(&job.spec) {
+                    Ok(summary) => JobStatus::Done(summary),
+                    Err(message) => JobStatus::Failed(message),
+                };
+                span.finish();
+                worker_jobs.finish(id, status);
+            }),
+            core,
+            jobs,
+            stop: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A running daemon: the accept loop on its own thread, handlers on
+/// per-connection threads.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the served state (dataset, model, GP — the slow part), binds
+    /// the listener, and starts accepting.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let core = Arc::new(ServeCore::build(&config.core));
+        Self::start_with_core(config, core)
+    }
+
+    /// Starts a server around an already-built core (lets tests reuse one
+    /// build across restart cycles).
+    pub fn start_with_core(config: ServeConfig, core: Arc<ServeCore>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        // Nonblocking accept lets the loop observe the stop flag promptly
+        // without a wakeup connection.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServeState::new(core, &config));
+        let handle = std::thread::Builder::new()
+            .name("vaesa-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, state))?;
+        Ok(Server {
+            addr,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon stops (via `POST /shutdown`).
+    pub fn join(mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServeState>) {
+    vaesa_obs::progress!("serve: listening");
+    while !state.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                vaesa_obs::counter("serve.connections").incr();
+                let state = Arc::clone(&state);
+                // One thread per connection: handlers must run concurrently
+                // for the admission queue to have anything to coalesce.
+                let spawned = std::thread::Builder::new()
+                    .name("vaesa-serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, &state));
+                if let Err(e) = spawned {
+                    eprintln!("vaesa-serve: failed to spawn handler: {e}");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("vaesa-serve: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    // Graceful stop: finish queued searches, then persist what they learned.
+    let mut state = state;
+    loop {
+        match Arc::try_unwrap(state) {
+            Ok(mut owned) => {
+                owned.pool.shutdown();
+                if let Err(e) = owned.core.scheduler().flush_persistent() {
+                    eprintln!("vaesa-serve: persistent cache flush failed: {e}");
+                }
+                break;
+            }
+            Err(shared) => {
+                // In-flight connection handlers still hold clones; give
+                // them a beat to finish writing their responses.
+                state = shared;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    vaesa_obs::progress!("serve: stopped");
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServeState) {
+    // Blocking I/O (inherited nonblocking flags vary by platform) with a
+    // timeout so a stalled client cannot pin a handler thread forever.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(&request, state),
+        Err(error) => match error.into_response() {
+            Some(response) => response,
+            None => return, // connection-level I/O error: nothing to say
+        },
+    };
+    if let Err(e) = response.write_to(&mut stream) {
+        eprintln!("vaesa-serve: response write failed: {e}");
+    }
+}
+
+fn route(request: &Request, state: &ServeState) -> Response {
+    let endpoint = request
+        .path
+        .split('/')
+        .nth(1)
+        .unwrap_or_default()
+        .split('?')
+        .next()
+        .unwrap_or_default();
+    let span_name = format!(
+        "serve/{}",
+        if endpoint.is_empty() {
+            "root"
+        } else {
+            endpoint
+        }
+    );
+    let span = vaesa_obs::global().span(&span_name);
+    let response = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(state),
+        ("GET", "/metrics") => handle_metrics(state),
+        ("POST", "/predict") => handle_predict(request, state),
+        ("POST", "/decode") => handle_decode(request, state),
+        ("POST", "/search") => handle_search(request, state),
+        ("GET", path) if path.starts_with("/jobs/") => handle_job(path, state),
+        ("POST", "/shutdown") => {
+            state.stop.store(true, Ordering::SeqCst);
+            Response::json(200, "{\"status\":\"stopping\"}")
+        }
+        (_, "/healthz" | "/metrics" | "/predict" | "/decode" | "/search" | "/shutdown") => {
+            Response::error(405, "method not allowed for this path")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    };
+    span.finish();
+    response
+}
+
+fn handle_healthz(state: &ServeState) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"latent_dim\":{},\"layers\":{},\"persistent_cache\":{}}}",
+            state.core.latent_dim(),
+            state.core.layers().len(),
+            state.core.scheduler().persistence_dir().is_some(),
+        ),
+    )
+}
+
+fn handle_metrics(state: &ServeState) -> Response {
+    let registry = vaesa_obs::global();
+    state.core.scheduler().publish_stats(registry, "scheduler");
+    let predict = state.predict.stats();
+    let decode = state.decode.stats();
+    registry
+        .gauge("serve.coalesce.predict.submits")
+        .set(predict.submits as f64);
+    registry
+        .gauge("serve.coalesce.predict.batches")
+        .set(predict.batches as f64);
+    registry
+        .gauge("serve.coalesce.decode.submits")
+        .set(decode.submits as f64);
+    registry
+        .gauge("serve.coalesce.decode.batches")
+        .set(decode.batches as f64);
+    registry
+        .gauge("serve.jobs.tracked")
+        .set(state.jobs.len() as f64);
+    Response::text(200, vaesa_obs::manifest_string(registry))
+}
+
+/// Extracts `"points": [[f64, ...], ...]` rows of exactly `width` columns.
+fn parse_points(body: &str, width: usize) -> Result<Vec<Vec<f64>>, String> {
+    let value: Value =
+        serde_json::parse_value(body).map_err(|e| format!("malformed JSON body: {e}"))?;
+    let points = value
+        .get("points")
+        .ok_or_else(|| "missing \"points\" field".to_string())?;
+    let Value::Seq(rows) = points else {
+        return Err("\"points\" must be an array of rows".to_string());
+    };
+    if rows.is_empty() {
+        return Err("\"points\" is empty".to_string());
+    }
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let Value::Seq(cells) = row else {
+                return Err(format!("points[{i}] is not an array"));
+            };
+            if cells.len() != width {
+                return Err(format!(
+                    "points[{i}] has {} values, expected {width}",
+                    cells.len()
+                ));
+            }
+            cells
+                .iter()
+                .enumerate()
+                .map(|(j, cell)| {
+                    cell.as_f64()
+                        .filter(|v| v.is_finite())
+                        .ok_or_else(|| format!("points[{i}][{j}] is not a finite number"))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn handle_predict(request: &Request, state: &ServeState) -> Response {
+    let rows = match parse_points(&request.body, vaesa::HW_FEATURES) {
+        Ok(rows) => rows,
+        Err(message) => return Response::error(400, &message),
+    };
+    // The normalizer is log-space: zero or negative features are outside
+    // the model's domain and would panic inside the batch.
+    if let Some(bad) = rows.iter().position(|r| r.iter().any(|&v| v <= 0.0)) {
+        return Response::error(400, &format!("points[{bad}] has a non-positive feature"));
+    }
+    vaesa_obs::counter("serve.predict.rows").add(rows.len() as u64);
+    let predictions = state.predict.submit(rows);
+    match serde_json::to_string(&predictions) {
+        Ok(body) => Response::json(200, format!("{{\"predictions\":{body}}}")),
+        Err(e) => Response::error(500, &format!("serialization failed: {e}")),
+    }
+}
+
+fn handle_decode(request: &Request, state: &ServeState) -> Response {
+    let rows = match parse_points(&request.body, state.core.latent_dim()) {
+        Ok(rows) => rows,
+        Err(message) => return Response::error(400, &message),
+    };
+    vaesa_obs::counter("serve.decode.rows").add(rows.len() as u64);
+    let designs = state.decode.submit(rows);
+    match serde_json::to_string(&designs) {
+        Ok(body) => Response::json(200, format!("{{\"designs\":{body}}}")),
+        Err(e) => Response::error(500, &format!("serialization failed: {e}")),
+    }
+}
+
+fn handle_search(request: &Request, state: &ServeState) -> Response {
+    let value: Value = match serde_json::parse_value(&request.body) {
+        Ok(value) => value,
+        Err(e) => return Response::error(400, &format!("malformed JSON body: {e}")),
+    };
+    let engine = match value.get("engine") {
+        Some(Value::Str(s)) => s.clone(),
+        Some(_) => return Response::error(400, "\"engine\" must be a string"),
+        None => return Response::error(400, "missing \"engine\" field"),
+    };
+    let mode = match value.get("mode") {
+        Some(Value::Str(s)) => s.clone(),
+        Some(_) => return Response::error(400, "\"mode\" must be a string"),
+        None => "latent".to_string(),
+    };
+    let budget = match value.get("budget") {
+        Some(v) => match v.as_u64() {
+            Some(b) => b as usize,
+            None => return Response::error(400, "\"budget\" must be a non-negative integer"),
+        },
+        None => 24,
+    };
+    let seed = match value.get("seed") {
+        Some(v) => match v.as_u64() {
+            Some(s) => s,
+            None => return Response::error(400, "\"seed\" must be a non-negative integer"),
+        },
+        None => 0,
+    };
+    let spec = SearchSpec {
+        engine,
+        mode,
+        budget,
+        seed,
+    };
+    if let Err(message) = state.core.validate_spec(&spec) {
+        return Response::error(400, &message);
+    }
+    match state.jobs.submit(spec) {
+        Ok(id) => {
+            state.pool.enqueue(id);
+            Response::json(202, format!("{{\"job\":{id},\"status\":\"queued\"}}"))
+        }
+        Err(message) => Response::error(429, &message),
+    }
+}
+
+fn handle_job(path: &str, state: &ServeState) -> Response {
+    let id = match path["/jobs/".len()..].parse::<u64>() {
+        Ok(id) => id,
+        Err(_) => return Response::error(400, "job id must be an integer"),
+    };
+    let Some(job) = state.jobs.get(id) else {
+        return Response::error(404, "no such job (it may have been evicted)");
+    };
+    let mut body = format!(
+        "{{\"job\":{},\"status\":\"{}\",\"engine\":\"{}\",\"mode\":\"{}\",\"budget\":{},\"seed\":{}",
+        job.id,
+        job.status.name(),
+        job.spec.engine,
+        job.spec.mode,
+        job.spec.budget,
+        job.spec.seed
+    );
+    match &job.status {
+        JobStatus::Done(summary) => match serde_json::to_string(summary) {
+            Ok(json) => body.push_str(&format!(",\"result\":{json}")),
+            Err(e) => return Response::error(500, &format!("serialization failed: {e}")),
+        },
+        JobStatus::Failed(message) => match serde_json::to_string(message) {
+            Ok(json) => body.push_str(&format!(",\"error\":{json}")),
+            Err(e) => return Response::error(500, &format!("serialization failed: {e}")),
+        },
+        JobStatus::Queued | JobStatus::Running => {}
+    }
+    body.push('}');
+    Response::json(200, body)
+}
+
+// Re-exported so integration tests and the CLI share the request helper.
+pub use http::http_request;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_points_validates_shape_and_values() {
+        assert_eq!(
+            parse_points("{\"points\":[[1.0,2.0],[3,4]]}", 2).unwrap(),
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]]
+        );
+        assert!(parse_points("not json", 2)
+            .unwrap_err()
+            .contains("malformed"));
+        assert!(parse_points("{\"rows\":[[1,2]]}", 2)
+            .unwrap_err()
+            .contains("points"));
+        assert!(parse_points("{\"points\":[]}", 2)
+            .unwrap_err()
+            .contains("empty"));
+        assert!(parse_points("{\"points\":[[1]]}", 2)
+            .unwrap_err()
+            .contains("expected 2"));
+        assert!(parse_points("{\"points\":[[1,\"x\"]]}", 2)
+            .unwrap_err()
+            .contains("finite"));
+        assert!(parse_points("{\"points\":[5]}", 2)
+            .unwrap_err()
+            .contains("not an array"));
+    }
+}

@@ -1,0 +1,215 @@
+//! End-to-end daemon test: boot the server on an ephemeral port with a
+//! persistent evaluation cache, drive every endpoint over real TCP,
+//! shut down cleanly, then boot a second daemon against the same cache
+//! directory and prove the cache survived the restart (warm hits > 0).
+//!
+//! Kept to one `#[test]` because `VAESA_EVAL_CACHE` is process-global
+//! state and the restart half depends on the first half's writes.
+
+use serde::Value;
+use std::time::{Duration, Instant};
+use vaesa_serve::{http_request, CoreConfig, ServeConfig, Server};
+
+fn tiny_config(addr: &str, seed: u64) -> ServeConfig {
+    ServeConfig {
+        addr: addr.to_string(),
+        workers: 1,
+        window: Duration::from_millis(10),
+        job_capacity: 8,
+        core: CoreConfig {
+            n_configs: 24,
+            epochs: 2,
+            latent_dim: 3,
+            n_layers: 2,
+            seed,
+            gp_cap: 32,
+        },
+    }
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    http_request(addr, "GET", path, None).expect("GET")
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    http_request(addr, "POST", path, Some(body)).expect("POST")
+}
+
+fn json(body: &str) -> Value {
+    serde_json::parse_value(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"))
+}
+
+/// Reads one numeric metric out of a `/metrics` manifest snapshot.
+fn metric(manifest: &str, name: &str) -> Option<f64> {
+    manifest.lines().find_map(|line| {
+        let record = serde_json::parse_value(line).ok()?;
+        match record.get("name") {
+            Some(Value::Str(n)) if n == name => record.get("value")?.as_f64(),
+            _ => None,
+        }
+    })
+}
+
+fn poll_job_done(addr: &str, id: u64) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = get(addr, &format!("/jobs/{id}"));
+        assert_eq!(status, 200, "job poll failed: {body}");
+        let job = json(&body);
+        match job.get("status") {
+            Some(Value::Str(s)) if s == "done" => return job,
+            Some(Value::Str(s)) if s == "failed" => panic!("job failed: {body}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job {id} did not finish");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn daemon_serves_all_endpoints_and_cache_survives_restart() {
+    let cache_dir = std::env::temp_dir().join(format!("vaesa-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    std::env::set_var("VAESA_EVAL_CACHE", &cache_dir);
+
+    // ---- First daemon: cold cache. ----
+    let server = Server::start(tiny_config("127.0.0.1:0", 11)).expect("start");
+    let addr = server.addr().to_string();
+
+    let (status, body) = get(&addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    let health = json(&body);
+    assert_eq!(health.get("latent_dim").and_then(Value::as_u64), Some(3));
+    assert_eq!(health.get("persistent_cache"), Some(&Value::Bool(true)));
+
+    // Concurrent predicts from several clients; the admission queue must
+    // route every caller its own row back.
+    let predict_threads: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let scale = 1.0 + i as f64;
+                let body = format!(
+                    "{{\"points\":[[{},4.0,128.0,4096.0,8192.0,65536.0]]}}",
+                    16.0 * scale
+                );
+                post(&addr, "/predict", &body)
+            })
+        })
+        .collect();
+    for t in predict_threads {
+        let (status, body) = t.join().expect("predict thread");
+        assert_eq!(status, 200, "{body}");
+        let predictions = match json(&body).get("predictions") {
+            Some(Value::Seq(rows)) => rows.clone(),
+            other => panic!("bad predictions: {other:?}"),
+        };
+        assert_eq!(predictions.len(), 1);
+        let row = &predictions[0];
+        assert!(row.get("latency").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(row.get("gp_log_edp_std").and_then(Value::as_f64).unwrap() >= 0.0);
+    }
+
+    let (status, body) = post(
+        &addr,
+        "/decode",
+        "{\"points\":[[0.0,0.0,0.0],[0.3,-0.2,0.1]]}",
+    );
+    assert_eq!(status, 200, "{body}");
+    match json(&body).get("designs") {
+        Some(Value::Seq(designs)) => {
+            assert_eq!(designs.len(), 2);
+            assert!(designs[0]
+                .get("arch")
+                .and_then(|a| a.get("pe_count"))
+                .and_then(Value::as_u64)
+                .is_some());
+        }
+        other => panic!("bad designs: {other:?}"),
+    }
+
+    // Error paths: malformed JSON, wrong row width, bad engine, bad route.
+    let (status, _) = post(&addr, "/predict", "{nope");
+    assert_eq!(status, 400);
+    let (status, _) = post(&addr, "/predict", "{\"points\":[[1.0,2.0]]}");
+    assert_eq!(status, 400);
+    let (status, _) = post(&addr, "/search", "{\"engine\":\"quantum\"}");
+    assert_eq!(status, 400);
+    let (status, _) = post(&addr, "/search", "{\"engine\":\"gd\",\"mode\":\"direct\"}");
+    assert_eq!(status, 400);
+    let (status, _) = get(&addr, "/nope");
+    assert_eq!(status, 404);
+    let (status, _) = post(&addr, "/healthz", "{}");
+    assert_eq!(status, 405);
+
+    // Async search: enqueue, poll to completion, check the summary.
+    let (status, body) = post(
+        &addr,
+        "/search",
+        "{\"engine\":\"random\",\"mode\":\"latent\",\"budget\":5,\"seed\":3}",
+    );
+    assert_eq!(status, 202, "{body}");
+    let id = json(&body)
+        .get("job")
+        .and_then(Value::as_u64)
+        .expect("job id");
+    let job = poll_job_done(&addr, id);
+    let result = job.get("result").expect("result");
+    assert_eq!(result.get("label"), Some(&Value::Str("vae_random".into())));
+    assert_eq!(result.get("evals").and_then(Value::as_u64), Some(5));
+
+    // A second identical search replays the same evaluations: the shared
+    // scheduler serves them from the (log-backed) cache.
+    let (status, body) = post(
+        &addr,
+        "/search",
+        "{\"engine\":\"random\",\"mode\":\"latent\",\"budget\":5,\"seed\":3}",
+    );
+    assert_eq!(status, 202, "{body}");
+    let id2 = json(&body)
+        .get("job")
+        .and_then(Value::as_u64)
+        .expect("job id");
+    let job2 = poll_job_done(&addr, id2);
+    assert_eq!(
+        job2.get("result").and_then(|r| r.get("best_value")),
+        job.get("result").and_then(|r| r.get("best_value")),
+        "identical seeded searches must reproduce"
+    );
+
+    let (status, manifest) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metric(&manifest, "scheduler.persistent.appends").unwrap_or(0.0) > 0.0,
+        "cold run must append evaluations to the persistent log"
+    );
+    assert!(
+        metric(&manifest, "scheduler.persistent.hits").unwrap_or(0.0) > 0.0,
+        "repeated search must hit log-backed cache entries"
+    );
+    assert!(metric(&manifest, "serve.coalesce.predict.submits").unwrap_or(0.0) >= 4.0);
+
+    let (status, _) = post(&addr, "/shutdown", "");
+    assert_eq!(status, 200);
+    server.join();
+
+    // ---- Second daemon, same cache directory: must start warm. ----
+    let server = Server::start(tiny_config("127.0.0.1:0", 11)).expect("restart");
+    let addr = server.addr().to_string();
+    let (status, manifest) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metric(&manifest, "scheduler.persistent.loaded").unwrap_or(0.0) > 0.0,
+        "restart must load the previous run's log"
+    );
+    assert!(
+        metric(&manifest, "scheduler.persistent.warm_hits").unwrap_or(0.0) > 0.0,
+        "dataset rebuild must be served from the persisted cache"
+    );
+    let (status, _) = post(&addr, "/shutdown", "");
+    assert_eq!(status, 200);
+    server.join();
+
+    std::env::remove_var("VAESA_EVAL_CACHE");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

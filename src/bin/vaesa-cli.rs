@@ -43,6 +43,22 @@ fn main() -> ExitCode {
             }
         };
     }
+    // `serve` and `client` likewise have their own grammars (client has
+    // positional subcommands); both live in the vaesa-serve crate.
+    if command == "serve" || command == "client" {
+        let result = if command == "serve" {
+            vaesa_repro::serve::cli::run_serve(rest)
+        } else {
+            vaesa_repro::serve::cli::run_client_command(rest)
+        };
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = match Flags::parse(rest) {
         Ok(f) => f,
         Err(e) => {
@@ -101,13 +117,21 @@ commands:
             flow list                       every registered pipeline
             flow run NAME [--seed N --budget N --fast|--full --out DIR]
             flow graph NAME [--mermaid]     print the DAG (Graphviz DOT default)
+  serve     run the DSE daemon              --addr HOST:PORT --workers N --configs N
+                                            --epochs N --latent-dim N --layers N --seed S
+  client    query a running daemon          client [--addr HOST:PORT] <healthz|metrics
+                                            |predict|decode|search|job|shutdown> [flags]
 
 workloads: alexnet, resnet50, resnext50, deepbench, vgg16, mobilenet,
            bert, all (the Table III training pool)
 
 global flags:
   --precision (f64|f32)   numeric backend for NN/GP hot loops (default f64;
-                          same as VAESA_PRECISION; f32 uses SIMD kernels)";
+                          same as VAESA_PRECISION; f32 uses SIMD kernels)
+
+environment:
+  VAESA_EVAL_CACHE=DIR    persist scheduler evaluations to an append-only
+                          log in DIR, shared across runs and commands";
 
 /// Minimal `--key value` flag map.
 struct Flags(HashMap<String, String>);
@@ -236,7 +260,7 @@ fn cmd_dataset(flags: &Flags) -> Result<(), String> {
     let layers = workload_layers(&flags.str("workload", "all"))?;
 
     let space = DesignSpace::paper();
-    let scheduler = CachedScheduler::default();
+    let scheduler = CachedScheduler::from_env();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     println!(
         "sampling {configs} random configs (+{grid}-per-axis grid) over {} layers...",
@@ -314,7 +338,7 @@ fn cmd_search(flags: &Flags) -> Result<(), String> {
     let seed: u64 = flags.num("seed", 0)?;
 
     let space = DesignSpace::paper();
-    let scheduler = CachedScheduler::default();
+    let scheduler = CachedScheduler::from_env();
     let evaluator = HardwareEvaluator::new(&space, &scheduler, &layers);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
@@ -407,7 +431,7 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
         global_buf_bytes: flags.num("global", 131072u64)?,
     };
     let layers = workload_layers(&flags.str("workload", "resnet50"))?;
-    let scheduler = CachedScheduler::default();
+    let scheduler = CachedScheduler::from_env();
     let w = scheduler
         .schedule_workload(&arch, &layers)
         .map_err(|e| e.to_string())?;

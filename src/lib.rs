@@ -16,6 +16,8 @@
 //!   and gradient descent drivers ([`vaesa_dse`]).
 //! - [`core`] — the VAESA model itself: VAE + performance predictors and the
 //!   latent-space DSE flows ([`vaesa`]).
+//! - [`serve`] — the DSE-as-a-service daemon: predict/decode/search over
+//!   HTTP with a persistent cross-run evaluation cache ([`vaesa_serve`]).
 //!
 //! # Quickstart
 //!
@@ -29,4 +31,5 @@ pub use vaesa_cosa as cosa;
 pub use vaesa_dse as dse;
 pub use vaesa_linalg as linalg;
 pub use vaesa_nn as nn;
+pub use vaesa_serve as serve;
 pub use vaesa_timeloop as timeloop;
