@@ -9,10 +9,14 @@
 //! - [`Gauge`] — last-written `f64` (e.g. a cache hit rate snapshot);
 //! - [`Histogram`] — recorded `f64` samples with exact percentiles
 //!   (Cholesky timings, solve timings, ...);
+//! - [`LatencyHistogram`] / [`SlidingWindow`] — constant-memory bucketed
+//!   instruments for live services (see the retention policy below);
 //! - [`Series`] — an ordered `f64` trajectory (per-epoch losses,
 //!   best-EDP-so-far curves);
 //! - spans — hierarchical wall/CPU timing scopes ([`Registry::span`],
 //!   [`Span::child`]) aggregated per path;
+//! - request-scoped tracing — [`RequestCtx`] span trees keyed by
+//!   deterministic request ids, retained in a bounded [`RequestTracker`];
 //! - meta / events — run-level key-value context and progress messages;
 //! - traces — optional per-event span timelines (off by default; see
 //!   [`Registry::enable_tracing`] and the Chrome `trace_event` exporter
@@ -25,7 +29,25 @@
 //! of the same experiment diff cleanly — only values that genuinely
 //! changed produce diff hunks. The CI gates (`xtask metrics-gate`,
 //! `xtask determinism`) and the `vaesa-cli obs-report` subcommand are all
-//! readers of this format; see `DESIGN.md` §2.10.
+//! readers of this format; see `DESIGN.md` §2.10. Live services export the
+//! same registry in the Prometheus text format instead
+//! ([`prometheus_string`]); see `DESIGN.md` §2.12.
+//!
+//! # Sample-retention policy
+//!
+//! Batch experiments and long-lived daemons have opposite memory needs,
+//! so the crate draws the line explicitly:
+//!
+//! - [`Histogram`] retains raw `f64` samples for exact percentiles, but
+//!   **caps retention** at [`Histogram::RETAIN_CAP`] samples. Below the
+//!   cap every sample is kept and percentiles are exact; above it the
+//!   retained set decimates deterministically (every time the cap is hit,
+//!   every other retained sample is dropped and the keep stride doubles),
+//!   while `count`, `mean`, `min`, and `max` stay exact over the full
+//!   history. Memory is therefore bounded regardless of run length.
+//! - [`LatencyHistogram`] and [`SlidingWindow`] never retain samples at
+//!   all — fixed log-spaced buckets, constant memory, quantiles exact to
+//!   bucket resolution (≤ 25% relative). Serve-path call-sites use these.
 //!
 //! # Examples
 //!
@@ -43,10 +65,20 @@
 //! ```
 
 mod json;
+mod live;
 mod manifest;
+mod prom;
+mod request;
 mod trace;
 
+pub use live::{LatencyHistogram, LatencySnapshot, SlidingWindow};
 pub use manifest::{manifest_lines, manifest_string, write_manifest};
+pub use prom::{
+    parse_prometheus, prometheus_string, sanitize_metric_name, PromSample, PromSnapshot,
+};
+pub use request::{
+    RequestCtx, RequestIdGen, RequestRecord, RequestSpan, RequestSpanNode, RequestTracker,
+};
 pub use trace::{chrome_trace_string, write_chrome_trace, TraceEvent, DEFAULT_TRACE_CAPACITY};
 
 use std::collections::BTreeMap;
@@ -151,15 +183,48 @@ impl Gauge {
     }
 }
 
-/// Exact-sample histogram: every recorded value is kept, and percentiles
-/// are computed by nearest-rank over the sorted samples.
+/// Raw-sample histogram with bounded retention: percentiles are computed
+/// by nearest-rank over the retained samples.
 ///
 /// Intended for coarse-grained measurements (per-factorization timings,
-/// per-fit timings) where sample counts stay in the thousands; it is not a
-/// streaming sketch.
+/// per-fit timings). Up to [`Histogram::RETAIN_CAP`] samples every value
+/// is retained and percentiles are exact; past the cap, retention
+/// decimates deterministically — each time the retained set fills, every
+/// other sample (by arrival order) is dropped and the keep stride
+/// doubles, so memory stays bounded while the subsample remains uniform
+/// over arrival order. `count`, `mean`, `min`, and `max` are always exact
+/// over the full history. Live-service hot paths should prefer
+/// [`LatencyHistogram`] (constant memory, lock-free record); see the
+/// crate-level retention-policy docs.
 #[derive(Debug, Default)]
 pub struct Histogram {
-    samples: Mutex<Vec<f64>>,
+    state: Mutex<HistState>,
+}
+
+#[derive(Debug)]
+struct HistState {
+    /// Retained subsample, arrival order: indices `i * keep_every`.
+    samples: Vec<f64>,
+    /// Finite samples ever recorded.
+    seen: u64,
+    /// Arrival-index stride between retained samples (power of two).
+    keep_every: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for HistState {
+    fn default() -> Self {
+        HistState {
+            samples: Vec::new(),
+            seen: 0,
+            keep_every: 1,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
 }
 
 /// Point-in-time summary of a [`Histogram`].
@@ -182,6 +247,10 @@ pub struct HistogramSummary {
 }
 
 impl Histogram {
+    /// Maximum raw samples retained for percentile computation. Exact
+    /// percentiles below this; deterministic decimation above it.
+    pub const RETAIN_CAP: usize = 4096;
+
     /// An empty histogram.
     pub fn new() -> Self {
         Histogram::default()
@@ -189,25 +258,49 @@ impl Histogram {
 
     /// Records one sample. Non-finite samples are dropped.
     pub fn record(&self, v: f64) {
-        if v.is_finite() {
-            self.samples.lock().expect("histogram lock").push(v);
+        if !v.is_finite() {
+            return;
+        }
+        let mut state = self.state.lock().expect("histogram lock");
+        let index = state.seen;
+        state.seen += 1;
+        state.sum += v;
+        state.min = state.min.min(v);
+        state.max = state.max.max(v);
+        if index.is_multiple_of(state.keep_every) {
+            state.samples.push(v);
+            if state.samples.len() >= Self::RETAIN_CAP {
+                // Halve the retained set: keeping even positions keeps
+                // exactly the arrival indices divisible by the doubled
+                // stride, so the subsample stays uniform and reproducible.
+                let mut i = 0;
+                state.samples.retain(|_| {
+                    let keep = i % 2 == 0;
+                    i += 1;
+                    keep
+                });
+                state.keep_every *= 2;
+            }
         }
     }
 
-    /// Number of recorded samples.
+    /// Number of samples ever recorded (exact, even past the retention
+    /// cap).
     pub fn count(&self) -> u64 {
-        self.samples.lock().expect("histogram lock").len() as u64
+        self.state.lock().expect("histogram lock").seen
     }
 
-    /// The `q`-quantile (`0.0 ..= 1.0`) by nearest rank, or `None` if the
-    /// histogram is empty.
+    /// The `q`-quantile (`0.0 ..= 1.0`) by nearest rank over the retained
+    /// samples, or `None` if the histogram is empty. Exact while the
+    /// sample count is below [`Histogram::RETAIN_CAP`]; a uniform-subsample
+    /// estimate beyond it.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn percentile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        let mut xs = self.samples.lock().expect("histogram lock").clone();
+        let mut xs = self.state.lock().expect("histogram lock").samples.clone();
         if xs.is_empty() {
             return None;
         }
@@ -217,19 +310,30 @@ impl Histogram {
     }
 
     /// Count, mean, extrema, and standard percentiles, or `None` if empty.
+    /// Count, mean, min, and max are exact over the full history;
+    /// percentiles follow the [`Histogram::percentile`] retention rules.
     pub fn summary(&self) -> Option<HistogramSummary> {
-        let mut xs = self.samples.lock().expect("histogram lock").clone();
-        if xs.is_empty() {
+        let (mut xs, seen, sum, min, max) = {
+            let state = self.state.lock().expect("histogram lock");
+            (
+                state.samples.clone(),
+                state.seen,
+                state.sum,
+                state.min,
+                state.max,
+            )
+        };
+        if seen == 0 {
             return None;
         }
         xs.sort_by(|a, b| a.total_cmp(b));
         let n = xs.len();
         let rank = |q: f64| xs[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
         Some(HistogramSummary {
-            count: n as u64,
-            mean: xs.iter().sum::<f64>() / n as f64,
-            min: xs[0],
-            max: xs[n - 1],
+            count: seen,
+            mean: sum / seen as f64,
+            min,
+            max,
             p50: rank(0.50),
             p90: rank(0.90),
             p99: rank(0.99),
@@ -303,6 +407,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    latency: Mutex<BTreeMap<String, Arc<LatencyHistogram>>>,
     series: Mutex<BTreeMap<String, Arc<Series>>>,
     spans: Mutex<BTreeMap<String, SpanStats>>,
     meta: Mutex<BTreeMap<String, String>>,
@@ -340,6 +445,7 @@ impl Registry {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            latency: Mutex::new(BTreeMap::new()),
             series: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(BTreeMap::new()),
             meta: Mutex::new(BTreeMap::new()),
@@ -363,6 +469,13 @@ impl Registry {
     /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         get_or_create!(self.histograms, name)
+    }
+
+    /// The bucketed [`LatencyHistogram`] named `name`, created on first
+    /// use. Constant memory and lock-free recording — the instrument of
+    /// choice on serve paths.
+    pub fn latency_histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        get_or_create!(self.latency, name)
     }
 
     /// The series named `name`, created on first use.
@@ -494,6 +607,13 @@ impl Registry {
             .iter()
             .filter_map(|(k, v)| v.summary().map(|s| (k.clone(), s)))
             .collect();
+        let latency = self
+            .latency
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .filter_map(|(k, v)| v.snapshot().map(|s| (k.clone(), s)))
+            .collect();
         let series = self
             .series
             .lock()
@@ -509,6 +629,7 @@ impl Registry {
             counters,
             gauges,
             histograms,
+            latency,
             series,
             spans,
             events,
@@ -521,6 +642,7 @@ impl Registry {
         self.counters.lock().expect("registry lock").clear();
         self.gauges.lock().expect("registry lock").clear();
         self.histograms.lock().expect("registry lock").clear();
+        self.latency.lock().expect("registry lock").clear();
         self.series.lock().expect("registry lock").clear();
         self.spans.lock().expect("registry lock").clear();
         self.meta.lock().expect("registry lock").clear();
@@ -667,6 +789,11 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
     global().histogram(name)
 }
 
+/// [`Registry::latency_histogram`] on the [`global()`] registry.
+pub fn latency_histogram(name: &str) -> Arc<LatencyHistogram> {
+    global().latency_histogram(name)
+}
+
 /// [`Registry::series`] on the [`global()`] registry.
 pub fn series(name: &str) -> Arc<Series> {
     global().series(name)
@@ -769,6 +896,42 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn histogram_rejects_out_of_range_quantile() {
         let _ = Histogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn histogram_retention_is_bounded_and_stays_accurate() {
+        let h = Histogram::new();
+        let n = (Histogram::RETAIN_CAP * 4) as u64;
+        for v in 1..=n {
+            h.record(v as f64);
+        }
+        // Exact aggregates over the full history, bounded retained set.
+        assert_eq!(h.count(), n);
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, n);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, n as f64);
+        assert!((s.mean - (n as f64 + 1.0) / 2.0).abs() < 1e-9);
+        assert!(
+            h.state.lock().unwrap().samples.len() < Histogram::RETAIN_CAP,
+            "retained set must stay under the cap"
+        );
+        // Percentiles come from a uniform arrival-order subsample of a
+        // uniform stream: within a few percent of exact.
+        for (q, exact) in [(0.5, 0.5 * n as f64), (0.9, 0.9 * n as f64)] {
+            let got = h.percentile(q).unwrap();
+            assert!(
+                (got - exact).abs() / exact < 0.05,
+                "q={q}: {got} vs {exact}"
+            );
+        }
+        // Decimation is deterministic: an identical stream reproduces the
+        // identical summary.
+        let h2 = Histogram::new();
+        for v in 1..=n {
+            h2.record(v as f64);
+        }
+        assert_eq!(h.summary(), h2.summary());
     }
 
     #[test]

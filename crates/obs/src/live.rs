@@ -1,0 +1,498 @@
+//! Bounded, constant-memory instruments for live services.
+//!
+//! The exact-sample [`Histogram`](crate::Histogram) keeps (a capped set of)
+//! raw samples — the right trade-off for batch experiments where a run
+//! records thousands of values and exact percentiles matter. A daemon
+//! serving traffic for a week cannot afford per-sample retention at all, so
+//! this module provides two fixed-footprint companions:
+//!
+//! - [`LatencyHistogram`] — log-spaced nanosecond buckets, lock-free O(1)
+//!   recording, and percentiles exact to within one bucket's resolution
+//!   (≤ 25% relative width, four sub-buckets per power of two);
+//! - [`SlidingWindow`] — a ring of N one-second slices over the same bucket
+//!   layout, answering "rate and p99 over the last N seconds" while
+//!   forgetting everything older.
+//!
+//! Both are time-source-agnostic: callers pass nanosecond values (and, for
+//! the window, a second index derived from a monotonic clock), so tests and
+//! deterministic replays can drive them without wall time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Sub-bucket resolution: each power-of-two octave splits into `1 << 2`
+/// log-spaced buckets, bounding the relative quantile error at 25%.
+const SUB_BITS: u32 = 2;
+const SUBS: usize = 1 << SUB_BITS;
+/// Smallest resolved value: everything under `2^MIN_SHIFT` ns (256 ns)
+/// lands in the shared underflow bucket.
+const MIN_SHIFT: u32 = 8;
+/// Largest resolved value: everything at or above `2^MAX_SHIFT` ns
+/// (~4.6 minutes) lands in the shared overflow bucket.
+const MAX_SHIFT: u32 = 38;
+/// Total bucket count: underflow + resolved octaves + overflow.
+pub(crate) const BUCKET_COUNT: usize = 2 + (MAX_SHIFT - MIN_SHIFT) as usize * SUBS;
+
+/// The bucket index for a nanosecond value.
+pub(crate) fn bucket_index(v_ns: u64) -> usize {
+    if v_ns < (1 << MIN_SHIFT) {
+        return 0;
+    }
+    if v_ns >= (1 << MAX_SHIFT) {
+        return BUCKET_COUNT - 1;
+    }
+    let octave = 63 - v_ns.leading_zeros(); // MIN_SHIFT..MAX_SHIFT
+    let sub = ((v_ns >> (octave - SUB_BITS)) as usize) & (SUBS - 1);
+    1 + (octave - MIN_SHIFT) as usize * SUBS + sub
+}
+
+/// The inclusive upper bound of bucket `i` in nanoseconds, or `None` for
+/// the overflow bucket (rendered as `+Inf` in Prometheus exposition).
+pub(crate) fn bucket_upper_ns(i: usize) -> Option<u64> {
+    if i == 0 {
+        return Some((1 << MIN_SHIFT) - 1);
+    }
+    if i >= BUCKET_COUNT - 1 {
+        return None;
+    }
+    let k = i - 1;
+    let octave = MIN_SHIFT + (k / SUBS) as u32;
+    let sub = (k % SUBS) as u64;
+    // Bucket k covers [2^e + sub·2^(e-2), 2^e + (sub+1)·2^(e-2)).
+    Some((1u64 << (octave - SUB_BITS)) * (SUBS as u64 + sub + 1) - 1)
+}
+
+/// A fixed-footprint latency histogram: log-spaced nanosecond buckets with
+/// lock-free O(1) recording. Memory is constant (`BUCKET_COUNT` atomics)
+/// no matter how many samples arrive, so a week-long daemon can record
+/// every request into it. Quantiles are exact to the recording bucket's
+/// width; exact running count, sum, min, and max are kept alongside.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Point-in-time copy of a [`LatencyHistogram`], taken for exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all recorded nanoseconds.
+    pub sum_ns: u64,
+    /// Exact smallest sample (0 when empty).
+    pub min_ns: u64,
+    /// Exact largest sample (0 when empty).
+    pub max_ns: u64,
+    /// Median, at bucket resolution.
+    pub p50_ns: u64,
+    /// 90th percentile, at bucket resolution.
+    pub p90_ns: u64,
+    /// 99th percentile, at bucket resolution.
+    pub p99_ns: u64,
+    /// Non-empty buckets as `(upper_bound_ns, cumulative_count)`, upper
+    /// bounds ascending; `None` marks the overflow (`+Inf`) bucket.
+    pub buckets: Vec<(Option<u64>, u64)>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one nanosecond sample. Lock-free; a handful of relaxed
+    /// atomic operations regardless of history size.
+    pub fn record_ns(&self, v_ns: u64) {
+        self.counts[bucket_index(v_ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(v_ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(v_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(v_ns, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] sample.
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of every recorded sample, nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) at bucket resolution, or `None`
+    /// when empty. The returned value is the containing bucket's upper
+    /// bound, clamped to the exact observed min/max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let min = self.min_ns.load(Ordering::Relaxed);
+        let max = self.max_ns.load(Ordering::Relaxed);
+        if q == 0.0 {
+            return Some(min); // the 0-quantile is the exact minimum
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for i in 0..BUCKET_COUNT {
+            cum += self.counts[i].load(Ordering::Relaxed);
+            if cum >= rank {
+                let upper = bucket_upper_ns(i).unwrap_or(max);
+                return Some(upper.clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+
+    /// A consistent-enough copy of the whole histogram (relaxed reads;
+    /// exact under quiesced recording).
+    pub fn snapshot(&self) -> Option<LatencySnapshot> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let mut buckets = Vec::new();
+        let mut cum = 0u64;
+        for i in 0..BUCKET_COUNT {
+            let c = self.counts[i].load(Ordering::Relaxed);
+            if c > 0 {
+                cum += c;
+                buckets.push((bucket_upper_ns(i), cum));
+            }
+        }
+        Some(LatencySnapshot {
+            count,
+            sum_ns: self.sum_ns(),
+            min_ns: self.min_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            p50_ns: self.quantile_ns(0.50).unwrap_or(0),
+            p90_ns: self.quantile_ns(0.90).unwrap_or(0),
+            p99_ns: self.quantile_ns(0.99).unwrap_or(0),
+            buckets,
+        })
+    }
+}
+
+/// One second's worth of samples inside a [`SlidingWindow`].
+struct Slice {
+    sec: u64,
+    count: u64,
+    sum_ns: u64,
+    buckets: Vec<u32>,
+}
+
+impl Slice {
+    fn new() -> Self {
+        Slice {
+            sec: u64::MAX,
+            count: 0,
+            sum_ns: 0,
+            buckets: vec![0; BUCKET_COUNT],
+        }
+    }
+
+    fn reset(&mut self, sec: u64) {
+        self.sec = sec;
+        self.count = 0;
+        self.sum_ns = 0;
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+    }
+}
+
+/// A rate/quantile aggregator over the trailing N seconds: a ring of
+/// one-second [`Slice`]s sharing the [`LatencyHistogram`] bucket layout.
+/// Memory is `N × BUCKET_COUNT` words, constant for the process lifetime;
+/// slices older than the window are recycled in place.
+///
+/// The caller supplies the current second index (derived from a monotonic
+/// clock, e.g. `Registry` epoch elapsed seconds), keeping the type free of
+/// wall-clock reads and deterministic under test.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    state: Mutex<Vec<Slice>>,
+    window: usize,
+}
+
+impl std::fmt::Debug for Slice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slice")
+            .field("sec", &self.sec)
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+impl SlidingWindow {
+    /// A window covering the trailing `window_secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs` is zero.
+    pub fn new(window_secs: usize) -> Self {
+        assert!(window_secs >= 1, "window must cover at least one second");
+        SlidingWindow {
+            state: Mutex::new((0..window_secs).map(|_| Slice::new()).collect()),
+            window: window_secs,
+        }
+    }
+
+    /// The window length in seconds.
+    pub fn window_secs(&self) -> usize {
+        self.window
+    }
+
+    /// Records a nanosecond sample observed during second `now_sec`.
+    pub fn record_at(&self, now_sec: u64, v_ns: u64) {
+        let mut slices = self.state.lock().expect("window lock");
+        let slot = (now_sec as usize) % self.window;
+        if slices[slot].sec != now_sec {
+            slices[slot].reset(now_sec);
+        }
+        let slice = &mut slices[slot];
+        slice.count += 1;
+        slice.sum_ns = slice.sum_ns.saturating_add(v_ns);
+        slice.buckets[bucket_index(v_ns)] += 1;
+    }
+
+    /// Samples recorded within the window ending at `now_sec` (inclusive).
+    pub fn count(&self, now_sec: u64) -> u64 {
+        self.fold(now_sec, |acc, s| acc + s.count)
+    }
+
+    /// Events per second over the window ending at `now_sec`.
+    pub fn rate(&self, now_sec: u64) -> f64 {
+        self.count(now_sec) as f64 / self.window as f64
+    }
+
+    /// Mean sample over the window, or `None` when the window is empty.
+    pub fn mean_ns(&self, now_sec: u64) -> Option<f64> {
+        let (count, sum) = {
+            let slices = self.state.lock().expect("window lock");
+            slices
+                .iter()
+                .filter(|s| Self::live(s.sec, now_sec, self.window))
+                .fold((0u64, 0u64), |(c, t), s| (c + s.count, t + s.sum_ns))
+        };
+        (count > 0).then(|| sum as f64 / count as f64)
+    }
+
+    /// The `q`-quantile over the window at bucket resolution, or `None`
+    /// when the window is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_ns(&self, now_sec: u64, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let slices = self.state.lock().expect("window lock");
+        let mut merged = [0u64; BUCKET_COUNT];
+        let mut total = 0u64;
+        for s in slices
+            .iter()
+            .filter(|s| Self::live(s.sec, now_sec, self.window))
+        {
+            total += s.count;
+            for (m, b) in merged.iter_mut().zip(&s.buckets) {
+                *m += u64::from(*b);
+            }
+        }
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, c) in merged.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(bucket_upper_ns(i).unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Whether a slice stamped `sec` is inside the window ending `now_sec`.
+    fn live(sec: u64, now_sec: u64, window: usize) -> bool {
+        sec <= now_sec && now_sec - sec < window as u64
+    }
+
+    fn fold(&self, now_sec: u64, f: impl Fn(u64, &Slice) -> u64) -> u64 {
+        let slices = self.state.lock().expect("window lock");
+        slices
+            .iter()
+            .filter(|s| Self::live(s.sec, now_sec, self.window))
+            .fold(0u64, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_covers_the_range() {
+        let mut prev = 0u64;
+        for i in 0..BUCKET_COUNT - 1 {
+            let upper = bucket_upper_ns(i).unwrap();
+            assert!(upper > prev || i == 0, "bucket {i} not ascending");
+            prev = upper;
+        }
+        assert_eq!(bucket_upper_ns(BUCKET_COUNT - 1), None);
+        // Every value maps into a bucket whose bounds contain it.
+        for v in [0, 1, 255, 256, 257, 1_000, 1_000_000, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i < BUCKET_COUNT);
+            if let Some(upper) = bucket_upper_ns(i) {
+                assert!(v <= upper, "v={v} above bucket {i} upper {upper}");
+            }
+            if i > 0 {
+                let below = bucket_upper_ns(i - 1).unwrap();
+                assert!(v > below, "v={v} under bucket {i} lower bound");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_are_bucket_accurate() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.5), None);
+        assert_eq!(h.snapshot(), None);
+        // 1..=1000 µs uniformly.
+        for us in 1..=1000u64 {
+            h.record_ns(us * 1_000);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum_ns(), (1..=1000u64).sum::<u64>() * 1_000);
+        for (q, exact) in [(0.50, 500_000.0), (0.90, 900_000.0), (0.99, 990_000.0)] {
+            let got = h.quantile_ns(q).unwrap() as f64;
+            let err = (got - exact).abs() / exact;
+            assert!(err <= 0.25, "q={q}: got {got}, exact {exact}, err {err}");
+            assert!(got >= exact, "bucket upper bounds never under-report");
+        }
+        let snap = h.snapshot().unwrap();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.min_ns, 1_000);
+        assert_eq!(snap.max_ns, 1_000_000);
+        assert_eq!(snap.buckets.last().unwrap().1, 1000, "cumulative total");
+        let mut prev = 0;
+        for &(_, cum) in &snap.buckets {
+            assert!(cum > prev, "cumulative counts strictly ascend");
+            prev = cum;
+        }
+    }
+
+    #[test]
+    fn latency_histogram_handles_extremes() {
+        let h = LatencyHistogram::new();
+        h.record_ns(0);
+        h.record_ns(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_ns(0.0), Some(0));
+        // The overflow bucket reports the exact observed max.
+        assert_eq!(h.quantile_ns(1.0), Some(u64::MAX));
+        let snap = h.snapshot().unwrap();
+        assert_eq!(snap.buckets.len(), 2);
+        assert_eq!(snap.buckets[1], (None, 2));
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_the_sample() {
+        let h = LatencyHistogram::new();
+        h.record(std::time::Duration::from_micros(750));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), Some(750_000), "q={q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn latency_histogram_rejects_out_of_range_quantile() {
+        let _ = LatencyHistogram::new().quantile_ns(2.0);
+    }
+
+    #[test]
+    fn sliding_window_forgets_old_slices() {
+        let w = SlidingWindow::new(3);
+        w.record_at(10, 1_000);
+        w.record_at(10, 2_000);
+        w.record_at(11, 3_000);
+        assert_eq!(w.count(11), 3);
+        assert!((w.rate(11) - 1.0).abs() < 1e-12);
+        // Advance past second 10: its slice ages out of the window.
+        assert_eq!(w.count(13), 1);
+        assert_eq!(w.count(20), 0);
+        assert_eq!(w.quantile_ns(20, 0.5), None);
+        // The slot for second 13 recycles second 10's ring position.
+        w.record_at(13, 9_000);
+        assert_eq!(w.count(13), 2);
+    }
+
+    #[test]
+    fn sliding_window_quantiles_merge_slices() {
+        let w = SlidingWindow::new(5);
+        for sec in 0..5u64 {
+            for i in 0..20u64 {
+                w.record_at(sec, (sec * 20 + i + 1) * 10_000);
+            }
+        }
+        assert_eq!(w.count(4), 100);
+        let p50 = w.quantile_ns(4, 0.5).unwrap() as f64;
+        let exact = 500_000.0;
+        assert!((p50 - exact).abs() / exact <= 0.25, "p50 {p50}");
+        assert!(w.mean_ns(4).unwrap() > 0.0);
+        // At now=6 the window [2, 6] retains only seconds 2..=4.
+        assert_eq!(w.count(6), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one second")]
+    fn sliding_window_rejects_zero_width() {
+        let _ = SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn latency_histogram_is_safe_under_concurrent_recording() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_ns((t * 1000 + i) * 100);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().unwrap().buckets.last().unwrap().1, 4000);
+    }
+}

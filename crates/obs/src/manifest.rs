@@ -23,7 +23,7 @@
 //! the former and ignore the latter.
 
 use crate::json::Obj;
-use crate::{HistogramSummary, Registry, SpanStats};
+use crate::{HistogramSummary, LatencySnapshot, Registry, SpanStats};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
@@ -35,6 +35,7 @@ pub(crate) struct Snapshot {
     pub(crate) counters: BTreeMap<String, u64>,
     pub(crate) gauges: BTreeMap<String, f64>,
     pub(crate) histograms: BTreeMap<String, HistogramSummary>,
+    pub(crate) latency: BTreeMap<String, LatencySnapshot>,
     pub(crate) series: BTreeMap<String, Vec<f64>>,
     pub(crate) spans: BTreeMap<String, SpanStats>,
     pub(crate) events: Vec<String>,
@@ -68,7 +69,25 @@ pub fn manifest_lines(registry: &Registry) -> Vec<String> {
             .f64_field("value", *value);
         lines.push(o.finish());
     }
-    for (name, s) in &snap.histograms {
+    // Bucketed latency histograms render as ordinary histogram records
+    // (nanosecond fields widened to f64), merged name-sorted with the
+    // exact-sample histograms so manifest readers see one family.
+    let mut histograms = snap.histograms.clone();
+    for (name, s) in &snap.latency {
+        histograms.insert(
+            name.clone(),
+            HistogramSummary {
+                count: s.count,
+                mean: s.sum_ns as f64 / s.count.max(1) as f64,
+                min: s.min_ns as f64,
+                max: s.max_ns as f64,
+                p50: s.p50_ns as f64,
+                p90: s.p90_ns as f64,
+                p99: s.p99_ns as f64,
+            },
+        );
+    }
+    for (name, s) in &histograms {
         let mut o = Obj::new();
         o.str_field("record", "histogram")
             .str_field("name", name)

@@ -1,0 +1,348 @@
+//! Request-scoped tracing: deterministic request ids, per-request span
+//! trees, and a bounded ring of recently finished requests.
+//!
+//! The aggregate span stats in [`Registry`](crate::Registry) answer "how
+//! long does `serve/predict` take on average" but cannot attribute one
+//! latency outlier, cache hit, or coalesced batch to the request that
+//! caused it. A [`RequestCtx`] carries a request id minted by a
+//! [`RequestIdGen`] — a seeded counter, **no wall-clock** — through a
+//! request's lifetime; every span opened on the context records into the
+//! registry's aggregate stats as usual *and* into the request's own tree
+//! under the prefixed path `req/<id>/<span path>`. Finished requests land
+//! in a [`RequestTracker`] ring (oldest evicted first) from which a server
+//! can export a span tree by id.
+
+use crate::Registry;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Display;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Mints deterministic request ids: `r<seed hex>-<n>` where `n` is a
+/// process-local counter. Two daemons booted with the same seed produce
+/// the same id sequence — no wall-clock, no randomness.
+#[derive(Debug)]
+pub struct RequestIdGen {
+    seed: u64,
+    next: AtomicU64,
+}
+
+impl RequestIdGen {
+    /// A generator whose ids embed `seed`.
+    pub fn new(seed: u64) -> Self {
+        RequestIdGen {
+            seed,
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// The next id in the sequence.
+    pub fn next_id(&self) -> String {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        format!("r{:x}-{n}", self.seed)
+    }
+}
+
+/// One completed span inside a request's tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestSpanNode {
+    /// Request-prefixed path: `req/<id>/<span path>`.
+    pub path: String,
+    /// Offset from the request's start, nanoseconds (monotonic clock).
+    pub begin_ns: u64,
+    /// Span duration, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// A finished request: identity, outcome, span tree, and annotations.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// The request id.
+    pub id: String,
+    /// Endpoint label (`predict`, `decode`, ...).
+    pub endpoint: String,
+    /// HTTP status code of the response.
+    pub status: u16,
+    /// End-to-end request duration, nanoseconds.
+    pub wall_ns: u64,
+    /// Completed spans, in completion order (children before parents).
+    pub spans: Vec<RequestSpanNode>,
+    /// Free-form annotations (batch membership, cache hits, ...).
+    pub notes: BTreeMap<String, String>,
+}
+
+/// The in-flight observability context for one request.
+///
+/// Spans opened through [`RequestCtx::span`] record twice on drop: into
+/// the registry's aggregate [`SpanStats`](crate::SpanStats) under the raw
+/// path (so fleet-wide dashboards keep working), and into this request's
+/// tree under `req/<id>/<path>`.
+#[derive(Debug)]
+pub struct RequestCtx<'a> {
+    registry: &'a Registry,
+    id: String,
+    endpoint: Mutex<String>,
+    start: Instant,
+    spans: Mutex<Vec<RequestSpanNode>>,
+    notes: Mutex<BTreeMap<String, String>>,
+}
+
+impl<'a> RequestCtx<'a> {
+    /// Opens a context with an id from `gen`, recording into `registry`.
+    pub fn new(registry: &'a Registry, id: String) -> Self {
+        RequestCtx {
+            registry,
+            id,
+            endpoint: Mutex::new("other".to_string()),
+            start: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            notes: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// This request's id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Labels the request with its resolved endpoint.
+    pub fn set_endpoint(&self, endpoint: &str) {
+        *self.endpoint.lock().expect("request ctx lock") = endpoint.to_string();
+    }
+
+    /// The registry this context records into.
+    pub fn registry(&self) -> &'a Registry {
+        self.registry
+    }
+
+    /// Opens a request-scoped span under `path` (e.g. `serve/predict`).
+    ///
+    /// Unlike [`Span`](crate::Span), request spans do **not** sample
+    /// process CPU time: [`process_cpu_ns`](crate::process_cpu_ns) costs
+    /// a `/proc` read per call (microseconds) and its scheduler-tick
+    /// granularity (10 ms) reports 0 at request timescales anyway, so
+    /// the aggregate stats record `cpu_ns = 0` for these paths.
+    pub fn span(&self, path: &str) -> RequestSpan<'_, 'a> {
+        RequestSpan {
+            ctx: self,
+            path: path.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Annotates the request (e.g. `batch.id`, `cache.hits`).
+    pub fn note(&self, key: &str, value: impl Display) {
+        self.notes
+            .lock()
+            .expect("request ctx lock")
+            .insert(key.to_string(), value.to_string());
+    }
+
+    /// Closes the request with its response `status`, producing the record
+    /// to publish into a [`RequestTracker`].
+    pub fn finish(self, status: u16) -> RequestRecord {
+        let wall_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut spans = self.spans.into_inner().expect("request ctx lock");
+        // Cap the tree root: one node covering the whole request.
+        spans.push(RequestSpanNode {
+            path: format!("req/{}", self.id),
+            begin_ns: 0,
+            wall_ns,
+        });
+        RequestRecord {
+            id: self.id,
+            endpoint: self.endpoint.into_inner().expect("request ctx lock"),
+            status,
+            wall_ns,
+            spans,
+            notes: self.notes.into_inner().expect("request ctx lock"),
+        }
+    }
+}
+
+/// An open request-scoped span; records on drop (like
+/// [`Span`](crate::Span), which it wraps conceptually).
+#[derive(Debug)]
+pub struct RequestSpan<'c, 'a> {
+    ctx: &'c RequestCtx<'a>,
+    path: String,
+    start: Instant,
+}
+
+impl RequestSpan<'_, '_> {
+    /// Opens a nested span under `parent_path/name`.
+    pub fn child(&self, name: &str) -> RequestSpan<'_, '_> {
+        self.ctx.span(&format!("{}/{name}", self.path))
+    }
+
+    /// Closes the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for RequestSpan<'_, '_> {
+    fn drop(&mut self) {
+        let wall_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Aggregate stats under the raw path, exactly like Registry::span
+        // but with no CPU sample (see `RequestCtx::span` on why).
+        self.ctx.registry.record_span(&self.path, wall_ns, 0);
+        let begin = self.start.saturating_duration_since(self.ctx.start);
+        self.ctx
+            .spans
+            .lock()
+            .expect("request ctx lock")
+            .push(RequestSpanNode {
+                path: format!("req/{}/{}", self.ctx.id, self.path),
+                begin_ns: u64::try_from(begin.as_nanos()).unwrap_or(u64::MAX),
+                wall_ns,
+            });
+    }
+}
+
+/// A bounded ring of recently finished requests, retrievable by id.
+/// Memory is capped at `capacity` records; the oldest is evicted first.
+#[derive(Debug)]
+pub struct RequestTracker {
+    capacity: usize,
+    ring: Mutex<VecDeque<RequestRecord>>,
+}
+
+impl RequestTracker {
+    /// A tracker retaining at most `capacity` finished requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "tracker capacity must be at least 1");
+        RequestTracker {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Publishes a finished request, evicting the oldest when full.
+    pub fn publish(&self, record: RequestRecord) {
+        let mut ring = self.ring.lock().expect("tracker lock");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// The record for request `id`, if still retained.
+    pub fn get(&self, id: &str) -> Option<RequestRecord> {
+        self.ring
+            .lock()
+            .expect("tracker lock")
+            .iter()
+            .rev()
+            .find(|r| r.id == id)
+            .cloned()
+    }
+
+    /// `(id, endpoint, status)` of the most recent `n` requests, newest
+    /// first.
+    pub fn recent(&self, n: usize) -> Vec<(String, String, u16)> {
+        self.ring
+            .lock()
+            .expect("tracker lock")
+            .iter()
+            .rev()
+            .take(n)
+            .map(|r| (r.id.clone(), r.endpoint.clone(), r.status))
+            .collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("tracker lock").len()
+    }
+
+    /// True when no request has finished yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retention cap this tracker was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_deterministic_and_sequential() {
+        let a = RequestIdGen::new(0x2a);
+        assert_eq!(a.next_id(), "r2a-0");
+        assert_eq!(a.next_id(), "r2a-1");
+        let b = RequestIdGen::new(0x2a);
+        assert_eq!(b.next_id(), "r2a-0", "same seed replays the sequence");
+    }
+
+    #[test]
+    fn spans_record_into_both_the_registry_and_the_request_tree() {
+        let reg = Registry::new();
+        let gen = RequestIdGen::new(7);
+        let ctx = RequestCtx::new(&reg, gen.next_id());
+        ctx.set_endpoint("predict");
+        {
+            let outer = ctx.span("serve/predict");
+            let _inner = outer.child("batch");
+        }
+        ctx.note("batch.size", 4);
+        let record = ctx.finish(200);
+
+        // Aggregate stats keep the raw, id-free paths.
+        assert_eq!(reg.span_stats("serve/predict").unwrap().count, 1);
+        assert_eq!(reg.span_stats("serve/predict/batch").unwrap().count, 1);
+
+        // The request tree is id-prefixed; children drop first, root last.
+        assert_eq!(record.id, "r7-0");
+        assert_eq!(record.endpoint, "predict");
+        assert_eq!(record.status, 200);
+        let paths: Vec<&str> = record.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "req/r7-0/serve/predict/batch",
+                "req/r7-0/serve/predict",
+                "req/r7-0"
+            ]
+        );
+        assert!(record.wall_ns >= record.spans[1].wall_ns);
+        assert_eq!(
+            record.notes.get("batch.size").map(String::as_str),
+            Some("4")
+        );
+    }
+
+    #[test]
+    fn tracker_retains_a_bounded_ring_and_finds_by_id() {
+        let reg = Registry::new();
+        let gen = RequestIdGen::new(1);
+        let tracker = RequestTracker::new(2);
+        for status in [200u16, 400, 500] {
+            let ctx = RequestCtx::new(&reg, gen.next_id());
+            tracker.publish(ctx.finish(status));
+        }
+        assert_eq!(tracker.len(), 2);
+        assert!(tracker.get("r1-0").is_none(), "oldest evicted");
+        assert_eq!(tracker.get("r1-1").unwrap().status, 400);
+        assert_eq!(tracker.get("r1-2").unwrap().status, 500);
+        let recent = tracker.recent(8);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].0, "r1-2", "newest first");
+        assert_eq!(tracker.capacity(), 2);
+        assert!(!tracker.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn tracker_rejects_zero_capacity() {
+        let _ = RequestTracker::new(0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Sparklines and the live-service dashboard panel behind
+//! `vaesa-cli serve-top`.
+//!
+//! Terminal rendering uses the eight Unicode block glyphs; the SVG
+//! [`Dashboard`] is the `--snapshot-svg` artifact: one row per endpoint,
+//! each with a label, a rate sparkline, and a stats annotation.
+
+use crate::color;
+use crate::svg::Svg;
+
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a Unicode block-glyph sparkline, min-max scaled.
+/// Non-finite values render as spaces; an all-equal series renders flat
+/// at the lowest glyph.
+pub fn text_sparkline(values: &[f64]) -> String {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() || !lo.is_finite() {
+                ' '
+            } else if hi <= lo {
+                BLOCKS[0]
+            } else {
+                let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+                BLOCKS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+struct DashboardRow {
+    label: String,
+    values: Vec<f64>,
+    note: String,
+}
+
+/// The `serve-top --snapshot-svg` panel: a titled stack of labelled
+/// sparkline rows.
+///
+/// # Examples
+///
+/// ```
+/// use vaesa_plot::Dashboard;
+///
+/// let mut dash = Dashboard::new("vaesa-serve");
+/// dash.row("predict", vec![1.0, 4.0, 2.0], "p99 1.2ms");
+/// let svg = dash.render();
+/// assert!(svg.starts_with("<svg"));
+/// ```
+#[derive(Default)]
+pub struct Dashboard {
+    title: String,
+    rows: Vec<DashboardRow>,
+}
+
+impl std::fmt::Debug for Dashboard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dashboard")
+            .field("title", &self.title)
+            .field("rows", &self.rows.len())
+            .finish()
+    }
+}
+
+impl Dashboard {
+    /// An empty dashboard with the given title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Dashboard {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row: a label, the sparkline series (oldest first), and a
+    /// free-form annotation rendered to the right of the sparkline.
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>, note: impl Into<String>) {
+        self.rows.push(DashboardRow {
+            label: label.into(),
+            values,
+            note: note.into(),
+        });
+    }
+
+    /// Renders the panel as an SVG document.
+    pub fn render(&self) -> String {
+        const WIDTH: u32 = 680;
+        const HEADER: f64 = 30.0;
+        const ROW_H: f64 = 34.0;
+        const LABEL_W: f64 = 110.0;
+        const SPARK_W: f64 = 260.0;
+        let height = (HEADER + ROW_H * self.rows.len() as f64 + 10.0).ceil() as u32;
+        let mut svg = Svg::new(WIDTH, height.max(40));
+        svg.text(10.0, 20.0, &self.title, 14.0, "start");
+        svg.line(
+            10.0,
+            HEADER - 4.0,
+            WIDTH as f64 - 10.0,
+            HEADER - 4.0,
+            "#cccccc",
+            1.0,
+        );
+        for (i, row) in self.rows.iter().enumerate() {
+            let top = HEADER + ROW_H * i as f64;
+            let mid = top + ROW_H / 2.0;
+            svg.text(10.0, mid + 4.0, &row.label, 12.0, "start");
+            let x0 = LABEL_W;
+            // Sparkline box with min-max scaling inside [top+4, top+ROW_H-6].
+            svg.rect(
+                x0,
+                top + 4.0,
+                SPARK_W,
+                ROW_H - 10.0,
+                "#f7f7f7",
+                Some("#dddddd"),
+            );
+            let finite: Vec<f64> = row
+                .values
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .collect();
+            if finite.len() >= 2 {
+                let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let span = if hi > lo { hi - lo } else { 1.0 };
+                let n = row.values.len();
+                let points: Vec<(f64, f64)> = row
+                    .values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.is_finite())
+                    .map(|(j, &v)| {
+                        let x = x0 + SPARK_W * j as f64 / (n - 1).max(1) as f64;
+                        let t = ((v - lo) / span).clamp(0.0, 1.0);
+                        let y = (top + ROW_H - 8.0) - t * (ROW_H - 16.0);
+                        (x, y)
+                    })
+                    .collect();
+                svg.polyline(&points, color::series_color(i), 1.6);
+                if let Some(&(x, y)) = points.last() {
+                    svg.circle(x, y, 2.2, color::series_color(i));
+                }
+            }
+            svg.text(x0 + SPARK_W + 10.0, mid + 4.0, &row.note, 11.0, "start");
+        }
+        svg.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_sparkline_scales_min_to_max() {
+        assert_eq!(text_sparkline(&[]), "");
+        assert_eq!(text_sparkline(&[1.0, 1.0, 1.0]), "▁▁▁");
+        let s = text_sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+        // Non-finite values are blanks, finite neighbours still scale.
+        let s = text_sparkline(&[0.0, f64::NAN, 2.0]);
+        assert_eq!(s.chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn dashboard_renders_a_row_per_series() {
+        let mut dash = Dashboard::new("vaesa-serve @ 127.0.0.1:1");
+        dash.row("predict", vec![1.0, 3.0, 2.0, 5.0], "p99 1.1ms · 4.0 rps");
+        dash.row("decode", vec![], "idle");
+        let svg = dash.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("predict"));
+        assert!(svg.contains("idle"));
+        // One polyline for the populated row, none for the empty one.
+        assert_eq!(svg.matches("<polyline").count(), 1);
+    }
+}

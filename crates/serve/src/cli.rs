@@ -9,8 +9,9 @@ use std::time::Duration;
 /// foreground until `POST /shutdown`.
 ///
 /// Flags: `--addr` (default `127.0.0.1:8737`; port 0 picks a free port),
-/// `--workers`, `--window-ms`, `--jobs` (table capacity), and the build
-/// sizing `--configs`, `--epochs`, `--latent-dim`, `--layers`, `--seed`.
+/// `--workers`, `--window-ms`, `--jobs` (table capacity), `--access-log`
+/// (JSONL request log path), and the build sizing `--configs`,
+/// `--epochs`, `--latent-dim`, `--layers`, `--seed`.
 pub fn run_serve(args: &[String]) -> Result<(), String> {
     let mut config = ServeConfig::default();
     let mut i = 0;
@@ -26,6 +27,7 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
             "workers" => config.workers = parse(key, value)?,
             "window-ms" => config.window = Duration::from_millis(parse(key, value)?),
             "jobs" => config.job_capacity = parse(key, value)?,
+            "access-log" => config.access_log = Some(std::path::PathBuf::from(value)),
             "configs" => config.core.n_configs = parse(key, value)?,
             "epochs" => config.core.epochs = parse(key, value)?,
             "latent-dim" => config.core.latent_dim = parse(key, value)?,

@@ -19,8 +19,19 @@ pub fn run_client(addr: &str, args: &[String]) -> Result<(), String> {
         "healthz" => print_response(addr, "GET", "/healthz", None),
         "metrics" => match flags.get("name") {
             Some(name) => metric_value(addr, name),
-            None => print_response(addr, "GET", "/metrics", None),
+            None => match flags.get("format").map(String::as_str) {
+                None | Some("prometheus") | Some("prom") => {
+                    print_response(addr, "GET", "/metrics", None)
+                }
+                Some("manifest") => print_response(addr, "GET", "/metrics?format=manifest", None),
+                Some(other) => Err(format!("unknown metrics format {other:?}")),
+            },
         },
+        "requests" => print_response(addr, "GET", "/metrics/requests", None),
+        "request" => {
+            let id = flags.get("id").ok_or("request needs --id")?;
+            print_response(addr, "GET", &format!("/metrics/requests/{id}"), None)
+        }
         "predict" => {
             let body = points_body(flags.get("points").ok_or("predict needs --points")?)?;
             print_response(addr, "POST", "/predict", Some(&body))
@@ -64,7 +75,9 @@ pub fn run_client(addr: &str, args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "client commands:\n  \
      healthz\n  \
-     metrics [--name <metric>]\n  \
+     metrics [--name <metric>] [--format prometheus|manifest]\n  \
+     requests\n  \
+     request --id <request-id>\n  \
      predict --points <v1,..,v6[;v1,..,v6]...>\n  \
      decode  --points <z1,..,zd[;...]>\n  \
      search  --engine <name> [--mode latent|direct] [--budget N] [--seed N] [--wait]\n  \
@@ -149,10 +162,16 @@ fn print_response(addr: &str, method: &str, path: &str, body: Option<&str>) -> R
     Ok(())
 }
 
-/// Fetches `/metrics` and prints the bare value of one record, so shell
-/// asserts read `[ "$(client metrics --name X)" -gt 0 ]`.
+/// Fetches the server-side filtered manifest slice and prints the bare
+/// value of one record, so shell asserts read
+/// `[ "$(client metrics --name X)" -gt 0 ]`.
 fn metric_value(addr: &str, name: &str) -> Result<(), String> {
-    let manifest = expect_2xx(addr, "GET", "/metrics", None)?;
+    let manifest = expect_2xx(
+        addr,
+        "GET",
+        &format!("/metrics?format=manifest&name={name}"),
+        None,
+    )?;
     for line in manifest.lines() {
         let Ok(record) = serde_json::parse_value(line) else {
             continue;

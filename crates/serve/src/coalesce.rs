@@ -18,14 +18,20 @@
 //! latency and throughput.
 
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use vaesa_obs::{Histogram, LatencyHistogram};
 
 struct BatchState<T, R> {
     /// Rows accumulated for the batch currently forming.
     pending: Vec<T>,
     /// Callers that contributed to the forming batch (leader included).
     submitters: usize,
+    /// Request ids of tagged contributors to the forming batch.
+    tags: Vec<String>,
+    /// Enqueue instants of the forming batch's contributors (one per
+    /// submit call), drained at batch close to record queue-wait.
+    enqueued: Vec<Instant>,
     /// Whether the forming batch already has a leader waiting the window.
     has_leader: bool,
     /// Id of the batch currently forming; completed ids index `results`.
@@ -44,6 +50,8 @@ impl<T, R> Default for BatchState<T, R> {
         BatchState {
             pending: Vec::new(),
             submitters: 0,
+            tags: Vec::new(),
+            enqueued: Vec::new(),
             has_leader: false,
             generation: 0,
             results: HashMap::new(),
@@ -51,6 +59,22 @@ impl<T, R> Default for BatchState<T, R> {
             submits: 0,
         }
     }
+}
+
+/// What a caller learns about the batch its submission rode in: identity
+/// and size for the access log, plus (leader only) the tagged membership
+/// recorded on the leader's span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchInfo {
+    /// The batch generation: stable id shared by every rider.
+    pub batch_id: u64,
+    /// Total rows in the executed batch.
+    pub size: usize,
+    /// Whether this caller led the batch (ran the compute closure).
+    pub leader: bool,
+    /// Request ids of every tagged contributor (leader only; followers
+    /// get an empty list — membership lives on the leader's record).
+    pub members: Vec<String>,
 }
 
 /// Point-in-time coalescing counters: how many submit calls were served by
@@ -69,8 +93,20 @@ pub struct Batcher<T, R> {
     state: Mutex<BatchState<T, R>>,
     wakeup: Condvar,
     window: Duration,
+    /// Per-batch instruments (queue-wait latency, batch size), present
+    /// only for named batchers — anonymous ones record nothing.
+    instruments: Option<BatcherInstruments>,
     #[allow(clippy::type_complexity)]
     compute: Box<dyn Fn(Vec<T>) -> Vec<R> + Send + Sync>,
+}
+
+#[derive(Debug)]
+struct BatcherInstruments {
+    /// `serve.coalesce.<name>.queue_wait_ns`: time each submission spent
+    /// in the accumulation window before its batch closed.
+    queue_wait: Arc<LatencyHistogram>,
+    /// `serve.coalesce.<name>.batch_size`: rows per executed batch.
+    batch_size: Arc<Histogram>,
 }
 
 impl<T, R> std::fmt::Debug for Batcher<T, R> {
@@ -93,8 +129,27 @@ impl<T: Send, R: Send + Clone> Batcher<T, R> {
             state: Mutex::new(BatchState::default()),
             wakeup: Condvar::new(),
             window,
+            instruments: None,
             compute: Box::new(compute),
         }
+    }
+
+    /// Like [`Batcher::new`], but records per-batch instruments into the
+    /// global registry under `serve.coalesce.<name>.queue_wait_ns`
+    /// (bucketed latency) and `serve.coalesce.<name>.batch_size`.
+    pub fn named(
+        window: Duration,
+        name: &str,
+        compute: impl Fn(Vec<T>) -> Vec<R> + Send + Sync + 'static,
+    ) -> Self {
+        let mut batcher = Self::new(window, compute);
+        batcher.instruments = Some(BatcherInstruments {
+            queue_wait: vaesa_obs::latency_histogram(&format!(
+                "serve.coalesce.{name}.queue_wait_ns"
+            )),
+            batch_size: vaesa_obs::histogram(&format!("serve.coalesce.{name}.batch_size")),
+        });
+        batcher
     }
 
     /// Submits `items` and blocks until their results are available,
@@ -108,9 +163,28 @@ impl<T: Send, R: Send + Clone> Batcher<T, R> {
     /// if a leader holding the batch panicked inside the closure (the
     /// mutex is then poisoned for all subsequent callers).
     pub fn submit(&self, items: Vec<T>) -> Vec<R> {
+        self.submit_tagged(items, None).0
+    }
+
+    /// [`Batcher::submit`] with request attribution: `tag` (usually a
+    /// request id) is recorded as batch membership, and the returned
+    /// [`BatchInfo`] identifies the batch the rows rode in.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Batcher::submit`].
+    pub fn submit_tagged(&self, items: Vec<T>, tag: Option<&str>) -> (Vec<R>, BatchInfo) {
         let n = items.len();
         if n == 0 {
-            return Vec::new();
+            return (
+                Vec::new(),
+                BatchInfo {
+                    batch_id: 0,
+                    size: 0,
+                    leader: false,
+                    members: Vec::new(),
+                },
+            );
         }
         let mut state = self.state.lock().expect("batcher lock");
         state.submits += 1;
@@ -118,6 +192,12 @@ impl<T: Send, R: Send + Clone> Batcher<T, R> {
         let offset = state.pending.len();
         state.pending.extend(items);
         state.submitters += 1;
+        if let Some(tag) = tag {
+            state.tags.push(tag.to_string());
+        }
+        if self.instruments.is_some() {
+            state.enqueued.push(Instant::now());
+        }
 
         if !state.has_leader {
             state.has_leader = true;
@@ -136,6 +216,8 @@ impl<T: Send, R: Send + Clone> Batcher<T, R> {
                 state = next;
             }
             let batch = std::mem::take(&mut state.pending);
+            let members = std::mem::take(&mut state.tags);
+            let enqueued = std::mem::take(&mut state.enqueued);
             let readers = state.submitters;
             state.submitters = 0;
             state.has_leader = false;
@@ -143,6 +225,17 @@ impl<T: Send, R: Send + Clone> Batcher<T, R> {
             state.batches += 1;
             drop(state);
 
+            // Batch closed: record how long each rider queued, and how
+            // large the executed batch was.
+            if let Some(instruments) = &self.instruments {
+                let close = Instant::now();
+                for t in &enqueued {
+                    instruments.queue_wait.record(close.duration_since(*t));
+                }
+                instruments.batch_size.record(batch.len() as f64);
+            }
+
+            let size = batch.len();
             let results = self.compute_checked(batch);
             let mine = results[offset..offset + n].to_vec();
             let mut state = self.state.lock().expect("batcher lock");
@@ -151,7 +244,15 @@ impl<T: Send, R: Send + Clone> Batcher<T, R> {
             }
             drop(state);
             self.wakeup.notify_all();
-            mine
+            (
+                mine,
+                BatchInfo {
+                    batch_id: my_generation,
+                    size,
+                    leader: true,
+                    members,
+                },
+            )
         } else {
             // Follower: wait for our generation's results to be published.
             while !state.results.contains_key(&my_generation) {
@@ -161,12 +262,21 @@ impl<T: Send, R: Send + Clone> Batcher<T, R> {
                 .results
                 .get_mut(&my_generation)
                 .expect("checked in loop");
+            let size = results.len();
             let mine = results[offset..offset + n].to_vec();
             *readers -= 1;
             if *readers == 0 {
                 state.results.remove(&my_generation);
             }
-            mine
+            (
+                mine,
+                BatchInfo {
+                    batch_id: my_generation,
+                    size,
+                    leader: false,
+                    members: Vec::new(),
+                },
+            )
         }
     }
 
@@ -265,6 +375,65 @@ mod tests {
             "{} submitters ran {} batches — nothing coalesced",
             stats.submits,
             stats.batches
+        );
+    }
+
+    #[test]
+    fn tagged_submissions_report_batch_identity_and_membership() {
+        let batcher = Batcher::new(Duration::from_millis(1), |xs: Vec<i64>| xs);
+        let (out, info) = batcher.submit_tagged(vec![1, 2], Some("r1-0"));
+        assert_eq!(out, vec![1, 2]);
+        assert!(info.leader, "a lone submitter leads its own batch");
+        assert_eq!(info.batch_id, 0);
+        assert_eq!(info.size, 2);
+        assert_eq!(info.members, vec!["r1-0".to_string()]);
+        // The next batch gets the next generation id.
+        let (_, info2) = batcher.submit_tagged(vec![3], Some("r1-1"));
+        assert_eq!(info2.batch_id, 1);
+        // Empty submissions ride no batch at all.
+        let (out, info3) = batcher.submit_tagged(Vec::new(), Some("r1-2"));
+        assert!(out.is_empty());
+        assert_eq!(info3.size, 0);
+    }
+
+    #[test]
+    fn coalesced_tagged_submissions_share_a_batch_and_the_leader_sees_members() {
+        let threads = 4usize;
+        let batcher = Arc::new(Batcher::named(
+            Duration::from_millis(200),
+            "test_tagged",
+            |xs: Vec<i64>| xs,
+        ));
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let batcher = Arc::clone(&batcher);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let tag = format!("r-{t}");
+                    batcher.submit_tagged(vec![t as i64], Some(&tag))
+                })
+            })
+            .collect();
+        let infos: Vec<BatchInfo> = handles.into_iter().map(|h| h.join().unwrap().1).collect();
+        let leaders: Vec<&BatchInfo> = infos.iter().filter(|i| i.leader).collect();
+        assert!(!leaders.is_empty());
+        // Every member tag recorded on some leader, exactly once overall.
+        let mut members: Vec<String> = leaders.iter().flat_map(|l| l.members.clone()).collect();
+        members.sort();
+        assert_eq!(members.len(), threads);
+        // Followers carry the shared batch id and size but no members.
+        for info in infos.iter().filter(|i| !i.leader) {
+            assert!(info.members.is_empty());
+            assert!(info.size >= 1);
+            assert!(leaders.iter().any(|l| l.batch_id == info.batch_id));
+        }
+        // The named batcher recorded per-batch instruments globally.
+        assert!(vaesa_obs::histogram("serve.coalesce.test_tagged.batch_size").count() >= 1);
+        assert!(
+            vaesa_obs::latency_histogram("serve.coalesce.test_tagged.queue_wait_ns").count()
+                >= threads as u64
         );
     }
 }

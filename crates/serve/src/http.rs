@@ -28,6 +28,24 @@ pub struct Request {
     pub body: String,
 }
 
+impl Request {
+    /// The path with any query string stripped: `/metrics?format=x` →
+    /// `/metrics`.
+    pub fn path_only(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+
+    /// The value of query parameter `key`, if present (`?a=1&b=2`;
+    /// no percent-decoding — the served parameters are plain tokens).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let (_, query) = self.path.split_once('?')?;
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
+}
+
 /// Why a request could not be parsed, mapped to the response status the
 /// server should answer with.
 #[derive(Debug)]
@@ -157,6 +175,8 @@ pub struct Response {
     pub status: u16,
     /// The `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. `X-Request-Id`), emitted in order.
+    pub headers: Vec<(String, String)>,
     /// The response body.
     pub body: String,
 }
@@ -167,6 +187,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into(),
         }
     }
@@ -176,8 +197,15 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into(),
         }
+    }
+
+    /// Returns the response with an extra header appended.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
     }
 
     /// A JSON error envelope: `{"error": "<message>"}`.
@@ -214,12 +242,16 @@ impl Response {
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(self.body.as_bytes())?;
         w.flush()
     }
@@ -344,6 +376,129 @@ mod tests {
                 other => panic!("{:?} should be BadRequest, got {other:?}", raw),
             }
         }
+    }
+
+    /// Yields the wrapped bytes in caller-chosen chunk sizes, exercising
+    /// specific read-boundary placements.
+    struct Chunked<'a> {
+        data: &'a [u8],
+        sizes: Vec<usize>,
+        pos: usize,
+        call: usize,
+    }
+
+    impl Read for Chunked<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            let want = self.sizes.get(self.call).copied().unwrap_or(usize::MAX);
+            self.call += 1;
+            let n = want.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn split_reads_across_the_content_length_boundary_reassemble() {
+        let raw = b"POST /predict HTTP/1.1\r\nContent-Length: 13\r\n\r\n{\"points\":[]}";
+        let head_len = raw.len() - 13;
+        // Split exactly at the head/body boundary, one byte past it, and
+        // mid-body: the parser must reassemble all three identically.
+        for sizes in [
+            vec![head_len, 13],
+            vec![head_len + 1, 12],
+            vec![head_len - 2, 2, 6, 7],
+        ] {
+            let req = read_request(&mut Chunked {
+                data: raw,
+                sizes: sizes.clone(),
+                pos: 0,
+                call: 0,
+            })
+            .unwrap_or_else(|e| panic!("sizes {sizes:?}: {e:?}"));
+            assert_eq!(req.body, "{\"points\":[]}", "sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn pipelined_second_request_does_not_corrupt_the_first() {
+        // One-request-per-connection: bytes past the first request's body
+        // (a pipelined second request) are ignored, not parsed into the
+        // first request's body.
+        let raw =
+            b"POST /predict HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}GET /healthz HTTP/1.1\r\n\r\n";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, "{}");
+    }
+
+    #[test]
+    fn oversized_header_block_is_rejected_even_with_a_valid_request_line() {
+        // Many individually small headers that together blow the head cap.
+        let mut raw = b"GET /healthz HTTP/1.1\r\n".to_vec();
+        for i in 0..2048 {
+            raw.extend_from_slice(format!("X-Pad-{i}: {:064}\r\n", i).as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(raw.len() > MAX_HEAD_BYTES);
+        match parse(&raw) {
+            Err(HttpError::BadRequest(msg)) => assert!(msg.contains("head"), "{msg}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn more_malformed_request_lines_are_bad_requests() {
+        for raw in [
+            &b"GET /x\r\n\r\n"[..],                     // missing version
+            &b"  \r\n\r\n"[..],                         // whitespace only
+            &b"\xff\xfe /x HTTP/1.1\r\n\r\n"[..],       // non-UTF-8 head
+            &b"GET /x HTTP/1.1 extra junk\r\n\r\n"[..], // trailing tokens are tolerated...
+        ] {
+            match parse(raw) {
+                Err(HttpError::BadRequest(_)) => {}
+                // ...the last case parses (extra tokens ignored); anything
+                // else must fail closed.
+                Ok(req) => assert_eq!(req.path, "/x", "{raw:?}"),
+                other => panic!("{raw:?}: got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn path_helpers_split_query_strings() {
+        let req = Request {
+            method: "GET".to_string(),
+            path: "/metrics?format=manifest&name=a.b".to_string(),
+            body: String::new(),
+        };
+        assert_eq!(req.path_only(), "/metrics");
+        assert_eq!(req.query_param("format"), Some("manifest"));
+        assert_eq!(req.query_param("name"), Some("a.b"));
+        assert_eq!(req.query_param("nope"), None);
+        let bare = Request {
+            method: "GET".to_string(),
+            path: "/healthz".to_string(),
+            body: String::new(),
+        };
+        assert_eq!(bare.path_only(), "/healthz");
+        assert_eq!(bare.query_param("format"), None);
+    }
+
+    #[test]
+    fn extra_headers_serialize_before_the_blank_line() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .with_header("X-Request-Id", "r7-0")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nX-Request-Id: r7-0\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! | Endpoint          | Method | Purpose                                          |
 //! |-------------------|--------|--------------------------------------------------|
 //! | `/healthz`        | GET    | Liveness + served dimensions                     |
-//! | `/metrics`        | GET    | Obs-registry snapshot (JSONL manifest records)   |
+//! | `/metrics`        | GET    | Prometheus text (default) or `?format=manifest`  |
+//! | `/metrics/requests` | GET  | Recently finished request ids                    |
+//! | `/metrics/requests/<id>` | GET | Span tree for one finished request          |
 //! | `/predict`        | POST   | Head + GP batch prediction for raw hardware rows |
 //! | `/decode`         | POST   | Latent rows → snapped designs + true EDP         |
 //! | `/search`         | POST   | Enqueue an async [`DseDriver`] search job        |
@@ -21,6 +23,11 @@
 //! the persistent cross-run evaluation cache and is served from disk after
 //! a restart.
 //!
+//! Every connection is traced through a [`Telemetry`] hub: deterministic
+//! request ids (echoed as `X-Request-Id`), per-endpoint latency
+//! histograms and 60 s sliding windows, status-code counters, a JSONL
+//! access log, and bounded span-tree retention — see `DESIGN.md` §2.13.
+//!
 //! [`DseDriver`]: vaesa::DseDriver
 //! [`CachedScheduler`]: vaesa_cosa::CachedScheduler
 
@@ -30,19 +37,24 @@ mod coalesce;
 mod core;
 pub mod http;
 mod jobs;
+pub mod telemetry;
+pub mod top;
 
-pub use coalesce::{Batcher, BatcherStats};
+pub use coalesce::{BatchInfo, Batcher, BatcherStats};
 pub use core::{CoreConfig, Decoded, Prediction, ServeCore};
 pub use jobs::{Job, JobStatus, JobTable, SearchSpec, SearchSummary, WorkerPool};
+pub use telemetry::Telemetry;
 
 use http::{read_request, Request, Response};
 use serde::Value;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use vaesa_obs::RequestCtx;
 
 /// Daemon configuration: bind address, concurrency, and the startup build
 /// sizing ([`CoreConfig`]).
@@ -56,6 +68,8 @@ pub struct ServeConfig {
     pub window: Duration,
     /// Maximum jobs tracked at once (running + finished history).
     pub job_capacity: usize,
+    /// JSONL access-log path (`None` disables access logging).
+    pub access_log: Option<PathBuf>,
     /// Model/dataset build sizing.
     pub core: CoreConfig,
 }
@@ -67,6 +81,7 @@ impl Default for ServeConfig {
             workers: 2,
             window: Duration::from_millis(5),
             job_capacity: 64,
+            access_log: None,
             core: CoreConfig::default(),
         }
     }
@@ -79,19 +94,27 @@ struct ServeState {
     decode: Batcher<Vec<f64>, Decoded>,
     jobs: Arc<JobTable>,
     pool: WorkerPool,
+    telemetry: Telemetry,
     stop: AtomicBool,
 }
 
 impl ServeState {
-    fn new(core: Arc<ServeCore>, config: &ServeConfig) -> Self {
+    fn new(core: Arc<ServeCore>, config: &ServeConfig) -> io::Result<Self> {
         let jobs = Arc::new(JobTable::new(config.job_capacity));
         let predict_core = Arc::clone(&core);
         let decode_core = Arc::clone(&core);
         let worker_core = Arc::clone(&core);
         let worker_jobs = Arc::clone(&jobs);
-        ServeState {
-            predict: Batcher::new(config.window, move |rows| predict_core.predict(rows)),
-            decode: Batcher::new(config.window, move |rows| decode_core.decode(rows)),
+        // Request ids reuse the core seed, so a daemon restarted with the
+        // same configuration mints the same id sequence.
+        let telemetry = Telemetry::new(config.core.seed, config.access_log.as_deref())?;
+        Ok(ServeState {
+            predict: Batcher::named(config.window, "predict", move |rows| {
+                predict_core.predict(rows)
+            }),
+            decode: Batcher::named(config.window, "decode", move |rows| {
+                decode_core.decode(rows)
+            }),
             pool: WorkerPool::spawn(config.workers, move |id| {
                 let Some(job) = worker_jobs.get(id) else {
                     return; // evicted before pickup
@@ -107,8 +130,9 @@ impl ServeState {
             }),
             core,
             jobs,
+            telemetry,
             stop: AtomicBool::new(false),
-        }
+        })
     }
 }
 
@@ -136,7 +160,24 @@ impl Server {
         // without a wakeup connection.
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ServeState::new(core, &config));
+        let state = Arc::new(ServeState::new(core, &config)?);
+        // Periodic sampler: refreshes point-in-time gauges (peak RSS,
+        // in-flight, windowed rate/p99) so scrapes see fresh readings.
+        // The Weak handle keeps the sampler from pinning the state alive
+        // past shutdown.
+        let sampler_state = Arc::downgrade(&state);
+        std::thread::Builder::new()
+            .name("vaesa-serve-sampler".to_string())
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_millis(250));
+                let Some(state) = sampler_state.upgrade() else {
+                    break;
+                };
+                if state.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                state.telemetry.sample();
+            })?;
         let handle = std::thread::Builder::new()
             .name("vaesa-serve-accept".to_string())
             .spawn(move || accept_loop(listener, state))?;
@@ -193,6 +234,7 @@ fn accept_loop(listener: TcpListener, state: Arc<ServeState>) {
                 if let Err(e) = owned.core.scheduler().flush_persistent() {
                     eprintln!("vaesa-serve: persistent cache flush failed: {e}");
                 }
+                owned.telemetry.flush();
                 break;
             }
             Err(shared) => {
@@ -211,41 +253,51 @@ fn handle_connection(mut stream: TcpStream, state: &ServeState) {
     // timeout so a stalled client cannot pin a handler thread forever.
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let response = match read_request(&mut stream) {
-        Ok(request) => route(&request, state),
+    let ctx = state.telemetry.begin();
+    let (response, method) = match read_request(&mut stream) {
+        Ok(request) => {
+            let response = route(&request, state, &ctx);
+            (response, request.method)
+        }
         Err(error) => match error.into_response() {
-            Some(response) => response,
-            None => return, // connection-level I/O error: nothing to say
+            Some(response) => (response, "-".to_string()),
+            None => {
+                // Connection-level I/O error: nothing to say to the peer,
+                // but the request still closes out of the telemetry (499 —
+                // the de-facto "client closed" status).
+                state.telemetry.finish(ctx, "-", 499);
+                return;
+            }
         },
     };
+    let status = response.status;
+    let response = response.with_header("X-Request-Id", ctx.id());
     if let Err(e) = response.write_to(&mut stream) {
         eprintln!("vaesa-serve: response write failed: {e}");
     }
+    state.telemetry.finish(ctx, &method, status);
 }
 
-fn route(request: &Request, state: &ServeState) -> Response {
-    let endpoint = request
-        .path
-        .split('/')
-        .nth(1)
-        .unwrap_or_default()
-        .split('?')
-        .next()
-        .unwrap_or_default();
-    let span_name = format!(
-        "serve/{}",
-        if endpoint.is_empty() {
-            "root"
-        } else {
-            endpoint
-        }
-    );
-    let span = vaesa_obs::global().span(&span_name);
-    let response = match (request.method.as_str(), request.path.as_str()) {
+fn route(request: &Request, state: &ServeState, ctx: &RequestCtx<'static>) -> Response {
+    let path = request.path_only();
+    let endpoint = telemetry::endpoint_for_path(path);
+    ctx.set_endpoint(endpoint);
+    let span = ctx.span(&format!("serve/{endpoint}"));
+    let response = match (request.method.as_str(), path) {
         ("GET", "/healthz") => handle_healthz(state),
-        ("GET", "/metrics") => handle_metrics(state),
-        ("POST", "/predict") => handle_predict(request, state),
-        ("POST", "/decode") => handle_decode(request, state),
+        ("GET", "/metrics") => handle_metrics(request, state),
+        ("GET", "/metrics/requests") => {
+            Response::json(200, state.telemetry.recent_requests_json(32))
+        }
+        ("GET", path) if path.starts_with("/metrics/requests/") => {
+            let id = &path["/metrics/requests/".len()..];
+            match state.telemetry.request_tree_json(id) {
+                Some(body) => Response::json(200, body),
+                None => Response::error(404, "no such request (it may have been evicted)"),
+            }
+        }
+        ("POST", "/predict") => handle_predict(request, state, ctx),
+        ("POST", "/decode") => handle_decode(request, state, ctx),
         ("POST", "/search") => handle_search(request, state),
         ("GET", path) if path.starts_with("/jobs/") => handle_job(path, state),
         ("POST", "/shutdown") => {
@@ -273,7 +325,7 @@ fn handle_healthz(state: &ServeState) -> Response {
     )
 }
 
-fn handle_metrics(state: &ServeState) -> Response {
+fn handle_metrics(request: &Request, state: &ServeState) -> Response {
     let registry = vaesa_obs::global();
     state.core.scheduler().publish_stats(registry, "scheduler");
     let predict = state.predict.stats();
@@ -293,7 +345,30 @@ fn handle_metrics(state: &ServeState) -> Response {
     registry
         .gauge("serve.jobs.tracked")
         .set(state.jobs.len() as f64);
-    Response::text(200, vaesa_obs::manifest_string(registry))
+    state.telemetry.sample();
+    match request.query_param("format").unwrap_or("prometheus") {
+        "prometheus" | "prom" => Response::text(200, vaesa_obs::prometheus_string(registry)),
+        "manifest" => {
+            let manifest = vaesa_obs::manifest_string(registry);
+            match request.query_param("name") {
+                // Server-side filter: stream only the matching records (plus
+                // the run header) instead of the full snapshot.
+                Some(name) => {
+                    let needle = format!("\"name\":{}", telemetry::json_str(name));
+                    let filtered: String = manifest
+                        .lines()
+                        .filter(|line| {
+                            line.contains("\"record\":\"run\"") || line.contains(&needle)
+                        })
+                        .flat_map(|line| [line, "\n"])
+                        .collect();
+                    Response::text(200, filtered)
+                }
+                None => Response::text(200, manifest),
+            }
+        }
+        other => Response::error(400, &format!("unknown metrics format {other:?}")),
+    }
 }
 
 /// Extracts `"points": [[f64, ...], ...]` rows of exactly `width` columns.
@@ -334,7 +409,19 @@ fn parse_points(body: &str, width: usize) -> Result<Vec<Vec<f64>>, String> {
         .collect()
 }
 
-fn handle_predict(request: &Request, state: &ServeState) -> Response {
+/// Attaches a coalesced batch's identity to the submitting request: the
+/// leader's record carries the full membership (follower request ids),
+/// followers carry just the batch id and size.
+fn note_batch(ctx: &RequestCtx<'static>, info: &BatchInfo) {
+    ctx.note("batch.id", info.batch_id);
+    ctx.note("batch.size", info.size);
+    ctx.note("batch.leader", info.leader);
+    if info.leader && !info.members.is_empty() {
+        ctx.note("batch.members", info.members.join(","));
+    }
+}
+
+fn handle_predict(request: &Request, state: &ServeState, ctx: &RequestCtx<'static>) -> Response {
     let rows = match parse_points(&request.body, vaesa::HW_FEATURES) {
         Ok(rows) => rows,
         Err(message) => return Response::error(400, &message),
@@ -345,20 +432,34 @@ fn handle_predict(request: &Request, state: &ServeState) -> Response {
         return Response::error(400, &format!("points[{bad}] has a non-positive feature"));
     }
     vaesa_obs::counter("serve.predict.rows").add(rows.len() as u64);
-    let predictions = state.predict.submit(rows);
+    ctx.note("rows", rows.len());
+    let submit_span = ctx.span("serve/predict/submit");
+    let (predictions, batch) = state.predict.submit_tagged(rows, Some(ctx.id()));
+    submit_span.finish();
+    note_batch(ctx, &batch);
     match serde_json::to_string(&predictions) {
         Ok(body) => Response::json(200, format!("{{\"predictions\":{body}}}")),
         Err(e) => Response::error(500, &format!("serialization failed: {e}")),
     }
 }
 
-fn handle_decode(request: &Request, state: &ServeState) -> Response {
+fn handle_decode(request: &Request, state: &ServeState, ctx: &RequestCtx<'static>) -> Response {
     let rows = match parse_points(&request.body, state.core.latent_dim()) {
         Ok(rows) => rows,
         Err(message) => return Response::error(400, &message),
     };
     vaesa_obs::counter("serve.decode.rows").add(rows.len() as u64);
-    let designs = state.decode.submit(rows);
+    ctx.note("rows", rows.len());
+    let hits_before = state.core.scheduler().cache_stats().hits;
+    let submit_span = ctx.span("serve/decode/submit");
+    let (designs, batch) = state.decode.submit_tagged(rows, Some(ctx.id()));
+    submit_span.finish();
+    note_batch(ctx, &batch);
+    // Scheduler-cache hits observed while this request's batch ran; an
+    // approximation under concurrency, but exact for the common
+    // single-tenant case.
+    let hits_after = state.core.scheduler().cache_stats().hits;
+    ctx.note("cache.hits_delta", hits_after.saturating_sub(hits_before));
     match serde_json::to_string(&designs) {
         Ok(body) => Response::json(200, format!("{{\"designs\":{body}}}")),
         Err(e) => Response::error(500, &format!("serialization failed: {e}")),

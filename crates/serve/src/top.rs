@@ -1,0 +1,282 @@
+//! `vaesa-cli serve-top`: a polling terminal dashboard over a live
+//! daemon's `GET /metrics` Prometheus exposition.
+//!
+//! Each tick scrapes the endpoint, parses the text format back into a
+//! [`PromSnapshot`], and renders a per-endpoint table (request count,
+//! trailing-window rate, p50/p99 latency) with a Unicode sparkline of the
+//! rate history. `--snapshot-svg PATH` additionally writes the final
+//! frame as an SVG [`Dashboard`] panel — the artifact CI uploads from the
+//! serve smoke job.
+
+use crate::http::http_request;
+use crate::telemetry::ENDPOINTS;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+use vaesa_obs::{parse_prometheus, sanitize_metric_name, PromSnapshot};
+use vaesa_plot::{text_sparkline, Dashboard};
+
+/// How many rate samples each endpoint's sparkline retains.
+const HISTORY: usize = 60;
+
+/// `serve-top` configuration, parsed from CLI flags.
+#[derive(Debug, Clone)]
+pub struct TopConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Delay between scrapes.
+    pub interval: Duration,
+    /// Scrapes before exiting; `0` polls until interrupted.
+    pub samples: usize,
+    /// Where to write the final frame as an SVG dashboard panel.
+    pub snapshot_svg: Option<PathBuf>,
+}
+
+/// Parses `serve-top` flags and runs the dashboard loop.
+///
+/// # Errors
+///
+/// Returns a message on unknown flags, a missing `--addr`, scrape
+/// failures, or an unwritable `--snapshot-svg` path.
+pub fn run_top(args: &[String]) -> Result<(), String> {
+    let mut config = TopConfig {
+        addr: String::new(),
+        interval: Duration::from_millis(1000),
+        samples: 0,
+        snapshot_svg: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--interval-ms" => {
+                let ms: u64 = value("--interval-ms")?
+                    .parse()
+                    .map_err(|_| "--interval-ms must be an integer".to_string())?;
+                config.interval = Duration::from_millis(ms.max(1));
+            }
+            "--samples" => {
+                config.samples = value("--samples")?
+                    .parse()
+                    .map_err(|_| "--samples must be an integer".to_string())?;
+            }
+            "--snapshot-svg" => config.snapshot_svg = Some(PathBuf::from(value("--snapshot-svg")?)),
+            other => return Err(format!("unknown serve-top flag: {other}")),
+        }
+    }
+    if config.addr.is_empty() {
+        return Err("serve-top requires --addr <host:port>".to_string());
+    }
+    run(&config)
+}
+
+fn run(config: &TopConfig) -> Result<(), String> {
+    let mut history: BTreeMap<&'static str, Vec<f64>> =
+        ENDPOINTS.iter().map(|&e| (e, Vec::new())).collect();
+    let mut taken = 0usize;
+    loop {
+        let (status, body) = http_request(&config.addr, "GET", "/metrics", None)
+            .map_err(|e| format!("scrape of {} failed: {e}", config.addr))?;
+        if status != 200 {
+            return Err(format!("scrape of {} returned {status}", config.addr));
+        }
+        let snap = parse_prometheus(&body)?;
+        for (&endpoint, rates) in history.iter_mut() {
+            let rate = snap
+                .value(&sanitize_metric_name(&format!(
+                    "serve.window.{endpoint}.rate"
+                )))
+                .unwrap_or(0.0);
+            rates.push(rate);
+            if rates.len() > HISTORY {
+                rates.remove(0);
+            }
+        }
+        taken += 1;
+        println!("{}", render_frame(&config.addr, &snap, &history));
+        if config.samples != 0 && taken >= config.samples {
+            if let Some(path) = &config.snapshot_svg {
+                let svg = render_svg(&config.addr, &snap, &history);
+                std::fs::write(path, svg)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                println!("serve-top: wrote {}", path.display());
+            }
+            return Ok(());
+        }
+        std::thread::sleep(config.interval);
+    }
+}
+
+/// Stats shown for one endpoint row, scraped out of a [`PromSnapshot`].
+struct Row {
+    count: f64,
+    rate: f64,
+    p50_ns: Option<f64>,
+    p99_ns: Option<f64>,
+}
+
+fn endpoint_row(snap: &PromSnapshot, endpoint: &str, history: &[f64]) -> Row {
+    let base = sanitize_metric_name(&format!("serve.{endpoint}.latency_ns"));
+    Row {
+        count: snap.value(&format!("{base}_count")).unwrap_or(0.0),
+        rate: history.last().copied().unwrap_or(0.0),
+        p50_ns: snap.quantile(&base, 0.5),
+        p99_ns: snap.quantile(&base, 0.99),
+    }
+}
+
+fn render_frame(
+    addr: &str,
+    snap: &PromSnapshot,
+    history: &BTreeMap<&'static str, Vec<f64>>,
+) -> String {
+    let inflight = snap.value("serve_http_inflight").unwrap_or(0.0);
+    let error_rate = snap.value("serve_http_error_rate").unwrap_or(0.0);
+    let rss = snap.value("process_peak_rss_bytes").unwrap_or(0.0);
+    let mut out = format!(
+        "vaesa-serve @ {addr} — inflight {inflight:.0} · 5xx {:.2}% · peak rss {}\n",
+        error_rate * 100.0,
+        fmt_bytes(rss)
+    );
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>8} {:>9} {:>9}  {}\n",
+        "ENDPOINT", "COUNT", "RATE/S", "P50", "P99", "TREND"
+    ));
+    for &endpoint in ENDPOINTS.iter() {
+        let rates = &history[endpoint];
+        let row = endpoint_row(snap, endpoint, rates);
+        if row.count == 0.0 {
+            continue; // never hit: keep the frame compact
+        }
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>8.2} {:>9} {:>9}  {}\n",
+            endpoint,
+            row.count,
+            row.rate,
+            fmt_ns(row.p50_ns),
+            fmt_ns(row.p99_ns),
+            text_sparkline(rates),
+        ));
+    }
+    out
+}
+
+fn render_svg(
+    addr: &str,
+    snap: &PromSnapshot,
+    history: &BTreeMap<&'static str, Vec<f64>>,
+) -> String {
+    let mut dash = Dashboard::new(format!(
+        "vaesa-serve @ {addr} — inflight {:.0} · 5xx {:.2}%",
+        snap.value("serve_http_inflight").unwrap_or(0.0),
+        snap.value("serve_http_error_rate").unwrap_or(0.0) * 100.0,
+    ));
+    for &endpoint in ENDPOINTS.iter() {
+        let rates = &history[endpoint];
+        let row = endpoint_row(snap, endpoint, rates);
+        if row.count == 0.0 {
+            continue;
+        }
+        dash.row(
+            endpoint,
+            rates.clone(),
+            format!(
+                "n={} · {:.2}/s · p50 {} · p99 {}",
+                row.count,
+                row.rate,
+                fmt_ns(row.p50_ns),
+                fmt_ns(row.p99_ns)
+            ),
+        );
+    }
+    dash.render()
+}
+
+/// Formats an optional nanosecond reading with an adaptive unit.
+fn fmt_ns(ns: Option<f64>) -> String {
+    let Some(ns) = ns else {
+        return "-".to_string();
+    };
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_bytes(bytes: f64) -> String {
+    if bytes >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2}GiB", bytes / (1024.0 * 1024.0 * 1024.0))
+    } else if bytes >= 1024.0 * 1024.0 {
+        format!("{:.1}MiB", bytes / (1024.0 * 1024.0))
+    } else {
+        format!("{bytes:.0}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_snapshot() -> PromSnapshot {
+        parse_prometheus(concat!(
+            "# TYPE serve_http_inflight gauge\n",
+            "serve_http_inflight 2\n",
+            "serve_http_error_rate 0.5\n",
+            "process_peak_rss_bytes 1048576\n",
+            "# TYPE serve_predict_latency_ns histogram\n",
+            "serve_predict_latency_ns_bucket{le=\"1000\"} 3\n",
+            "serve_predict_latency_ns_bucket{le=\"+Inf\"} 4\n",
+            "serve_predict_latency_ns_sum 5000\n",
+            "serve_predict_latency_ns_count 4\n",
+            "serve_window_predict_rate 2.5\n",
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn frames_show_only_active_endpoints() {
+        let snap = fake_snapshot();
+        let mut history: BTreeMap<&'static str, Vec<f64>> =
+            ENDPOINTS.iter().map(|&e| (e, Vec::new())).collect();
+        history.get_mut("predict").unwrap().extend([1.0, 2.5]);
+        let frame = render_frame("127.0.0.1:1", &snap, &history);
+        assert!(frame.contains("predict"), "{frame}");
+        assert!(!frame.contains("decode"), "{frame}");
+        assert!(frame.contains("inflight 2"), "{frame}");
+        assert!(frame.contains("5xx 50.00%"), "{frame}");
+        assert!(frame.contains("1.0MiB"), "{frame}");
+
+        let svg = render_svg("127.0.0.1:1", &snap, &history);
+        assert!(svg.starts_with("<svg"), "{svg}");
+        assert!(svg.contains("predict"), "{svg}");
+    }
+
+    #[test]
+    fn nanosecond_formatting_picks_sane_units() {
+        assert_eq!(fmt_ns(None), "-");
+        assert_eq!(fmt_ns(Some(512.0)), "512ns");
+        assert_eq!(fmt_ns(Some(2_500.0)), "2.5us");
+        assert_eq!(fmt_ns(Some(3_400_000.0)), "3.4ms");
+        assert_eq!(fmt_ns(Some(2_000_000_000.0)), "2.00s");
+    }
+
+    #[test]
+    fn flag_parsing_requires_an_addr() {
+        let err = run_top(&[]).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        let err = run_top(&["--bogus".to_string()]).unwrap_err();
+        assert!(err.contains("unknown"), "{err}");
+        let err = run_top(&["--samples".to_string()]).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+}

@@ -16,6 +16,7 @@ fn tiny_config(addr: &str, seed: u64) -> ServeConfig {
         workers: 1,
         window: Duration::from_millis(10),
         job_capacity: 8,
+        access_log: None,
         core: CoreConfig {
             n_configs: 24,
             epochs: 2,
@@ -39,7 +40,7 @@ fn json(body: &str) -> Value {
     serde_json::parse_value(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"))
 }
 
-/// Reads one numeric metric out of a `/metrics` manifest snapshot.
+/// Reads one numeric metric out of a `/metrics?format=manifest` snapshot.
 fn metric(manifest: &str, name: &str) -> Option<f64> {
     manifest.lines().find_map(|line| {
         let record = serde_json::parse_value(line).ok()?;
@@ -177,7 +178,7 @@ fn daemon_serves_all_endpoints_and_cache_survives_restart() {
         "identical seeded searches must reproduce"
     );
 
-    let (status, manifest) = get(&addr, "/metrics");
+    let (status, manifest) = get(&addr, "/metrics?format=manifest");
     assert_eq!(status, 200);
     assert!(
         metric(&manifest, "scheduler.persistent.appends").unwrap_or(0.0) > 0.0,
@@ -189,6 +190,62 @@ fn daemon_serves_all_endpoints_and_cache_survives_restart() {
     );
     assert!(metric(&manifest, "serve.coalesce.predict.submits").unwrap_or(0.0) >= 4.0);
 
+    // Default /metrics is now Prometheus text exposition and must parse.
+    let (status, prom) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(prom.contains("# TYPE"), "missing TYPE lines: {prom}");
+    let snap = vaesa_obs::parse_prometheus(&prom).expect("valid exposition");
+    assert!(snap.value("serve_predict_latency_ns_count").unwrap_or(0.0) >= 4.0);
+    assert!(snap
+        .quantile("serve_predict_latency_ns", 0.99)
+        .is_some_and(|p99| p99 > 0.0));
+    let (status, _) = get(&addr, "/metrics?format=bogus");
+    assert_eq!(status, 400);
+
+    // Server-side manifest filter streams only the requested records.
+    let (status, filtered) = get(&addr, "/metrics?format=manifest&name=serve.predict.rows");
+    assert_eq!(status, 200);
+    assert!(metric(&filtered, "serve.predict.rows").unwrap_or(0.0) >= 4.0);
+    assert!(
+        filtered.lines().count() <= 3,
+        "filter must drop unrelated records:\n{filtered}"
+    );
+
+    // Request-scoped tracing: recent ids are listed and each span tree is
+    // retrievable, with paths prefixed by the request id.
+    let (status, recent) = get(&addr, "/metrics/requests");
+    assert_eq!(status, 200, "{recent}");
+    let ids = match json(&recent).get("requests") {
+        Some(Value::Seq(rows)) => rows
+            .iter()
+            .filter_map(|r| match r.get("id") {
+                Some(Value::Str(id)) => Some(id.clone()),
+                _ => None,
+            })
+            .collect::<Vec<_>>(),
+        other => panic!("bad recent requests: {other:?}"),
+    };
+    assert!(!ids.is_empty(), "no recent requests: {recent}");
+    let (status, tree) = get(&addr, &format!("/metrics/requests/{}", ids[0]));
+    assert_eq!(status, 200, "{tree}");
+    let tree = json(&tree);
+    assert_eq!(tree.get("id"), Some(&Value::Str(ids[0].clone())));
+    match tree.get("spans") {
+        Some(Value::Seq(spans)) => {
+            assert!(!spans.is_empty());
+            let prefix = format!("req/{}", ids[0]);
+            for span in spans {
+                match span.get("path") {
+                    Some(Value::Str(p)) => assert!(p.starts_with(&prefix), "{p}"),
+                    other => panic!("bad span: {other:?}"),
+                }
+            }
+        }
+        other => panic!("bad spans: {other:?}"),
+    }
+    let (status, _) = get(&addr, "/metrics/requests/r-unknown");
+    assert_eq!(status, 404);
+
     let (status, _) = post(&addr, "/shutdown", "");
     assert_eq!(status, 200);
     server.join();
@@ -196,7 +253,7 @@ fn daemon_serves_all_endpoints_and_cache_survives_restart() {
     // ---- Second daemon, same cache directory: must start warm. ----
     let server = Server::start(tiny_config("127.0.0.1:0", 11)).expect("restart");
     let addr = server.addr().to_string();
-    let (status, manifest) = get(&addr, "/metrics");
+    let (status, manifest) = get(&addr, "/metrics?format=manifest");
     assert_eq!(status, 200);
     assert!(
         metric(&manifest, "scheduler.persistent.loaded").unwrap_or(0.0) > 0.0,

@@ -12,6 +12,11 @@
 //!   different `VAESA_THREADS`, byte-comparing result files and comparing
 //!   the deterministic slice of their manifests.
 //!
+//! Live-service checks ride alongside: [`prom::prom_check`] validates a
+//! scraped Prometheus snapshot's structure, and [`prom::slo_gate`]
+//! enforces declarative latency/error-rate thresholds against it
+//! (`xtask prom-check` / `xtask slo-gate`).
+//!
 //! On top of the gates sit the tracing/telemetry readers: [`trace`]
 //! parses, validates, and folds the Chrome `trace_event` JSON the obs
 //! layer exports (`xtask trace-check`, `vaesa-cli obs-flame`), and
@@ -24,6 +29,7 @@
 pub mod bench;
 pub mod gates;
 pub mod manifest;
+pub mod prom;
 pub mod report;
 pub mod telemetry;
 pub mod trace;

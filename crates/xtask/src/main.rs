@@ -11,6 +11,8 @@
 //! xtask trend [--history <history.jsonl>] [--out <dir>]
 //! xtask trend-gate [--history <history.jsonl>] [--tolerance 0.25]
 //! xtask precision-gate <f64-manifest> <f32-manifest> [--tolerance 0.0]
+//! xtask prom-check <snapshot.prom>
+//! xtask slo-gate <snapshot.prom> --slo <thresholds.txt>
 //! ```
 //!
 //! Exit status 0 on pass, 1 on gate failure, 2 on usage errors. Reports
@@ -55,6 +57,15 @@ gates:
   precision-gate <f64-manifest> <f32-manifest> [--tolerance 0.0]
       fail when the f32-precision run is slower than the f64 run on any
       gated span (the f32 SIMD backend must not lose)
+
+  prom-check <snapshot.prom>
+      validate a scraped Prometheus snapshot: every sample under a
+      declared # TYPE family, cumulative histogram buckets ending at
+      +Inf, quantile labels inside [0, 1]
+
+  slo-gate <snapshot.prom> --slo <thresholds.txt>
+      fail when the snapshot violates any `metric[:pNN] <op> <value>`
+      threshold line (absent metrics fail, they do not skip)
 
 telemetry:
   summarize <manifest.jsonl>
@@ -169,6 +180,19 @@ fn main() -> ExitCode {
                     _ => return usage_error(
                         "precision-gate takes exactly two manifest paths (f64 first, f32 second)",
                     ),
+                },
+                Err(e) => return usage_error(&e),
+            },
+            "prom-check" => match rest {
+                [snapshot] => vaesa_xtask::prom::prom_check(Path::new(snapshot)),
+                _ => return usage_error("prom-check takes exactly one snapshot path"),
+            },
+            "slo-gate" => match parse_history_args(rest, &["--slo"]) {
+                Ok((positional, flags)) => match (positional.as_slice(), flags.get("--slo")) {
+                    ([snapshot], Some(slo)) => {
+                        vaesa_xtask::prom::slo_gate(Path::new(snapshot), Path::new(slo))
+                    }
+                    _ => return usage_error("slo-gate takes one snapshot path and --slo <file>"),
                 },
                 Err(e) => return usage_error(&e),
             },

@@ -43,13 +43,14 @@ fn main() -> ExitCode {
             }
         };
     }
-    // `serve` and `client` likewise have their own grammars (client has
-    // positional subcommands); both live in the vaesa-serve crate.
-    if command == "serve" || command == "client" {
-        let result = if command == "serve" {
-            vaesa_repro::serve::cli::run_serve(rest)
-        } else {
-            vaesa_repro::serve::cli::run_client_command(rest)
+    // `serve`, `client`, and `serve-top` likewise have their own grammars
+    // (client has positional subcommands); all live in the vaesa-serve
+    // crate.
+    if command == "serve" || command == "client" || command == "serve-top" {
+        let result = match command.as_str() {
+            "serve" => vaesa_repro::serve::cli::run_serve(rest),
+            "serve-top" => vaesa_repro::serve::top::run_top(rest),
+            _ => vaesa_repro::serve::cli::run_client_command(rest),
         };
         return match result {
             Ok(()) => ExitCode::SUCCESS,
@@ -119,8 +120,12 @@ commands:
             flow graph NAME [--mermaid]     print the DAG (Graphviz DOT default)
   serve     run the DSE daemon              --addr HOST:PORT --workers N --configs N
                                             --epochs N --latent-dim N --layers N --seed S
+                                            --access-log PATH
   client    query a running daemon          client [--addr HOST:PORT] <healthz|metrics
-                                            |predict|decode|search|job|shutdown> [flags]
+                                            |requests|request|predict|decode|search|job
+                                            |shutdown> [flags]
+  serve-top live dashboard over /metrics    --addr HOST:PORT [--interval-ms N]
+                                            [--samples N] [--snapshot-svg PATH]
 
 workloads: alexnet, resnet50, resnext50, deepbench, vgg16, mobilenet,
            bert, all (the Table III training pool)
